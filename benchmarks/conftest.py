@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every figure and
+table of the paper, timing each experiment once (the experiments are
+deterministic, so single-round pedantic benchmarking is appropriate)
+and writing the formatted output to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiply workload trip counts (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import SuiteData
+from repro.workloads import all_workloads
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def suite_data() -> SuiteData:
+    scale = bench_scale()
+    return SuiteData.build(all_workloads(scale), scale=scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")

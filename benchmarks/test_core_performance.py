@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the core machinery (not figure reproductions):
+allocator throughput, trace execution, and hardware-cache accounting.
+
+These track the library's own performance so regressions in the
+compiler or simulator hot paths are visible.
+"""
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.sim import Scheme, SchemeKind, build_traces, evaluate_traces
+from repro.workloads import get_workload
+
+_SPEC = get_workload("dct8x8")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_traces(_SPEC.kernel, _SPEC.warp_inputs)
+
+
+def test_allocator_throughput(benchmark):
+    config = AllocationConfig.best_paper_config()
+    benchmark(allocate_kernel, _SPEC.kernel, config)
+
+
+def test_trace_execution_throughput(benchmark):
+    benchmark(build_traces, _SPEC.kernel, _SPEC.warp_inputs)
+
+
+def test_software_accounting_throughput(benchmark, traces):
+    scheme = Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True)
+    benchmark(evaluate_traces, traces, scheme)
+
+
+def test_hardware_accounting_throughput(benchmark, traces):
+    scheme = Scheme(SchemeKind.HW_TWO_LEVEL, 3)
+    benchmark(evaluate_traces, traces, scheme)

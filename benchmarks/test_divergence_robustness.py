@@ -1,0 +1,22 @@
+"""Benchmark: divergence robustness of the energy results."""
+
+from conftest import write_result
+
+from repro.experiments import (
+    format_divergence_study,
+    run_divergence_study,
+)
+
+
+def test_divergence_robustness(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_divergence_study, rounds=1, iterations=1
+    )
+    write_result(
+        results_dir, "divergence_robustness",
+        format_divergence_study(result),
+    )
+
+    # Normalized energy is insensitive to divergence (every divergent
+    # trace is also verified per lane inside the study).
+    assert result.max_abs_delta() < 0.05

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the Section 6.5 encoding-overhead analysis."""
+
+from conftest import write_result
+
+from repro.experiments import format_encoding_study, run_encoding_study
+
+
+def test_encoding_overhead(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_encoding_study, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(
+        results_dir, "encoding_overhead", format_encoding_study(result)
+    )
+
+    # Paper: net chip-wide savings of ~5.5% (optimistic encoding) and
+    # at least 4.3% (pessimistic).
+    assert result.optimistic.chip_wide_net_savings >= 0.045
+    assert result.pessimistic.chip_wide_net_savings >= 0.035
+    assert (
+        result.optimistic.chip_wide_overhead
+        < result.pessimistic.chip_wide_overhead
+    )

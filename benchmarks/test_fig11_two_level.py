@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 (two-level read/write breakdown)."""
+
+from conftest import write_result
+
+from repro.experiments import format_fig11, run_fig11
+from repro.levels import Level
+
+
+def test_fig11_two_level(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_fig11, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "fig11_two_level", format_fig11(result))
+
+    hw3 = result.point("hw", 3)
+    sw3 = result.point("sw", 3)
+    # SW never over-reads; HW pays write-back reads (paper: ~20% extra).
+    assert abs(sw3.total_reads - 1.0) < 1e-9
+    assert hw3.total_reads > 1.05
+    # SW writes the ORF less than the RFC (paper: ~20% less).
+    assert sw3.writes[Level.ORF] < hw3.writes[Level.ORF]
+    # SW MRF reads no worse than HW at the operating point.
+    assert sw3.reads[Level.MRF] <= hw3.reads[Level.MRF]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 12 (three-level read/write breakdown)."""
+
+from conftest import write_result
+
+from repro.experiments import format_fig12, run_fig12
+from repro.levels import Level
+
+
+def test_fig12_three_level(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_fig12, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "fig12_three_level", format_fig12(result))
+
+    sw3 = result.point("sw", 3)
+    split3 = result.point("sw_split", 3)
+    hw3 = result.point("hw", 3)
+    # The one-entry LRF captures a large share of reads (paper: ~30%).
+    assert sw3.reads[Level.LRF] > 0.15
+    # Split LRF captures at least as many (paper: ~+20%).
+    assert split3.reads[Level.LRF] >= sw3.reads[Level.LRF]
+    # Overhead writes: HW well above SW (paper: ~40% vs <10%).
+    assert hw3.total_writes - 1.0 > 2 * max(0.0, sw3.total_writes - 1.0)

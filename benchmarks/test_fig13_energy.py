@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 13 (normalized energy of every
+organisation) — the paper's headline result."""
+
+from conftest import write_result
+
+from repro.experiments import format_fig13, run_fig13
+
+
+def test_fig13_energy(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_fig13, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "fig13_energy", format_fig13(result))
+
+    # The paper's ordering at the operating points must hold:
+    # HW (34%) < HW LRF (41%) < SW (45%) < SW LRF Split (54%).
+    hw = 1 - result.curves["HW"][3]
+    hw_lrf = 1 - result.curves["HW LRF"][6]
+    sw = 1 - result.curves["SW"][3]
+    sw_split = 1 - result.curves["SW LRF Split"][3]
+    assert hw < sw < sw_split
+    assert hw < hw_lrf < sw_split
+
+    # Magnitudes within a reproduction band of the paper's numbers.
+    assert 0.25 <= hw <= 0.45          # paper 0.34
+    assert 0.35 <= sw <= 0.55          # paper 0.45
+    assert 0.45 <= sw_split <= 0.62    # paper 0.54
+
+    # SW curves peak at small ORF sizes (paper: 3 entries).
+    best_entries, _ = result.best("SW LRF Split")
+    assert best_entries <= 5

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 14 (energy breakdown of the best
+configuration)."""
+
+from conftest import write_result
+
+from repro.experiments import format_fig14, run_fig14
+from repro.levels import Level
+
+
+def test_fig14_breakdown(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_fig14, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "fig14_breakdown", format_fig14(result))
+
+    point = result.point(3)
+    mrf_share = (
+        point.access[Level.MRF] + point.wire[Level.MRF]
+    ) / point.total
+    # Paper: roughly two thirds of the remaining energy is MRF, split
+    # about evenly between access and wire.
+    assert 0.5 <= mrf_share <= 0.85
+    ratio = point.access[Level.MRF] / point.wire[Level.MRF]
+    assert 0.7 <= ratio <= 1.5
+    # Paper: LRF wire energy is ~1% of baseline or less.
+    assert point.wire[Level.LRF] < 0.03

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 15 (per-benchmark energy, best
+configuration)."""
+
+from conftest import write_result
+
+from repro.experiments import format_fig15, run_fig15
+
+
+def test_fig15_per_benchmark(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_fig15, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(
+        results_dir, "fig15_per_benchmark", format_fig15(result)
+    )
+
+    # Paper: Reduction and ScalarProd save the least, because their
+    # tight global-load loops pass few values in registers.
+    worst_two = {name for name, _ in result.worst(2)}
+    assert worst_two == {"reduction", "scalarprod"}
+    # Every benchmark still saves energy.
+    assert all(energy < 1.0 for energy in result.energies.values())
+    # All 36 Table 1 benchmarks are present.
+    assert len(result.energies) == 36

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (register value usage patterns)."""
+
+from conftest import write_result
+
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_usage(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_fig2, args=(suite_data,), rounds=1, iterations=1
+    )
+    text = format_fig2(result)
+    write_result(results_dir, "fig2_usage", text)
+
+    # Paper shape: up to ~70% of values read at most once; ~50% of all
+    # values read once within three instructions.
+    assert 0.55 <= result.overall.fraction_read_at_most_once() <= 0.80
+    assert 0.40 <= result.overall.fraction_read_once_within(3) <= 0.65

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the Section 7 limit study."""
+
+from conftest import write_result
+
+from repro.experiments import format_limit_study, run_limit_study
+
+
+def test_limit_study(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_limit_study, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "limit_study", format_limit_study(result))
+
+    # Ideal bounds (paper: 87% all-LRF, 61% all-ORF(5)).
+    assert 1 - result.ideal_all_lrf >= 0.80
+    assert 0.55 <= 1 - result.ideal_all_orf5 <= 0.75
+    # Idealisations only ever help.
+    assert result.variable_orf <= result.realistic + 1e-9
+    assert result.fewer_active_warps <= result.realistic + 1e-9
+    assert result.resched_ideal_8_as_3 <= result.realistic + 1e-9
+    assert result.hw_resident_backward <= result.hw_flush_backward
+    # The realistic design already sits well inside the ideal bounds
+    # (paper: "competitive with an idealized system").
+    assert result.realistic < 2.0 * result.ideal_all_orf5

@@ -1,0 +1,43 @@
+"""Benchmark: the two-level warp scheduler study (Sections 2.2, 6).
+
+Paper claim: with 8 active warps out of 32 resident, the SM suffers no
+performance penalty from two-level scheduling.
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.experiments import (
+    format_scheduler_study,
+    run_scheduler_study,
+)
+from repro.workloads import get_workload
+
+_BENCHMARKS = [
+    "matrixmul",
+    "reduction",
+    "hotspot",
+    "mandelbrot",
+    "montecarlo",
+    "vectoradd",
+]
+
+
+def test_scheduler_performance(benchmark, results_dir):
+    specs = [get_workload(name, bench_scale()) for name in _BENCHMARKS]
+    result = benchmark.pedantic(
+        run_scheduler_study,
+        args=(specs,),
+        kwargs={"num_warps": 32},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir, "scheduler_performance",
+        format_scheduler_study(result),
+    )
+
+    relative = result.mean_relative_ipc()
+    # Paper: 8 active warps reach all-active performance.
+    assert relative[8] >= 0.90
+    # And a tiny active set clearly does not.
+    assert relative[1] < relative[8]

@@ -1,0 +1,16 @@
+"""Benchmark: energy-model sensitivity (robustness of conclusions)."""
+
+from conftest import write_result
+
+from repro.experiments import format_sensitivity, run_sensitivity_study
+
+
+def test_sensitivity(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_sensitivity_study, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "sensitivity", format_sensitivity(result))
+
+    # Software control must beat hardware caching at every scaling of
+    # the synthesis constants in [0.5x, 2x].
+    assert result.all_orderings_hold()

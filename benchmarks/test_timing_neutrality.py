@@ -1,0 +1,39 @@
+"""Benchmark: performance neutrality under operand-delivery timing.
+
+The paper's headline qualifier — energy saved "without harming system
+performance" — checked with the operand-collector timing model: the
+software hierarchy's IPC must match (or exceed, by shedding MRF bank
+conflicts) the single-level baseline's.
+"""
+
+from conftest import bench_scale, write_result
+
+from repro.experiments import format_timing_study, run_timing_study
+from repro.workloads import get_workload
+
+_BENCHMARKS = [
+    "matrixmul", "hotspot", "reduction", "montecarlo",
+    "vectoradd", "histogram",
+]
+
+
+def test_timing_neutrality(benchmark, results_dir):
+    specs = [get_workload(name, bench_scale()) for name in _BENCHMARKS]
+    result = benchmark.pedantic(
+        run_timing_study,
+        args=(specs,),
+        kwargs={"num_warps": 32},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir, "timing_neutrality", format_timing_study(result)
+    )
+
+    assert result.geomean_ratio() >= 0.99
+    for point in result.points:
+        assert point.ipc_ratio >= 0.95
+        assert (
+            point.hierarchy.bank_conflicts
+            <= point.baseline.bank_conflicts
+        )

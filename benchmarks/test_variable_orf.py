@@ -1,0 +1,19 @@
+"""Benchmark: variable ORF allocation — fixed vs realistic scheduler
+vs oracle (Section 7)."""
+
+from conftest import write_result
+
+from repro.experiments import format_variable_orf, run_variable_orf_study
+
+
+def test_variable_orf(benchmark, suite_data, results_dir):
+    result = benchmark.pedantic(
+        run_variable_orf_study, args=(suite_data,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "variable_orf", format_variable_orf(result))
+
+    # Paper: the oracle buys ~6 further points over fixed sizing.
+    gain = result.fixed - result.oracle
+    assert 0.01 <= gain <= 0.15
+    # The realistic scheduler lands between fixed and the oracle.
+    assert result.oracle <= result.realistic <= result.fixed + 1e-9

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write PTX-like assembly, run the compiler
+pipeline on it, and inspect where every operand lives.
+
+Demonstrates the full public API surface a compiler engineer would use:
+the text front-end, strand partitioning, the energy-greedy allocator,
+the annotated disassembly, dynamic verification, and per-level access
+accounting.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.energy import normalized_energy
+from repro.ir import format_allocated_kernel, parse_kernel
+from repro.ir.registers import gpr
+from repro.levels import Level
+from repro.sim import Scheme, SchemeKind, WarpInput, build_traces, \
+    evaluate_traces
+from repro.sim.verify import verify_trace
+
+#: A small FIR-filter-style kernel: a batch of shared-memory loads, a
+#: multiply-accumulate tree, and a data-dependent clamp hammock.
+KERNEL_ASM = """
+.kernel fir_clamp
+.livein R0 R1 R2 R3        ; in ptr, out ptr, count, gain
+entry:
+    mov R5, 0              ; accumulator
+loop:
+    lds R20, [R0]
+    iadd R28, R0, 4
+    lds R21, [R28]
+    iadd R28, R0, 8
+    lds R22, [R28]
+    imul R10, R20, R3      ; tap 0 * gain
+    imad R11, R21, R3, R10 ; + tap 1 * gain
+    imad R12, R22, R3, R11 ; + tap 2 * gain
+    setp P0, R12, 255
+    @P0 bra keep
+clamp:
+    mov R12, 255
+keep:
+    fadd R5, R5, R12
+    stg [R1], R12
+    iadd R0, R0, 4
+    iadd R1, R1, 4
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    stg [R1], R5
+    exit
+"""
+
+
+def main() -> None:
+    kernel = parse_kernel(KERNEL_ASM)
+    kernel.validate()
+
+    config = AllocationConfig.best_paper_config()
+    result = allocate_kernel(kernel, config)
+
+    print("=== annotated allocation (3-entry ORF, split LRF) ===")
+    print(format_allocated_kernel(kernel))
+    print()
+    print("allocation summary:", result.summary())
+
+    # Execute one warp and verify every annotated read dynamically.
+    inputs = [WarpInput({gpr(0): 0, gpr(1): 4096, gpr(2): 6, gpr(3): 3})]
+    traces = build_traces(kernel, inputs)
+    for trace in traces.warp_traces:
+        stats = verify_trace(kernel, result.partition, trace)
+    print(
+        f"\nverified {stats.reads_checked} dynamic reads "
+        f"({stats.lrf_reads} LRF, {stats.orf_reads} ORF, "
+        f"{stats.mrf_reads} MRF)"
+    )
+
+    scheme = Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True)
+    evaluation = evaluate_traces(traces, scheme)
+    counters = evaluation.counters
+    print("\nper-level dynamic accesses (reads / writes):")
+    for level in Level:
+        print(
+            f"  {level}: {counters.reads(level):6.0f} / "
+            f"{counters.writes(level):6.0f}"
+        )
+    energy = normalized_energy(
+        counters, evaluation.baseline, scheme.energy_model()
+    )
+    print(f"\nnormalized register file energy: {energy:.3f} "
+          f"({100 * (1 - energy):.1f}% savings)")
+
+
+if __name__ == "__main__":
+    main()

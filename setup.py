@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no `wheel` package, so PEP 660 editable installs
+(`pip install -e .`) cannot build; `python setup.py develop` (or
+`pip install -e . --config-settings editable_mode=compat`) works with
+plain setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — a reproduction of *A Compile-Time Managed Multi-Level
+Register File Hierarchy* (Gebhart, Keckler, Dally; MICRO 2011).
+
+The package implements the paper's full system stack in pure Python:
+
+* :mod:`repro.ir` — a PTX-like IR (the allocator's input form);
+* :mod:`repro.analysis` — CFG, dominance, liveness, reaching
+  definitions, and value-usage statistics (Figure 2);
+* :mod:`repro.strands` — strand partitioning (Section 4.1);
+* :mod:`repro.alloc` — the energy-greedy LRF/ORF allocation algorithms
+  (Sections 4.2-4.6), the paper's core contribution;
+* :mod:`repro.hierarchy` — hardware baselines: the prior-work register
+  file cache and the hardware three-level variant;
+* :mod:`repro.energy` — the published energy model (Tables 3-4) and
+  the encoding/chip-power scaling models (Sections 6.4-6.5);
+* :mod:`repro.sim` — functional warp execution, trace accounting, the
+  dynamic allocation verifier, and the two-level scheduler timing model;
+* :mod:`repro.workloads` — synthetic stand-ins for the Table 1 suites;
+* :mod:`repro.experiments` — drivers regenerating every figure.
+
+Quick start::
+
+    from repro.workloads import get_workload
+    from repro.sim import BEST_SCHEME, build_traces, evaluate_traces
+    from repro.energy import energy_savings
+
+    spec = get_workload("matrixmul")
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    evaluation = evaluate_traces(traces, BEST_SCHEME)
+    print(energy_savings(evaluation.counters, evaluation.baseline,
+                         BEST_SCHEME.energy_model()))
+"""
+
+from .levels import ALL_LEVELS, Level
+
+__version__ = "1.0.0"
+
+__all__ = ["ALL_LEVELS", "Level", "__version__"]

@@ -1,0 +1,550 @@
+"""The compile-time hierarchy allocator (Section 4).
+
+``allocate_kernel`` runs the full pipeline on one kernel:
+
+1. partition the kernel into strands (Section 4.1);
+2. build register instances and read-operand groups per strand;
+3. per strand, greedily allocate instances to the LRF (three-level
+   configurations, Section 4.6) and then to the ORF (Figure 7),
+   prioritised by energy savings per occupied issue slot, with partial
+   range allocation (Section 4.3) and read operand allocation
+   (Section 4.4) as configured;
+4. annotate every instruction operand with its hierarchy level.
+
+The allocator never changes program semantics: it only decides where
+each value lives.  Any value whose location would be ambiguous at a
+read (mixed reaching definitions, Figure 10) is kept available in the
+MRF.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.reaching import ReachingDefinitions
+from ..energy.model import EnergyModel
+from ..ir.instructions import DestAnnotation, SourceAnnotation
+from ..ir.kernel import Kernel
+from ..levels import Level
+from ..strands.model import StrandPartition
+from ..strands.partition import partition_strands
+from .intervals import EntryFile
+from .savings import (
+    priority,
+    read_operand_savings,
+    value_allocation_savings,
+)
+from .webs import (
+    ReadOperandCandidate,
+    StrandValues,
+    Web,
+    WebRead,
+    build_strand_values,
+)
+
+
+@dataclass(frozen=True)
+class AllocationConfig:
+    """Configuration of the software-managed hierarchy.
+
+    ``orf_entries`` is per thread (the paper sweeps 1-8; 3 is the most
+    energy-efficient, Section 6.4).  ``use_lrf`` enables the three-level
+    hierarchy; ``split_lrf`` gives each operand slot its own LRF bank.
+    ``enable_partial_ranges`` and ``enable_read_operands`` toggle the
+    Section 4.3/4.4 optimisations (off reproduces the baseline
+    algorithm of Section 4.2).  ``allow_forward_branches`` lets values
+    stay in the ORF across forward branches (Section 4.5); off restricts
+    allocation to single basic blocks as in the baseline algorithm.
+    """
+
+    orf_entries: int = 3
+    use_lrf: bool = False
+    split_lrf: bool = False
+    enable_partial_ranges: bool = True
+    enable_read_operands: bool = True
+    allow_forward_branches: bool = True
+    #: Number of LRF banks when split (one per operand slot A/B/C).
+    lrf_banks: int = 3
+    #: Section 7 idealisation: ORF/LRF contents survive descheduling,
+    #: so strands end only at backward branches.  NOT realisable in
+    #: hardware; used by the limit study to bound cross-strand
+    #: scheduling benefits.
+    assume_persistent_strands: bool = False
+
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(
+            orf_entries=self.orf_entries, split_lrf=self.split_lrf
+        )
+
+    @staticmethod
+    def baseline_two_level(orf_entries: int = 3) -> "AllocationConfig":
+        """Section 4.2 baseline: ORF only, no optimisations, block scope."""
+        return AllocationConfig(
+            orf_entries=orf_entries,
+            use_lrf=False,
+            enable_partial_ranges=False,
+            enable_read_operands=False,
+            allow_forward_branches=False,
+        )
+
+    @staticmethod
+    def best_paper_config() -> "AllocationConfig":
+        """The paper's most energy-efficient design (Section 6.4):
+        3-entry ORF with a split LRF, all optimisations on."""
+        return AllocationConfig(orf_entries=3, use_lrf=True, split_lrf=True)
+
+
+@dataclass
+class WebAssignment:
+    """Where one register instance was placed."""
+
+    web: Web
+    level: Level
+    #: ORF entry indices (len == width_words) or the LRF bank in [0].
+    entries: Tuple[int, ...]
+    #: Reads serviced from the allocated level (position order).
+    covered_reads: Tuple[WebRead, ...]
+    #: True if the range was shortened (Section 4.3).
+    partial: bool
+    #: Estimated energy saved (pJ per dynamic execution of the strand).
+    savings: float
+
+
+@dataclass
+class ReadOperandAssignment:
+    """A read operand cached in the ORF (Section 4.4)."""
+
+    candidate: ReadOperandCandidate
+    entries: Tuple[int, ...]
+    covered_reads: Tuple[WebRead, ...]
+    partial: bool
+    savings: float
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of allocating one kernel."""
+
+    kernel: Kernel
+    config: AllocationConfig
+    partition: StrandPartition
+    strand_values: List[StrandValues]
+    web_assignments: List[WebAssignment] = field(default_factory=list)
+    read_assignments: List[ReadOperandAssignment] = field(
+        default_factory=list
+    )
+
+    def assignments_for_level(self, level: Level) -> List[WebAssignment]:
+        return [a for a in self.web_assignments if a.level is level]
+
+    @property
+    def num_webs(self) -> int:
+        return sum(len(sv.webs) for sv in self.strand_values)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "strands": self.partition.num_strands,
+            "webs": self.num_webs,
+            "lrf_values": len(self.assignments_for_level(Level.LRF)),
+            "orf_values": len(self.assignments_for_level(Level.ORF)),
+            "partial_ranges": sum(
+                1 for a in self.web_assignments if a.partial
+            ),
+            "read_operands": len(self.read_assignments),
+        }
+
+    def strand_report(self) -> List[Dict[str, object]]:
+        """Per-strand allocation quality: instance counts, how many
+        landed in each level, and the estimated static energy saved.
+
+        Useful when diagnosing why a kernel under-uses the hierarchy
+        (e.g. the paper's Reduction: tiny strands, nothing to allocate).
+        """
+        by_strand: Dict[int, Dict[str, object]] = {}
+        for values in self.strand_values:
+            by_strand[values.strand.strand_id] = {
+                "strand": values.strand.strand_id,
+                "instructions": len(values.strand),
+                "webs": len(values.webs),
+                "lrf_values": 0,
+                "orf_values": 0,
+                "read_operands": 0,
+                "estimated_savings_pj": 0.0,
+            }
+        for assignment in self.web_assignments:
+            row = by_strand[assignment.web.strand_id]
+            key = (
+                "lrf_values"
+                if assignment.level is Level.LRF
+                else "orf_values"
+            )
+            row[key] += 1  # type: ignore[operator]
+            row["estimated_savings_pj"] += assignment.savings  # type: ignore[operator]
+        for assignment in self.read_assignments:
+            row = by_strand[assignment.candidate.strand_id]
+            row["read_operands"] += 1  # type: ignore[operator]
+            row["estimated_savings_pj"] += assignment.savings  # type: ignore[operator]
+        return [by_strand[key] for key in sorted(by_strand)]
+
+
+def allocate_kernel(
+    kernel: Kernel,
+    config: AllocationConfig,
+    model: Optional[EnergyModel] = None,
+) -> AllocationResult:
+    """Run the full allocation pipeline on a kernel (annotates in place)."""
+    kernel.reset_annotations()
+    cfg = ControlFlowGraph(kernel)
+    partition = partition_strands(
+        kernel, cfg, assume_persistent=config.assume_persistent_strands
+    )
+    reaching = ReachingDefinitions(kernel, cfg)
+    strand_values = build_strand_values(kernel, partition, reaching)
+    if model is None:
+        model = config.energy_model()
+
+    result = AllocationResult(kernel, config, partition, strand_values)
+    for _, instruction in kernel.instructions():
+        instruction.ensure_default_annotations()
+
+    for values in strand_values:
+        _allocate_strand(kernel, values, config, model, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# per-strand allocation
+# ---------------------------------------------------------------------------
+
+
+def _allocate_strand(
+    kernel: Kernel,
+    values: StrandValues,
+    config: AllocationConfig,
+    model: EnergyModel,
+    result: AllocationResult,
+) -> None:
+    lrf_assigned: Dict[int, WebAssignment] = {}
+    if config.use_lrf:
+        lrf_assigned = _lrf_pass(kernel, values, config, model, result)
+    _orf_pass(kernel, values, config, model, result, lrf_assigned)
+
+
+def _web_scope_ok(web: Web, config: AllocationConfig) -> bool:
+    """Baseline block-scope restriction (Section 4.2)."""
+    if config.allow_forward_branches:
+        return True
+    blocks = {d.ref.block_index for d in web.defs if d.ref is not None}
+    return len(blocks) == 1
+
+
+def _scoped_reads(web: Web, config: AllocationConfig) -> List[WebRead]:
+    """Coverable reads, restricted to block scope for the baseline."""
+    reads = web.coverable_reads
+    if config.allow_forward_branches:
+        return reads
+    def_blocks = {d.ref.block_index for d in web.defs if d.ref is not None}
+    if len(def_blocks) != 1:
+        return []
+    (block,) = def_blocks
+    return [read for read in reads if read.site.ref.block_index == block]
+
+
+def _lrf_pass(
+    kernel: Kernel,
+    values: StrandValues,
+    config: AllocationConfig,
+    model: EnergyModel,
+    result: AllocationResult,
+) -> Dict[int, WebAssignment]:
+    """Allocate instances to the LRF first (Section 4.6)."""
+    num_banks = config.lrf_banks if config.split_lrf else 1
+    banks = EntryFile(num_banks)
+
+    heap: List[Tuple[float, int, Web, List[WebRead], Optional[int]]] = []
+    for seq, web in enumerate(values.webs):
+        if web.width_words != 1 or not web.all_private:
+            continue
+        if not _web_scope_ok(web, config):
+            continue
+        covered = _scoped_reads(web, config)
+        bank = _lrf_bank_for(web, covered, config)
+        if bank is None:
+            continue
+        partial_excludes = len(covered) != len(web.coverable_reads)
+        savings = value_allocation_savings(
+            web, covered, Level.LRF, model,
+            force_mrf_write=partial_excludes,
+        )
+        if savings <= 0:
+            continue
+        begin, end = _web_interval(web, covered)
+        heapq.heappush(
+            heap, (-priority(savings, begin, end), seq, web, covered, bank)
+        )
+
+    assigned: Dict[int, WebAssignment] = {}
+    while heap:
+        _, _, web, covered, bank = heapq.heappop(heap)
+        begin, end = _web_interval(web, covered)
+        if config.split_lrf:
+            if not banks.is_available(bank, begin, end):
+                continue
+            entry = bank
+        else:
+            entry = banks.find_free(begin, end)
+            if entry is None:
+                continue
+        banks.allocate(entry, begin, end)
+        partial_excludes = len(covered) != len(web.coverable_reads)
+        savings = value_allocation_savings(
+            web, covered, Level.LRF, model,
+            force_mrf_write=partial_excludes,
+        )
+        assignment = WebAssignment(
+            web=web,
+            level=Level.LRF,
+            entries=(entry,),
+            covered_reads=tuple(covered),
+            partial=False,
+            savings=savings,
+        )
+        assigned[web.web_id] = assignment
+        result.web_assignments.append(assignment)
+        _annotate_web(kernel, assignment, config)
+    return assigned
+
+
+def _lrf_bank_for(
+    web: Web, covered: Sequence[WebRead], config: AllocationConfig
+) -> Optional[int]:
+    """Which LRF bank a web may use; None if LRF-ineligible.
+
+    With a split LRF, a value read from more than one operand slot must
+    go to the ORF instead (Section 3.2).  With a unified LRF there is a
+    single bank 0.
+    """
+    if not config.split_lrf:
+        return 0
+    slots = {read.site.slot for read in covered}
+    if len(slots) > 1:
+        return None
+    if not slots:
+        return 0  # dead value: any bank; use bank 0
+    (slot,) = slots
+    if slot >= config.lrf_banks:
+        return None
+    return slot
+
+
+def _orf_pass(
+    kernel: Kernel,
+    values: StrandValues,
+    config: AllocationConfig,
+    model: EnergyModel,
+    result: AllocationResult,
+    lrf_assigned: Dict[int, WebAssignment],
+) -> None:
+    """Greedy ORF allocation with partial ranges and read operands."""
+    orf = EntryFile(config.orf_entries)
+
+    # Items: ("web", web) and ("read", candidate), one shared queue.
+    heap: List[Tuple[float, int, str, object, List[WebRead]]] = []
+    seq = 0
+    for web in values.webs:
+        if web.web_id in lrf_assigned:
+            continue
+        if not _web_scope_ok(web, config):
+            continue
+        covered = _scoped_reads(web, config)
+        partial_excludes = len(covered) != len(web.coverable_reads)
+        savings = value_allocation_savings(
+            web, covered, Level.ORF, model,
+            force_mrf_write=partial_excludes,
+        )
+        if savings <= 0:
+            continue
+        begin, end = _web_interval(web, covered)
+        heapq.heappush(
+            heap, (-priority(savings, begin, end), seq, "web", web, covered)
+        )
+        seq += 1
+
+    if config.enable_read_operands:
+        for candidate in values.read_candidates:
+            covered = list(candidate.coverable_reads)
+            if not config.allow_forward_branches:
+                blocks = {r.site.ref.block_index for r in covered}
+                if len(blocks) != 1:
+                    continue
+            savings = read_operand_savings(candidate, covered, model)
+            if savings <= 0:
+                continue
+            begin = covered[0].position
+            end = covered[-1].position
+            heapq.heappush(
+                heap,
+                (
+                    -priority(savings, begin, end),
+                    seq,
+                    "read",
+                    candidate,
+                    covered,
+                ),
+            )
+            seq += 1
+
+    while heap:
+        _, _, kind, item, covered = heapq.heappop(heap)
+        if kind == "web":
+            _try_allocate_web(
+                kernel, item, covered, orf, config, model, result
+            )
+        else:
+            _try_allocate_read_operand(
+                kernel, item, covered, orf, config, model, result
+            )
+
+
+def _try_allocate_web(
+    kernel: Kernel,
+    web: Web,
+    covered: List[WebRead],
+    orf: EntryFile,
+    config: AllocationConfig,
+    model: EnergyModel,
+    result: AllocationResult,
+) -> None:
+    full_covered_count = len(covered)
+    while True:
+        partial = len(covered) != len(web.coverable_reads)
+        savings = value_allocation_savings(
+            web, covered, Level.ORF, model, force_mrf_write=partial
+        )
+        if savings <= 0:
+            return
+        begin, end = _web_interval(web, covered)
+        entries = orf.find_free_group(begin, end, web.width_words)
+        if entries is not None:
+            for entry in entries:
+                orf.allocate(entry, begin, end)
+            assignment = WebAssignment(
+                web=web,
+                level=Level.ORF,
+                entries=tuple(entries),
+                covered_reads=tuple(covered),
+                partial=len(covered) != full_covered_count,
+                savings=savings,
+            )
+            result.web_assignments.append(assignment)
+            _annotate_web(kernel, assignment, config)
+            return
+        # Partial range allocation (Section 4.3): reassign the last read
+        # in the strand to the MRF and retry with a shorter range.
+        if not config.enable_partial_ranges or not covered:
+            return
+        covered = covered[:-1]
+
+
+def _try_allocate_read_operand(
+    kernel: Kernel,
+    candidate: ReadOperandCandidate,
+    covered: List[WebRead],
+    orf: EntryFile,
+    config: AllocationConfig,
+    model: EnergyModel,
+    result: AllocationResult,
+) -> None:
+    full_covered_count = len(covered)
+    while len(covered) >= 2:
+        savings = read_operand_savings(candidate, covered, model)
+        if savings <= 0:
+            return
+        begin = covered[0].position
+        end = covered[-1].position
+        entries = orf.find_free_group(begin, end, candidate.width_words)
+        if entries is not None:
+            for entry in entries:
+                orf.allocate(entry, begin, end)
+            assignment = ReadOperandAssignment(
+                candidate=candidate,
+                entries=tuple(entries),
+                covered_reads=tuple(covered),
+                partial=len(covered) != full_covered_count,
+                savings=savings,
+            )
+            result.read_assignments.append(assignment)
+            _annotate_read_operand(kernel, assignment)
+            return
+        if not config.enable_partial_ranges:
+            return
+        covered = covered[:-1]
+
+
+def _web_interval(
+    web: Web, covered: Sequence[WebRead]
+) -> Tuple[int, int]:
+    begin = web.first_def_position
+    end = covered[-1].position if covered else begin
+    last_def = max(d.ref.position for d in web.defs if d.ref is not None)
+    return begin, max(end, last_def)
+
+
+# ---------------------------------------------------------------------------
+# annotation
+# ---------------------------------------------------------------------------
+
+
+def _annotate_web(
+    kernel: Kernel, assignment: WebAssignment, config: AllocationConfig
+) -> None:
+    web = assignment.web
+    level = assignment.level
+    entry = assignment.entries[0]
+    needs_mrf = web.needs_mrf_write or len(assignment.covered_reads) != len(
+        web.coverable_reads
+    )
+    levels: Tuple[Level, ...] = (level,) + (
+        (Level.MRF,) if needs_mrf else ()
+    )
+    for definition in web.defs:
+        if definition.ref is None:
+            continue
+        instruction = kernel.instruction_at(definition.ref)
+        instruction.dst_ann = DestAnnotation(
+            levels=levels,
+            orf_entry=entry if level is Level.ORF else None,
+            lrf_bank=entry if level is Level.LRF else None,
+        )
+    for read in assignment.covered_reads:
+        instruction = kernel.instruction_at(read.site.ref)
+        anns = list(instruction.src_anns or ())
+        anns[read.site.slot] = SourceAnnotation(
+            level=level,
+            orf_entry=entry if level is Level.ORF else None,
+            lrf_bank=entry if level is Level.LRF else None,
+        )
+        instruction.src_anns = tuple(anns)
+
+
+def _annotate_read_operand(
+    kernel: Kernel, assignment: ReadOperandAssignment
+) -> None:
+    entry = assignment.entries[0]
+    first, *rest = assignment.covered_reads
+    instruction = kernel.instruction_at(first.site.ref)
+    anns = list(instruction.src_anns or ())
+    anns[first.site.slot] = SourceAnnotation(
+        level=Level.MRF, orf_write_entry=entry
+    )
+    instruction.src_anns = tuple(anns)
+    for read in rest:
+        instruction = kernel.instruction_at(read.site.ref)
+        anns = list(instruction.src_anns or ())
+        anns[read.site.slot] = SourceAnnotation(
+            level=Level.ORF, orf_entry=entry
+        )
+        instruction.src_anns = tuple(anns)

@@ -1,0 +1,90 @@
+"""Interval-based entry availability for the ORF and LRF.
+
+Each ORF/LRF entry can hold one value over a range of static issue
+slots; two values may share an entry only if their occupancy intervals
+are disjoint.  Intervals are expressed in global layout positions,
+which strictly increase along every dynamic path within a strand
+(strands contain no backward branches), so interval disjointness is a
+sound — mildly conservative across hammock arms — sharing condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class _Entry:
+    occupied: List[Tuple[int, int]] = field(default_factory=list)
+
+    def available(self, begin: int, end: int) -> bool:
+        """True if (begin, end] does not overlap any occupied window.
+
+        A value occupies its entry from the *write phase* of its
+        defining slot to the *read phase* of its last-read slot.  Reads
+        happen before writes within a slot, so a value last read at
+        slot N and a value defined at slot N can share the entry:
+        windows conflict only when each begins strictly before the
+        other ends — except that two windows beginning at the same slot
+        always conflict (both write the entry in that slot's write
+        phase).
+        """
+        return all(
+            begin != other_begin
+            and (begin >= other_end or other_begin >= end)
+            for other_begin, other_end in self.occupied
+        )
+
+    def allocate(self, begin: int, end: int) -> None:
+        if not self.available(begin, end):
+            raise ValueError(
+                f"interval [{begin}, {end}] overlaps an existing allocation"
+            )
+        self.occupied.append((begin, end))
+
+
+class EntryFile:
+    """Availability tracker for an N-entry register file level."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 0:
+            raise ValueError("num_entries must be >= 0")
+        self._entries = [_Entry() for _ in range(num_entries)]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def find_free(self, begin: int, end: int) -> Optional[int]:
+        """Lowest-index entry free over [begin, end], or None."""
+        if begin > end:
+            raise ValueError(f"empty interval [{begin}, {end}]")
+        for index, entry in enumerate(self._entries):
+            if entry.available(begin, end):
+                return index
+        return None
+
+    def find_free_group(
+        self, begin: int, end: int, count: int
+    ) -> Optional[List[int]]:
+        """``count`` distinct free entries over [begin, end], or None.
+
+        Wide (64/128-bit) values occupy multiple 32-bit entries
+        (Section 3.2: "the compiler allocates multiple entries to store
+        the value in the ORF").
+        """
+        free = [
+            index
+            for index, entry in enumerate(self._entries)
+            if entry.available(begin, end)
+        ]
+        if len(free) < count:
+            return None
+        return free[:count]
+
+    def allocate(self, entry_index: int, begin: int, end: int) -> None:
+        self._entries[entry_index].allocate(begin, end)
+
+    def is_available(self, entry_index: int, begin: int, end: int) -> bool:
+        return self._entries[entry_index].available(begin, end)

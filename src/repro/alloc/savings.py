@@ -1,0 +1,92 @@
+"""Energy-savings functions driving allocation (Figures 6 and 9).
+
+The paper's allocator is energy-greedy: a value is placed in the
+ORF/LRF only if doing so saves energy, and candidates are prioritised
+by savings divided by the number of static issue slots the value would
+occupy (Figure 7).  We evaluate the savings with the full energy model
+(access + wire), using each read's actual consuming datapath — a read
+by the shared datapath saves less when moved to the ORF because the
+ORF-to-shared wire is longer (Table 4).
+
+Figure 6 (write/value allocation)::
+
+    savings = NumberOfReadsInStrand * (MRF_Read - ORF_Read) - ORF_Write
+    if not LiveOutOfStrand: savings += MRF_Write
+
+Figure 9 (read operand allocation)::
+
+    savings = (NumberOfReadsInStrand - 1) * (MRF_Read - ORF_Read)
+              - ORF_Write
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..energy.model import EnergyModel
+from ..levels import Level
+from .webs import ReadOperandCandidate, Web, WebRead
+
+
+def value_allocation_savings(
+    web: Web,
+    covered_reads: Sequence[WebRead],
+    level: Level,
+    model: EnergyModel,
+    force_mrf_write: bool = False,
+) -> float:
+    """Energy saved by placing a register instance at ``level``.
+
+    ``covered_reads`` is the subset of the web's non-mixed reads that
+    will be serviced from the allocated level (all of them for a full
+    range; a prefix for a partial range, Section 4.3).
+    ``force_mrf_write`` accounts partial ranges: reads beyond the range
+    come from the MRF, so the MRF write cannot be elided.
+    """
+    if level is Level.MRF:
+        return 0.0
+    words = web.width_words
+    savings = 0.0
+    for read in covered_reads:
+        savings += model.read_energy(Level.MRF, read.shared_unit)
+        savings -= model.read_energy(level, read.shared_unit)
+    # One write per definition (a hammock instance writes the entry on
+    # each side of the branch, Figure 10c).
+    for unit in web.def_units:
+        savings -= model.write_energy(level, unit.is_shared)
+        if not web.needs_mrf_write and not force_mrf_write:
+            savings += model.write_energy(Level.MRF, unit.is_shared)
+    return savings * words
+
+
+def read_operand_savings(
+    candidate: ReadOperandCandidate,
+    covered_reads: Sequence[WebRead],
+    model: EnergyModel,
+) -> float:
+    """Energy saved by caching an MRF-resident read operand in the ORF.
+
+    The first covered read still comes from the MRF (and additionally
+    writes the ORF); only subsequent covered reads hit the ORF
+    (Figure 9).
+    """
+    if len(covered_reads) < 2:
+        return -model.write_energy(Level.ORF, covered_reads[0].shared_unit) \
+            if covered_reads else 0.0
+    words = candidate.width_words
+    first = covered_reads[0]
+    savings = -model.write_energy(Level.ORF, first.shared_unit)
+    for read in covered_reads[1:]:
+        savings += model.read_energy(Level.MRF, read.shared_unit)
+        savings -= model.read_energy(Level.ORF, read.shared_unit)
+    return savings * words
+
+
+def occupancy_slots(begin_position: int, end_position: int) -> int:
+    """Static issue slots a value occupies an entry for (>= 1)."""
+    return max(1, end_position - begin_position + 1)
+
+
+def priority(savings: float, begin_position: int, end_position: int) -> float:
+    """Allocation priority: savings per occupied issue slot (Figure 7)."""
+    return savings / occupancy_slots(begin_position, end_position)

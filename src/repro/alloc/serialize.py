@@ -1,0 +1,148 @@
+"""Serialisation of allocation annotations (the 'binary' side-channel).
+
+The paper's compiler encodes, per instruction, where each operand lives
+(folded into the register namespace) plus the end-of-strand bit
+(Section 3.1, 6.5).  This module materialises that encoding: the
+annotations of an allocated kernel round-trip through a JSON document,
+so an allocation can be produced once and shipped alongside the kernel
+the way a JIT would embed it in the binary.
+
+The document is keyed by instruction position and validated against the
+kernel on load (operand counts, level names, entry indices), so loading
+a stale document into a modified kernel fails loudly rather than
+mis-annotating.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..ir.instructions import DestAnnotation, SourceAnnotation
+from ..ir.kernel import Kernel
+from ..levels import Level
+
+FORMAT_VERSION = 1
+
+
+class AnnotationFormatError(ValueError):
+    """The document does not match the kernel or the schema."""
+
+
+def annotations_to_dict(kernel: Kernel) -> Dict:
+    """Extract every operand annotation and strand bit from a kernel."""
+    instructions: List[Dict] = []
+    for ref, instruction in kernel.instructions():
+        entry: Dict = {"position": ref.position}
+        if instruction.ends_strand:
+            entry["ends_strand"] = True
+        if instruction.dst_ann is not None:
+            entry["dst"] = {
+                "levels": [
+                    level.value for level in instruction.dst_ann.levels
+                ],
+                "orf_entry": instruction.dst_ann.orf_entry,
+                "lrf_bank": instruction.dst_ann.lrf_bank,
+            }
+        if instruction.src_anns is not None:
+            entry["srcs"] = [
+                {
+                    "level": annotation.level.value,
+                    "orf_entry": annotation.orf_entry,
+                    "lrf_bank": annotation.lrf_bank,
+                    "orf_write_entry": annotation.orf_write_entry,
+                }
+                for annotation in instruction.src_anns
+            ]
+        instructions.append(entry)
+    return {
+        "format_version": FORMAT_VERSION,
+        "kernel": kernel.name,
+        "num_instructions": kernel.num_instructions,
+        "instructions": instructions,
+    }
+
+
+def dump_annotations(kernel: Kernel) -> str:
+    """Annotations as a JSON string."""
+    return json.dumps(annotations_to_dict(kernel), indent=1)
+
+
+def annotations_from_dict(kernel: Kernel, document: Dict) -> None:
+    """Apply a previously-extracted annotation document to a kernel.
+
+    Raises :class:`AnnotationFormatError` on any mismatch.
+    """
+    if document.get("format_version") != FORMAT_VERSION:
+        raise AnnotationFormatError(
+            f"unsupported format version {document.get('format_version')}"
+        )
+    if document.get("kernel") != kernel.name:
+        raise AnnotationFormatError(
+            f"document is for kernel {document.get('kernel')!r}, "
+            f"not {kernel.name!r}"
+        )
+    if document.get("num_instructions") != kernel.num_instructions:
+        raise AnnotationFormatError(
+            "instruction count mismatch: document has "
+            f"{document.get('num_instructions')}, kernel has "
+            f"{kernel.num_instructions}"
+        )
+    by_position = {
+        entry["position"]: entry
+        for entry in document.get("instructions", [])
+    }
+    kernel.reset_annotations()
+    for ref, instruction in kernel.instructions():
+        entry = by_position.get(ref.position)
+        if entry is None:
+            raise AnnotationFormatError(
+                f"no document entry for position {ref.position}"
+            )
+        instruction.ends_strand = bool(entry.get("ends_strand", False))
+        dst = entry.get("dst")
+        if dst is not None:
+            if instruction.gpr_write() is None:
+                raise AnnotationFormatError(
+                    f"position {ref.position}: destination annotation "
+                    "for an instruction without a GPR write"
+                )
+            instruction.dst_ann = DestAnnotation(
+                levels=tuple(_level(name) for name in dst["levels"]),
+                orf_entry=dst.get("orf_entry"),
+                lrf_bank=dst.get("lrf_bank"),
+            )
+        srcs = entry.get("srcs")
+        if srcs is not None:
+            if len(srcs) != len(instruction.srcs):
+                raise AnnotationFormatError(
+                    f"position {ref.position}: {len(srcs)} source "
+                    f"annotations for {len(instruction.srcs)} operands"
+                )
+            instruction.src_anns = tuple(
+                SourceAnnotation(
+                    level=_level(annotation["level"]),
+                    orf_entry=annotation.get("orf_entry"),
+                    lrf_bank=annotation.get("lrf_bank"),
+                    orf_write_entry=annotation.get("orf_write_entry"),
+                )
+                for annotation in srcs
+            )
+
+
+def load_annotations(kernel: Kernel, text: str) -> None:
+    """Apply annotations from a JSON string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise AnnotationFormatError(f"malformed JSON: {error}") from error
+    annotations_from_dict(kernel, document)
+
+
+def _level(name: str) -> Level:
+    try:
+        return Level(name)
+    except ValueError:
+        raise AnnotationFormatError(
+            f"unknown hierarchy level {name!r}"
+        ) from None

@@ -1,0 +1,516 @@
+"""Register instances ("webs") — the allocation unit of Section 4.
+
+A *register instance* is one value: a set of in-strand definitions of an
+architectural register that feed a common set of reads.  PTX is
+pseudo-SSA without phi nodes, so a hammock that writes R1 on both sides
+and reads it at the merge (Figure 10c) yields one instance with two
+definitions; both must target the same ORF entry for the merge read to
+be serviced from the ORF.
+
+Correctness hinges on *strand-local* dataflow: the ORF and LRF do not
+survive strand boundaries, so a definition only "reaches" a read for
+allocation purposes along paths that stay inside the strand.  A value
+flowing around a backward branch (a loop-carried dependence) re-enters
+the strand from the MRF even though its static definition sits in the
+same strand.  :class:`_LocalReaching` recomputes reaching definitions
+with all facts killed at strand boundaries; a read whose global
+reaching set exceeds its strand-local one is *mixed* and must encode an
+MRF read (Figure 10a/10b), though its instance may still profitably
+write the ORF for other reads.
+
+Reads with an *empty* strand-local reaching set consume an MRF-resident
+value and feed read operand allocation (Section 4.4, Figure 8b).  Such
+a read may be redirected to the ORF only if the group's first read —
+the one that fetches from the MRF and fills the ORF entry — executes on
+every intra-strand path leading to it ("definitely precedes" it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis.reaching import Definition, ReachingDefinitions, ReadSite
+from ..ir.instructions import FunctionalUnit, Instruction, Opcode
+from ..ir.kernel import InstructionRef, Kernel
+from ..ir.registers import Register
+from ..strands.model import Strand, StrandPartition
+
+
+@dataclass
+class WebRead:
+    """One read of a register instance."""
+
+    site: ReadSite
+    #: True if the consuming unit is on the shared datapath.
+    shared_unit: bool
+    #: True if the value may arrive from outside the strand on some
+    #: path, forcing this read to come from the MRF.
+    mixed: bool
+
+    @property
+    def position(self) -> int:
+        return self.site.ref.position
+
+
+@dataclass
+class Web:
+    """One register instance within a strand."""
+
+    web_id: int
+    strand_id: int
+    reg: Register
+    #: In-strand, non-pinned definitions (>= 1).
+    defs: List[Definition]
+    #: Producing units for each definition (parallel to ``defs``).
+    def_units: List[FunctionalUnit]
+    reads: List[WebRead] = field(default_factory=list)
+    #: True if the value may be read outside this strand execution
+    #: (a later strand, or a later iteration around a backward branch)
+    #: and must therefore also be written to the MRF (Figure 6).
+    live_out: bool = False
+
+    @property
+    def width_words(self) -> int:
+        return self.reg.num_words
+
+    @property
+    def first_def_position(self) -> int:
+        return min(d.ref.position for d in self.defs if d.ref is not None)
+
+    @property
+    def coverable_reads(self) -> List[WebRead]:
+        """Reads redirectable to the ORF/LRF (non-mixed), by position."""
+        return sorted(
+            (read for read in self.reads if not read.mixed),
+            key=lambda read: read.position,
+        )
+
+    @property
+    def needs_mrf_write(self) -> bool:
+        """True if the value must reach the MRF even when allocated."""
+        return self.live_out or any(read.mixed for read in self.reads)
+
+    @property
+    def all_private(self) -> bool:
+        """True if every def and every coverable read uses the ALUs.
+
+        Only such instances are LRF-eligible (Section 3.2: the LRF is
+        reachable exclusively from the private datapath).
+        """
+        if any(unit.is_shared for unit in self.def_units):
+            return False
+        return all(not read.shared_unit for read in self.coverable_reads)
+
+    def read_slots(self) -> Set[int]:
+        """Operand slots used by coverable reads (split-LRF eligibility)."""
+        return {read.site.slot for read in self.coverable_reads}
+
+
+@dataclass
+class ReadOperandCandidate:
+    """A group of in-strand reads of an MRF-resident value (Section 4.4).
+
+    ``reads`` holds every strand-local-undefined read of the register in
+    the strand; ``coverable_reads`` is the subset that may legally be
+    redirected to the ORF (the first read plus all reads it definitely
+    precedes).
+    """
+
+    strand_id: int
+    reg: Register
+    reads: List[WebRead]
+    coverable_reads: List[WebRead] = field(default_factory=list)
+
+    @property
+    def width_words(self) -> int:
+        return self.reg.num_words
+
+    @property
+    def first_position(self) -> int:
+        return self.reads[0].position
+
+
+@dataclass
+class StrandValues:
+    """All allocation inputs for one strand."""
+
+    strand: Strand
+    webs: List[Web]
+    read_candidates: List[ReadOperandCandidate]
+
+
+def build_strand_values(
+    kernel: Kernel,
+    partition: StrandPartition,
+    reaching: ReachingDefinitions,
+) -> List[StrandValues]:
+    """Build register instances and read-operand groups for every strand."""
+    builder = _WebBuilder(kernel, partition, reaching)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# strand-local reaching definitions
+# ---------------------------------------------------------------------------
+
+
+class _LocalReaching:
+    """Reaching definitions with all facts killed at strand boundaries.
+
+    The intra-strand subgraph is acyclic (backward edges always target
+    strand-entry cuts), so a single pass over blocks in layout order
+    suffices: every intra-strand predecessor of a block precedes it in
+    layout order.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        partition: StrandPartition,
+        reaching: ReachingDefinitions,
+    ) -> None:
+        self.kernel = kernel
+        self.partition = partition
+        self.reaching = reaching
+        self._refs: Dict[int, InstructionRef] = {
+            ref.position: ref for ref, _ in kernel.instructions()
+        }
+        #: (position, slot) -> frozenset of strand-locally reaching defs.
+        self.read_local: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        kernel = self.kernel
+        cut_before = self.partition.cut_before
+        entry_cuts = self.partition.entry_cuts
+        defs_of_reg = self._defs_by_reg()
+
+        num_blocks = len(kernel.blocks)
+        block_out: List[Set[int]] = [set() for _ in range(num_blocks)]
+        preds = kernel.predecessors_map()
+
+        for block_index, block in enumerate(kernel.blocks):
+            if block_index in entry_cuts or block_index == 0:
+                live: Set[int] = set()
+            else:
+                live = set()
+                for pred in preds[block_index]:
+                    if pred < block_index:
+                        live |= block_out[pred]
+            position = self._first_position(block_index)
+            for instr_index, instruction in enumerate(block.instructions):
+                if position in cut_before:
+                    live.clear()
+                for slot, reg in instruction.gpr_reads():
+                    self.read_local[(position, slot)] = frozenset(
+                        d
+                        for d in live
+                        if self.reaching.definition(d).reg == reg
+                    )
+                written = instruction.gpr_write()
+                if written is not None:
+                    def_id = self._def_id_at(position)
+                    if instruction.guard is None:
+                        live -= defs_of_reg.get(written, set())
+                    if def_id is not None:
+                        live.add(def_id)
+                position += 1
+            block_out[block_index] = live
+
+    def _defs_by_reg(self) -> Dict[Register, Set[int]]:
+        result: Dict[Register, Set[int]] = {}
+        for definition in self.reaching.definitions:
+            result.setdefault(definition.reg, set()).add(definition.def_id)
+        return result
+
+    def _first_position(self, block_index: int) -> int:
+        position = 0
+        for index in range(block_index):
+            position += len(self.kernel.blocks[index].instructions)
+        return position
+
+    def _def_id_at(self, position: int) -> Optional[int]:
+        definition = self.reaching.def_at(self._refs[position])
+        return definition.def_id if definition is not None else None
+
+    def local_defs(self, ref: InstructionRef, slot: int) -> FrozenSet[int]:
+        return self.read_local.get((ref.position, slot), frozenset())
+
+
+# ---------------------------------------------------------------------------
+# web construction
+# ---------------------------------------------------------------------------
+
+
+class _WebBuilder:
+    def __init__(
+        self,
+        kernel: Kernel,
+        partition: StrandPartition,
+        reaching: ReachingDefinitions,
+    ) -> None:
+        self.kernel = kernel
+        self.partition = partition
+        self.reaching = reaching
+        self.local = _LocalReaching(kernel, partition, reaching)
+        self._instructions: Dict[int, Instruction] = {
+            ref.position: instruction
+            for ref, instruction in kernel.instructions()
+        }
+        #: def_id -> set of (position, slot) reads it locally reaches.
+        self._local_uses: Dict[int, Set[Tuple[int, int]]] = {}
+        for key, def_ids in self.local.read_local.items():
+            for def_id in def_ids:
+                self._local_uses.setdefault(def_id, set()).add(key)
+
+    def build(self) -> List[StrandValues]:
+        return [
+            self._build_for_strand(strand)
+            for strand in self.partition.strands
+        ]
+
+    # -- per-strand construction ---------------------------------------------
+
+    def _build_for_strand(self, strand: Strand) -> StrandValues:
+        in_strand_defs = self._collect_defs(strand)
+
+        parent: Dict[int, int] = {d: d for d in in_strand_defs}
+
+        def find(def_id: int) -> int:
+            root = def_id
+            while parent[root] != root:
+                root = parent[root]
+            while parent[def_id] != root:
+                parent[def_id], def_id = root, parent[def_id]
+            return root
+
+        def union(a: int, b: int) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        read_info: List[Tuple[ReadSite, FrozenSet[int], bool]] = []
+        external_reads: List[ReadSite] = []
+
+        for ref in strand.refs:
+            instruction = self._instructions[ref.position]
+            for slot, reg in instruction.gpr_reads():
+                global_ids = self.reaching.reaching_defs(ref, slot)
+                local_ids = self.local.local_defs(ref, slot)
+                web_ids = frozenset(
+                    d for d in local_ids if d in in_strand_defs
+                )
+                site = ReadSite(ref, slot, reg)
+                if not web_ids:
+                    external_reads.append(site)
+                    continue
+                # Mixed if any path may deliver the value from outside
+                # the strand (or from a pinned definition).
+                mixed = web_ids != global_ids
+                read_info.append((site, web_ids, mixed))
+                ids = sorted(web_ids)
+                for other in ids[1:]:
+                    union(ids[0], other)
+
+        webs = self._assemble_webs(strand, in_strand_defs, find, read_info)
+        candidates = self._assemble_read_candidates(strand, external_reads)
+        return StrandValues(strand, webs, candidates)
+
+    def _collect_defs(self, strand: Strand) -> Set[int]:
+        """In-strand, non-pinned (allocatable) definition ids."""
+        result: Set[int] = set()
+        for ref in strand.refs:
+            definition = self.reaching.def_at(ref)
+            if definition is None or definition.mrf_pinned:
+                continue
+            result.add(definition.def_id)
+        return result
+
+    def _assemble_webs(
+        self,
+        strand: Strand,
+        in_strand_defs: Set[int],
+        find,
+        read_info: List[Tuple[ReadSite, FrozenSet[int], bool]],
+    ) -> List[Web]:
+        groups: Dict[int, List[int]] = {}
+        for def_id in in_strand_defs:
+            groups.setdefault(find(def_id), []).append(def_id)
+
+        webs: List[Web] = []
+        web_of_root: Dict[int, Web] = {}
+        for root, def_ids in sorted(groups.items()):
+            defs = [self.reaching.definition(d) for d in sorted(def_ids)]
+            units = [
+                self._instructions[d.ref.position].unit
+                for d in defs
+                if d.ref is not None
+            ]
+            web = Web(
+                web_id=len(webs),
+                strand_id=strand.strand_id,
+                reg=defs[0].reg,
+                defs=defs,
+                def_units=units,
+                live_out=self._is_live_out(defs),
+            )
+            webs.append(web)
+            web_of_root[root] = web
+
+        for site, web_ids, mixed in read_info:
+            root = find(next(iter(web_ids)))
+            instruction = self._instructions[site.ref.position]
+            web_of_root[root].reads.append(
+                WebRead(
+                    site=site,
+                    shared_unit=instruction.unit.is_shared,
+                    mixed=mixed,
+                )
+            )
+        for web in webs:
+            web.reads.sort(key=lambda read: read.position)
+        return webs
+
+    def _is_live_out(self, defs: List[Definition]) -> bool:
+        """True if some use of the value is *not* strand-locally fed.
+
+        A use in a later strand, or a loop-carried use reached around a
+        backward branch, does not appear among the definition's
+        strand-local uses and therefore needs the value in the MRF.
+        """
+        for definition in defs:
+            local = self._local_uses.get(definition.def_id, set())
+            for use in self.reaching.uses_of(definition.def_id):
+                if (use.ref.position, use.slot) not in local:
+                    return True
+        return False
+
+    # -- read operand candidates ---------------------------------------------
+
+    def _assemble_read_candidates(
+        self,
+        strand: Strand,
+        external_reads: List[ReadSite],
+    ) -> List[ReadOperandCandidate]:
+        by_reg: Dict[Register, List[WebRead]] = {}
+        for site in external_reads:
+            instruction = self._instructions[site.ref.position]
+            by_reg.setdefault(site.reg, []).append(
+                WebRead(
+                    site=site,
+                    shared_unit=instruction.unit.is_shared,
+                    mixed=False,
+                )
+            )
+        successors = _strand_successors(self.kernel, strand)
+        candidates: List[ReadOperandCandidate] = []
+        for reg in sorted(by_reg, key=lambda r: (r.reg_class.value, r.index)):
+            reads = sorted(by_reg[reg], key=lambda read: read.position)
+            coverable = _definitely_preceded_subset(
+                strand, reads, successors
+            )
+            candidates.append(
+                ReadOperandCandidate(
+                    strand_id=strand.strand_id,
+                    reg=reg,
+                    reads=reads,
+                    coverable_reads=coverable,
+                )
+            )
+        return candidates
+
+
+def _strand_successors(
+    kernel: Kernel, strand: Strand
+) -> Dict[int, List[int]]:
+    """Instruction-level successor map restricted to strand positions."""
+    positions = strand.positions
+    first_position_of_block: Dict[int, int] = {}
+    position = 0
+    for block_index, block in enumerate(kernel.blocks):
+        first_position_of_block[block_index] = position
+        position += len(block.instructions)
+
+    successors: Dict[int, List[int]] = {}
+    for ref in strand.refs:
+        instruction = kernel.instruction_at(ref)
+        succs: List[int] = []
+        block = kernel.blocks[ref.block_index]
+        is_last = ref.instr_index == len(block.instructions) - 1
+        if instruction.opcode is Opcode.BRA:
+            target_block = kernel.block_index(instruction.target)
+            target_position = first_position_of_block[target_block]
+            if target_position in positions:
+                succs.append(target_position)
+            if instruction.guard is not None:
+                fall = _fall_through(
+                    kernel, ref, first_position_of_block
+                )
+                if fall is not None and fall in positions:
+                    succs.append(fall)
+        elif not instruction.opcode.is_exit:
+            if is_last:
+                fall = _fall_through(kernel, ref, first_position_of_block)
+                if fall is not None and fall in positions:
+                    succs.append(fall)
+            elif ref.position + 1 in positions:
+                succs.append(ref.position + 1)
+        successors[ref.position] = succs
+    return successors
+
+
+def _fall_through(
+    kernel: Kernel, ref, first_position_of_block: Dict[int, int]
+) -> Optional[int]:
+    block = kernel.blocks[ref.block_index]
+    if ref.instr_index + 1 < len(block.instructions):
+        return ref.position + 1
+    next_block = ref.block_index + 1
+    if next_block >= len(kernel.blocks):
+        return None
+    return first_position_of_block[next_block]
+
+
+def _definitely_preceded_subset(
+    strand: Strand,
+    reads: List[WebRead],
+    successors: Dict[int, List[int]],
+) -> List[WebRead]:
+    """The first read plus every read it definitely precedes.
+
+    A later read may be redirected to the ORF only if every intra-strand
+    path from the strand's entry to it passes through the first read
+    (which performs the MRF fetch and the ORF fill).  We check this by
+    BFS from the strand entry with the first read's position removed:
+    reads still reachable have a path avoiding the fill and stay in the
+    MRF.
+    """
+    if not reads:
+        return []
+    first = reads[0]
+    if len(reads) == 1:
+        return [first]
+    entry = strand.refs[0].position
+    blocked = first.position
+    reachable: Set[int] = set()
+    if entry != blocked:
+        frontier = [entry]
+        reachable.add(entry)
+        while frontier:
+            current = frontier.pop()
+            for succ in successors.get(current, ()):
+                if succ == blocked or succ in reachable:
+                    continue
+                reachable.add(succ)
+                frontier.append(succ)
+    covered = [first]
+    for read in reads[1:]:
+        if read.position == first.position:
+            # Another operand slot of the same instruction: the ORF
+            # fill happens in this instruction's write phase, so this
+            # read cannot see it and must use the MRF.
+            continue
+        if read.position not in reachable:
+            covered.append(read)
+    return covered

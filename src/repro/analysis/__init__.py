@@ -1,0 +1,20 @@
+"""Compiler analyses: CFG, dominance, liveness, reaching definitions,
+and dynamic value-usage statistics."""
+
+from .cfg import ControlFlowGraph
+from .dominance import DominatorTree
+from .liveness import LivenessAnalysis
+from .reaching import Definition, ReachingDefinitions, ReadSite
+from .usage import UsageHistogram, ValueRecord, ValueUsageTracker
+
+__all__ = [
+    "ControlFlowGraph",
+    "Definition",
+    "DominatorTree",
+    "LivenessAnalysis",
+    "ReachingDefinitions",
+    "ReadSite",
+    "UsageHistogram",
+    "ValueRecord",
+    "ValueUsageTracker",
+]

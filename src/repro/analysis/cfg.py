@@ -1,0 +1,85 @@
+"""Control-flow graph utilities over :class:`repro.ir.Kernel`.
+
+The kernel itself stores blocks in layout order; this module adds the
+derived graph structure the compiler passes need: reverse postorder,
+reachability, and edge classification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..ir.kernel import Kernel
+
+
+class ControlFlowGraph:
+    """Immutable CFG view of a kernel (block-index based)."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.num_blocks = len(kernel.blocks)
+        self.successors: Tuple[Tuple[int, ...], ...] = tuple(
+            kernel.successors(index) for index in range(self.num_blocks)
+        )
+        preds: List[List[int]] = [[] for _ in range(self.num_blocks)]
+        for index, succs in enumerate(self.successors):
+            for succ in succs:
+                preds[succ].append(index)
+        self.predecessors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(plist) for plist in preds
+        )
+        self.entry = 0
+        self._rpo = self._compute_reverse_postorder()
+        self._reachable = frozenset(self._rpo)
+
+    def _compute_reverse_postorder(self) -> Tuple[int, ...]:
+        visited: Set[int] = set()
+        postorder: List[int] = []
+
+        # Iterative DFS to avoid recursion limits on long CFGs.
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        visited.add(self.entry)
+        while stack:
+            node, edge_index = stack[-1]
+            succs = self.successors[node]
+            if edge_index < len(succs):
+                stack[-1] = (node, edge_index + 1)
+                succ = succs[edge_index]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                postorder.append(node)
+                stack.pop()
+        return tuple(reversed(postorder))
+
+    @property
+    def reverse_postorder(self) -> Tuple[int, ...]:
+        """Reachable blocks in reverse postorder from the entry."""
+        return self._rpo
+
+    def is_reachable(self, block_index: int) -> bool:
+        return block_index in self._reachable
+
+    def backward_edges(self) -> Set[Tuple[int, int]]:
+        """All (src, dst) edges that are backward in layout order.
+
+        The paper defines strand boundaries in terms of *backward
+        branches* — branches to the same or an earlier layout position
+        (Section 4.1) — so edge direction is judged by layout order, not
+        by DFS ancestry.
+        """
+        edges: Set[Tuple[int, int]] = set()
+        for src in range(self.num_blocks):
+            for dst in self.successors[src]:
+                if self.kernel.is_backward_edge(src, dst):
+                    edges.add((src, dst))
+        return edges
+
+    def merge_blocks(self) -> Set[int]:
+        """Blocks with more than one predecessor."""
+        return {
+            index
+            for index in range(self.num_blocks)
+            if len(self.predecessors[index]) > 1
+        }

@@ -1,0 +1,80 @@
+"""Dominator analysis (Cooper/Harvey/Kennedy iterative algorithm).
+
+Ocelot, the framework the paper builds on, exposes dominance analysis
+to its passes (Section 5.1); we provide the same facility.  The
+allocator itself relies on reaching definitions, but dominance is used
+by kernel structure checks and is part of the public analysis API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .cfg import ControlFlowGraph
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block."""
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self.idom: Dict[int, Optional[int]] = self._compute()
+
+    def _compute(self) -> Dict[int, Optional[int]]:
+        rpo = self.cfg.reverse_postorder
+        order_index = {block: index for index, block in enumerate(rpo)}
+        idom: Dict[int, Optional[int]] = {self.cfg.entry: self.cfg.entry}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while order_index[a] > order_index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while order_index[b] > order_index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block == self.cfg.entry:
+                    continue
+                candidates = [
+                    pred
+                    for pred in self.cfg.predecessors[block]
+                    if pred in idom
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = intersect(new_idom, pred)
+                if idom.get(block) != new_idom:
+                    idom[block] = new_idom
+                    changed = True
+
+        result: Dict[int, Optional[int]] = {
+            block: idom.get(block) for block in rpo
+        }
+        result[self.cfg.entry] = None
+        return result
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        if not self.cfg.is_reachable(b) or not self.cfg.is_reachable(a):
+            return False
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def dominators_of(self, block: int) -> Set[int]:
+        """All blocks dominating ``block`` (including itself)."""
+        result: Set[int] = set()
+        node: Optional[int] = block
+        while node is not None:
+            result.add(node)
+            node = self.idom[node]
+        return result

@@ -1,0 +1,107 @@
+"""Classic backward liveness dataflow over GPRs.
+
+Used in two places that mirror the paper:
+
+* the hardware RFC baseline uses *static liveness information encoded in
+  the binary* to elide write-back of dead values on eviction or flush
+  (Section 2.2);
+* the allocator must know whether a value is live out of its strand
+  (Figure 6: a dead-at-strand-end value avoids the MRF write entirely
+  when it is captured by the ORF).
+
+Guarded (predicated) instructions are treated as may-defs: they do not
+kill liveness of their destination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..ir.instructions import Instruction
+from ..ir.kernel import InstructionRef, Kernel
+from ..ir.registers import Register
+from .cfg import ControlFlowGraph
+
+
+class LivenessAnalysis:
+    """Per-block live-in/live-out sets plus per-point queries."""
+
+    def __init__(self, kernel: Kernel, cfg: ControlFlowGraph) -> None:
+        self.kernel = kernel
+        self.cfg = cfg
+        self.live_in: Dict[int, FrozenSet[Register]] = {}
+        self.live_out: Dict[int, FrozenSet[Register]] = {}
+        self._block_use: Dict[int, FrozenSet[Register]] = {}
+        self._block_def: Dict[int, FrozenSet[Register]] = {}
+        self._compute()
+
+    @staticmethod
+    def _instruction_uses(instruction: Instruction) -> Tuple[Register, ...]:
+        return tuple(reg for _, reg in instruction.gpr_reads())
+
+    @staticmethod
+    def _instruction_kill(instruction: Instruction) -> Tuple[Register, ...]:
+        # A guarded write may not execute, so it does not kill.
+        written = instruction.gpr_write()
+        if written is None or instruction.guard is not None:
+            return ()
+        return (written,)
+
+    def _compute(self) -> None:
+        for index, block in enumerate(self.kernel.blocks):
+            uses: Set[Register] = set()
+            defs: Set[Register] = set()
+            for instruction in block.instructions:
+                for reg in self._instruction_uses(instruction):
+                    if reg not in defs:
+                        uses.add(reg)
+                # Guarded writes both use (pass-through) and may-def;
+                # treating them as non-killing is enough for safety.
+                for reg in self._instruction_kill(instruction):
+                    defs.add(reg)
+            self._block_use[index] = frozenset(uses)
+            self._block_def[index] = frozenset(defs)
+            self.live_in[index] = frozenset()
+            self.live_out[index] = frozenset()
+
+        changed = True
+        while changed:
+            changed = False
+            for index in reversed(self.cfg.reverse_postorder):
+                out: Set[Register] = set()
+                for succ in self.cfg.successors[index]:
+                    out |= self.live_in[succ]
+                new_out = frozenset(out)
+                new_in = frozenset(
+                    self._block_use[index]
+                    | (new_out - self._block_def[index])
+                )
+                if (
+                    new_out != self.live_out[index]
+                    or new_in != self.live_in[index]
+                ):
+                    self.live_out[index] = new_out
+                    self.live_in[index] = new_in
+                    changed = True
+
+    def live_after(self, ref: InstructionRef) -> FrozenSet[Register]:
+        """Registers live immediately *after* the referenced instruction."""
+        block = self.kernel.blocks[ref.block_index]
+        live: Set[Register] = set(self.live_out[ref.block_index])
+        for position in range(len(block.instructions) - 1, ref.instr_index, -1):
+            instruction = block.instructions[position]
+            for reg in self._instruction_kill(instruction):
+                live.discard(reg)
+            for reg in self._instruction_uses(instruction):
+                live.add(reg)
+        return frozenset(live)
+
+    def live_before(self, ref: InstructionRef) -> FrozenSet[Register]:
+        """Registers live immediately *before* the referenced instruction."""
+        live: Set[Register] = set(self.live_after(ref))
+        instruction = self.kernel.instruction_at(ref)
+        for reg in self._instruction_kill(instruction):
+            live.discard(reg)
+        for reg in self._instruction_uses(instruction):
+            live.add(reg)
+        return frozenset(live)

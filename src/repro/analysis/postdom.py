@@ -1,0 +1,127 @@
+"""Post-dominator analysis (reconvergence points for SIMT divergence).
+
+When a warp's threads diverge at a branch, the hardware reconverges
+them at the branch block's *immediate post-dominator* — the first block
+every path from the branch must pass through on its way to the exit
+(Section 2's SIMT execution model).  Computed by running the iterative
+dominator algorithm (Cooper/Harvey/Kennedy) on the reversed CFG with a
+virtual exit node joining every ``EXIT`` block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import ControlFlowGraph
+
+
+class PostDominatorTree:
+    """Immediate post-dominators for every block that reaches an exit."""
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        #: Virtual exit node id.
+        self._virtual = cfg.num_blocks
+        self.ipdom: Dict[int, Optional[int]] = self._compute()
+
+    def _compute(self) -> Dict[int, Optional[int]]:
+        cfg = self.cfg
+        virtual = self._virtual
+
+        # Reversed graph: node -> its "successors" in reverse = CFG
+        # predecessors; the virtual exit's reverse-successors are the
+        # real exit blocks.
+        def reverse_successors(node: int) -> List[int]:
+            if node == virtual:
+                return [
+                    block
+                    for block in range(cfg.num_blocks)
+                    if not cfg.successors[block]
+                ]
+            return list(cfg.predecessors[node])
+
+        # Forward edges of the reversed graph from the virtual exit.
+        rpo = self._reverse_postorder(reverse_successors, virtual)
+        order_index = {node: i for i, node in enumerate(rpo)}
+
+        ipdom: Dict[int, int] = {virtual: virtual}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while order_index[a] > order_index[b]:
+                    a = ipdom[a]
+                while order_index[b] > order_index[a]:
+                    b = ipdom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node == virtual:
+                    continue
+                # Predecessors in the reversed graph = CFG successors
+                # (plus the virtual exit for real exit blocks).
+                preds: List[int] = list(
+                    self.cfg.successors[node]
+                ) if node < cfg.num_blocks else []
+                if node < cfg.num_blocks and not cfg.successors[node]:
+                    preds = [virtual]
+                candidates = [
+                    pred
+                    for pred in preds
+                    if pred in ipdom and pred in order_index
+                ]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for pred in candidates[1:]:
+                    new = intersect(new, pred)
+                if ipdom.get(node) != new:
+                    ipdom[node] = new
+                    changed = True
+
+        result: Dict[int, Optional[int]] = {}
+        for node, parent in ipdom.items():
+            if node == virtual:
+                continue
+            result[node] = None if parent == virtual else parent
+        return result
+
+    @staticmethod
+    def _reverse_postorder(successors_fn, entry: int) -> List[int]:
+        visited: Set[int] = {entry}
+        postorder: List[int] = []
+        stack: List[Tuple[int, int]] = [(entry, 0)]
+        while stack:
+            node, edge = stack[-1]
+            succs = successors_fn(node)
+            if edge < len(succs):
+                stack[-1] = (node, edge + 1)
+                nxt = succs[edge]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                postorder.append(node)
+                stack.pop()
+        return list(reversed(postorder))
+
+    def immediate_post_dominator(self, block: int) -> Optional[int]:
+        """The reconvergence block for a branch in ``block``; None when
+        paths only rejoin at kernel exit."""
+        return self.ipdom.get(block)
+
+    def post_dominates(self, a: int, b: int) -> bool:
+        """True if every path from ``b`` to the exit passes ``a``
+        (irreflexive on exit-only joins, reflexive otherwise)."""
+        node: Optional[int] = b
+        seen: Set[int] = set()
+        while node is not None:
+            if node == a:
+                return True
+            if node in seen:  # pragma: no cover - cyclic safety
+                return False
+            seen.add(node)
+            node = self.ipdom.get(node)
+        return False

@@ -1,0 +1,182 @@
+"""Dynamic register value usage statistics (Figure 2 of the paper).
+
+The paper characterises GPU register traffic by, for every value
+*written into the register file*, the number of times it is read and —
+for values read exactly once — the lifetime in instructions between
+production and the read.  These statistics motivate the whole design:
+up to 70% of values are read at most once, and 50% of all values are
+read once within three instructions of being produced (Section 2.1).
+
+:class:`ValueUsageTracker` consumes one warp's dynamic instruction
+stream and closes out a :class:`ValueRecord` whenever a register is
+overwritten (or at end of trace).  Suites aggregate trackers from many
+warps/kernels into a :class:`UsageHistogram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.instructions import Instruction
+from ..ir.registers import Register
+
+
+@dataclass
+class ValueRecord:
+    """Usage of one dynamic register value."""
+
+    num_reads: int
+    #: Dynamic-instruction distance from production to the last read
+    #: (0 if never read).
+    lifetime: int
+    #: True if any read came from the shared datapath (SFU/MEM/TEX).
+    read_by_shared: bool
+
+
+@dataclass
+class _LiveValue:
+    birth: int
+    num_reads: int = 0
+    last_read: Optional[int] = None
+    read_by_shared: bool = False
+
+    def close(self) -> ValueRecord:
+        lifetime = 0
+        if self.last_read is not None:
+            lifetime = self.last_read - self.birth
+        return ValueRecord(self.num_reads, lifetime, self.read_by_shared)
+
+
+class ValueUsageTracker:
+    """Tracks value usage over one warp's dynamic instruction stream."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._live: Dict[Register, _LiveValue] = {}
+        self.records: List[ValueRecord] = []
+
+    def observe(
+        self, instruction: Instruction, guard_passed: bool = True
+    ) -> None:
+        """Account one dynamically executed instruction.
+
+        ``guard_passed`` is False for predicate-squashed instructions,
+        which read operands but produce no value.
+        """
+        self._clock += 1
+        shared = instruction.unit.is_shared
+        for _, reg in instruction.gpr_reads():
+            value = self._live.get(reg)
+            if value is not None:
+                value.num_reads += 1
+                value.last_read = self._clock
+                value.read_by_shared = value.read_by_shared or shared
+        written = instruction.gpr_write()
+        if written is not None and guard_passed:
+            previous = self._live.pop(written, None)
+            if previous is not None:
+                self.records.append(previous.close())
+            self._live[written] = _LiveValue(birth=self._clock)
+
+    def finish(self) -> None:
+        """Close out all still-live values at end of trace."""
+        for value in self._live.values():
+            self.records.append(value.close())
+        self._live.clear()
+
+
+@dataclass
+class UsageHistogram:
+    """Aggregated Figure 2 statistics.
+
+    ``read_counts`` buckets: 0, 1, 2, and >2 reads (Figure 2a).
+    ``lifetimes`` buckets (values read exactly once): 1, 2, 3, >3
+    dynamic instructions (Figure 2b).
+    """
+
+    read_counts: Dict[str, int] = field(
+        default_factory=lambda: {"0": 0, "1": 0, "2": 0, ">2": 0}
+    )
+    lifetimes: Dict[str, int] = field(
+        default_factory=lambda: {"1": 0, "2": 0, "3": 0, ">3": 0}
+    )
+    total_values: int = 0
+    read_once_total: int = 0
+    read_by_shared: int = 0
+
+    def add_record(self, record: ValueRecord) -> None:
+        self.total_values += 1
+        if record.num_reads == 0:
+            self.read_counts["0"] += 1
+        elif record.num_reads == 1:
+            self.read_counts["1"] += 1
+        elif record.num_reads == 2:
+            self.read_counts["2"] += 1
+        else:
+            self.read_counts[">2"] += 1
+        if record.read_by_shared:
+            self.read_by_shared += 1
+        if record.num_reads == 1:
+            self.read_once_total += 1
+            if record.lifetime <= 1:
+                self.lifetimes["1"] += 1
+            elif record.lifetime == 2:
+                self.lifetimes["2"] += 1
+            elif record.lifetime == 3:
+                self.lifetimes["3"] += 1
+            else:
+                self.lifetimes[">3"] += 1
+
+    def add_tracker(self, tracker: ValueUsageTracker) -> None:
+        for record in tracker.records:
+            self.add_record(record)
+
+    def merge(self, other: "UsageHistogram") -> None:
+        for key, value in other.read_counts.items():
+            self.read_counts[key] += value
+        for key, value in other.lifetimes.items():
+            self.lifetimes[key] += value
+        self.total_values += other.total_values
+        self.read_once_total += other.read_once_total
+        self.read_by_shared += other.read_by_shared
+
+    # -- derived fractions (the numbers quoted in the paper) --------------
+
+    def fraction_read_at_most_once(self) -> float:
+        """Paper: 'up to 70% of values are only read once [or never]'."""
+        if self.total_values == 0:
+            return 0.0
+        return (
+            self.read_counts["0"] + self.read_counts["1"]
+        ) / self.total_values
+
+    def fraction_read_once_within(self, distance: int) -> float:
+        """Fraction of *all* values read exactly once within ``distance``.
+
+        Paper: '50% of all values produced are only read once, within
+        three instructions of being produced'.
+        """
+        if self.total_values == 0:
+            return 0.0
+        count = 0
+        for bucket, bucket_count in self.lifetimes.items():
+            if bucket == ">3":
+                continue
+            if int(bucket) <= distance:
+                count += bucket_count
+        return count / self.total_values
+
+    def fraction_read_by_shared(self) -> float:
+        """Paper Section 3.2: ~7% of values are consumed by SFU/MEM/TEX."""
+        if self.total_values == 0:
+            return 0.0
+        return self.read_by_shared / self.total_values
+
+    def read_count_fractions(self) -> Dict[str, float]:
+        total = max(1, self.total_values)
+        return {key: count / total for key, count in self.read_counts.items()}
+
+    def lifetime_fractions(self) -> Dict[str, float]:
+        total = max(1, self.read_once_total)
+        return {key: count / total for key, count in self.lifetimes.items()}

@@ -1,0 +1,234 @@
+"""Command-line front-end: ``repro <experiment>`` or ``python -m repro``.
+
+Regenerates the paper's figures as text tables::
+
+    repro fig13 --scale 1.0
+    repro all
+    repro show matrixmul        # annotated allocation of one benchmark
+    repro list                  # benchmark inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import experiments
+from .alloc.allocator import AllocationConfig, allocate_kernel
+from .ir.printer import format_allocated_kernel
+from .workloads.suites import (
+    BENCHMARK_NAMES,
+    all_workloads,
+    get_workload,
+    suite_of,
+)
+
+_FIGURES = {
+    "fig2": (experiments.run_fig2, experiments.format_fig2),
+    "fig11": (experiments.run_fig11, experiments.format_fig11),
+    "fig12": (experiments.run_fig12, experiments.format_fig12),
+    "fig13": (experiments.run_fig13, experiments.format_fig13),
+    "fig14": (experiments.run_fig14, experiments.format_fig14),
+    "fig15": (experiments.run_fig15, experiments.format_fig15),
+    "limit": (experiments.run_limit_study, experiments.format_limit_study),
+    "encoding": (
+        experiments.run_encoding_study,
+        experiments.format_encoding_study,
+    ),
+    "variable": (
+        experiments.run_variable_orf_study,
+        experiments.format_variable_orf,
+    ),
+    "sensitivity": (
+        experiments.run_sensitivity_study,
+        experiments.format_sensitivity,
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Compile-Time Managed Multi-Level "
+            "Register File Hierarchy' (MICRO 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in list(_FIGURES) + ["all"]:
+        cmd = sub.add_parser(name, help=f"run the {name} experiment")
+        cmd.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="multiply workload trip counts (default 1.0)",
+        )
+
+    unroll = sub.add_parser(
+        "unroll", help="unroll-and-hoist ablation (Section 6.4)"
+    )
+    unroll.add_argument("--factor", type=int, default=4)
+    unroll.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=["reduction", "scalarprod", "vectoradd"],
+    )
+
+    sched = sub.add_parser(
+        "scheduler", help="two-level warp scheduler IPC study"
+    )
+    sched.add_argument("--scale", type=float, default=1.0)
+    sched.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=["matrixmul", "reduction", "hotspot", "mandelbrot"],
+        help="benchmarks to schedule (default: a representative four)",
+    )
+    sched.add_argument("--warps", type=int, default=32)
+
+    timing = sub.add_parser(
+        "timing",
+        help="performance neutrality with operand-delivery timing",
+    )
+    timing.add_argument("--scale", type=float, default=1.0)
+    timing.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=["matrixmul", "hotspot", "reduction", "montecarlo"],
+    )
+    timing.add_argument("--warps", type=int, default=32)
+
+    show = sub.add_parser(
+        "show", help="print one benchmark's annotated allocation"
+    )
+    show.add_argument("benchmark", choices=sorted(BENCHMARK_NAMES))
+    show.add_argument("--orf-entries", type=int, default=3)
+    show.add_argument("--no-lrf", action="store_true")
+    show.add_argument(
+        "--strands", action="store_true",
+        help="also print the per-strand allocation report",
+    )
+
+    export = sub.add_parser(
+        "export", help="write every figure as CSV to a directory"
+    )
+    export.add_argument("directory")
+    export.add_argument("--scale", type=float, default=1.0)
+    export.add_argument(
+        "--skip-slow", action="store_true",
+        help="skip the limit study (the most expensive driver)",
+    )
+
+    report = sub.add_parser(
+        "report", help="write the full reproduction report (markdown)"
+    )
+    report.add_argument("path", nargs="?", default="REPORT.md")
+    report.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="list the synthesised benchmarks")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in BENCHMARK_NAMES:
+            print(f"{name:<22} {suite_of(name)}")
+        return 0
+
+    if args.command == "show":
+        spec = get_workload(args.benchmark)
+        config = AllocationConfig(
+            orf_entries=args.orf_entries,
+            use_lrf=not args.no_lrf,
+            split_lrf=not args.no_lrf,
+        )
+        result = allocate_kernel(spec.kernel, config)
+        print(format_allocated_kernel(spec.kernel))
+        print()
+        print(result.summary())
+        if args.strands:
+            print()
+            header = (
+                f"{'strand':>7}{'instrs':>8}{'webs':>6}{'lrf':>5}"
+                f"{'orf':>5}{'rdop':>6}{'est. pJ saved':>15}"
+            )
+            print(header)
+            for row in result.strand_report():
+                print(
+                    f"{row['strand']:>7}{row['instructions']:>8}"
+                    f"{row['webs']:>6}{row['lrf_values']:>5}"
+                    f"{row['orf_values']:>5}{row['read_operands']:>6}"
+                    f"{row['estimated_savings_pj']:>15.1f}"
+                )
+        return 0
+
+    if args.command == "export":
+        from .experiments.export import export_all
+
+        data = experiments.SuiteData.build(
+            all_workloads(args.scale), scale=args.scale
+        )
+        written = export_all(
+            data, args.directory, include_slow=not args.skip_slow
+        )
+        for path in written:
+            print(path)
+        return 0
+
+    if args.command == "report":
+        from .experiments.report import write_report
+
+        data = experiments.SuiteData.build(
+            all_workloads(args.scale), scale=args.scale
+        )
+        written = write_report(args.path, data)
+        print(written)
+        return 0
+
+    if args.command == "unroll":
+        result = experiments.run_unroll_study(
+            args.benchmarks, factor=args.factor
+        )
+        print(experiments.format_unroll_study(result))
+        return 0
+
+    if args.command == "scheduler":
+        specs = [get_workload(name, args.scale) for name in args.benchmarks]
+        result = experiments.run_scheduler_study(
+            specs, num_warps=args.warps
+        )
+        print(experiments.format_scheduler_study(result))
+        return 0
+
+    if args.command == "timing":
+        specs = [get_workload(name, args.scale) for name in args.benchmarks]
+        result = experiments.run_timing_study(specs, num_warps=args.warps)
+        print(experiments.format_timing_study(result))
+        return 0
+
+    started = time.time()
+    data = experiments.SuiteData.build(
+        all_workloads(args.scale), scale=args.scale
+    )
+    print(
+        f"# {len(data.items)} workloads, "
+        f"{data.dynamic_instructions} dynamic warp instructions "
+        f"(built in {time.time() - started:.1f}s)\n",
+        file=sys.stderr,
+    )
+
+    names = list(_FIGURES) if args.command == "all" else [args.command]
+    for name in names:
+        run, fmt = _FIGURES[name]
+        print(fmt(run(data)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The compiler substrate feeding the hierarchy allocator: live
+intervals, linear-scan register lowering (the paper's reference [21]),
+loop unrolling and instruction scheduling (Sections 6.4 and 7), and the
+end-to-end pipeline."""
+
+from .intervals import LiveInterval, compute_live_intervals
+from .linear_scan import (
+    LinearScanResult,
+    MRF_WORDS_PER_THREAD,
+    RegisterPressureError,
+    register_pressure,
+    run_linear_scan,
+)
+from .pipeline import CompileResult, compile_kernel
+from .rename import rename_instruction, rename_registers
+from .schedule import ScheduleStrategy, schedule_kernel
+from .unroll import UnrollError, unroll_loop
+
+__all__ = [
+    "CompileResult",
+    "LinearScanResult",
+    "LiveInterval",
+    "MRF_WORDS_PER_THREAD",
+    "RegisterPressureError",
+    "ScheduleStrategy",
+    "UnrollError",
+    "compile_kernel",
+    "compute_live_intervals",
+    "register_pressure",
+    "rename_instruction",
+    "rename_registers",
+    "run_linear_scan",
+    "schedule_kernel",
+    "unroll_loop",
+]

@@ -1,0 +1,96 @@
+"""Live intervals over linearised instruction positions.
+
+The hierarchy allocator's input is "scheduled and register allocated"
+PTX (Section 5.1): every register is an architectural register of the
+32-entry-per-thread MRF.  :mod:`repro.compiler` supplies that earlier
+stage — kernels may be written with unbounded *virtual* register
+indices and lowered by linear scan (Poletto & Sarkar, the paper's
+reference [21]), which needs a live interval per register.
+
+An interval conservatively covers every position where the register may
+be live: the span of its defs and uses, extended around backward edges
+(a value live into a loop header stays live through the entire loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.liveness import LivenessAnalysis
+from ..ir.kernel import Kernel
+from ..ir.registers import Register
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """Conservative live range of one register, in layout positions."""
+
+    reg: Register
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+def compute_live_intervals(kernel: Kernel) -> List[LiveInterval]:
+    """Live intervals for every GPR, sorted by start position."""
+    cfg = ControlFlowGraph(kernel)
+    liveness = LivenessAnalysis(kernel, cfg)
+
+    first: Dict[Register, int] = {}
+    last: Dict[Register, int] = {}
+
+    def touch(reg: Register, position: int) -> None:
+        if reg not in first or position < first[reg]:
+            first[reg] = position
+        if reg not in last or position > last[reg]:
+            last[reg] = position
+
+    for reg in kernel.live_in:
+        if reg.is_gpr:
+            touch(reg, 0)
+    for ref, instruction in kernel.instructions():
+        for _, reg in instruction.gpr_reads():
+            touch(reg, ref.position)
+        written = instruction.gpr_write()
+        if written is not None:
+            touch(written, ref.position)
+
+    # Extend intervals around backward edges: a register live into a
+    # backward-branch target is live through every block up to (and
+    # including) the branching block.
+    block_bounds = _block_position_bounds(kernel)
+    for src in range(len(kernel.blocks)):
+        for dst in kernel.successors(src):
+            if not kernel.is_backward_edge(src, dst):
+                continue
+            loop_start, _ = block_bounds[dst]
+            _, loop_end = block_bounds[src]
+            for reg in liveness.live_in[dst]:
+                if reg in first:
+                    first[reg] = min(first[reg], loop_start)
+                    last[reg] = max(last[reg], loop_end)
+
+    intervals = [
+        LiveInterval(reg, first[reg], last[reg]) for reg in first
+    ]
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.reg.index))
+    return intervals
+
+
+def _block_position_bounds(kernel: Kernel) -> List[Tuple[int, int]]:
+    """(first position, last position) of every block."""
+    bounds: List[Tuple[int, int]] = []
+    position = 0
+    for block in kernel.blocks:
+        size = len(block.instructions)
+        bounds.append((position, position + size - 1))
+        position += size
+    return bounds

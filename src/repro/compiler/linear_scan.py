@@ -1,0 +1,151 @@
+"""Linear-scan register allocation (Poletto & Sarkar — the paper's
+reference [21]) onto the 32-entry-per-thread MRF namespace.
+
+The hierarchy allocator consumes kernels whose registers are
+architectural MRF names (Section 5.1).  This pass lowers kernels
+written with arbitrary *virtual* GPR indices: live intervals are
+computed conservatively (loops extend intervals, see
+``repro.compiler.intervals``), sorted by start, and assigned to the
+lowest free architectural word(s).  Wide (64/128-bit) values occupy
+consecutive words, matching Section 3.2.
+
+The MRF provides 32 words per thread (Table 2: 128 KB / 1024 threads /
+4 bytes).  Exceeding that raises :class:`RegisterPressureError` — the
+paper's compiler would spill to local memory, which its workloads never
+need; neither do ours.
+
+Kernel live-in registers keep their architectural identity (they are
+the runtime's calling convention); predicates live in a separate space
+and pass through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..ir.kernel import Kernel
+from ..ir.registers import Register, gpr
+from .intervals import compute_live_intervals
+from .rename import rename_registers
+
+#: Architectural registers per thread (Table 2: 128 KB MRF, 1024
+#: threads, 32-bit words).
+MRF_WORDS_PER_THREAD = 32
+
+
+class RegisterPressureError(RuntimeError):
+    """More values simultaneously live than the MRF can hold."""
+
+
+@dataclass
+class LinearScanResult:
+    """Outcome of lowering one kernel."""
+
+    kernel: Kernel
+    mapping: Dict[Register, Register]
+    words_used: int
+
+    @property
+    def registers_assigned(self) -> int:
+        return len(self.mapping)
+
+
+def run_linear_scan(
+    kernel: Kernel,
+    max_words: int = MRF_WORDS_PER_THREAD,
+) -> LinearScanResult:
+    """Lower a virtual-register kernel to architectural MRF names."""
+    intervals = compute_live_intervals(kernel)
+    by_reg = {interval.reg: interval for interval in intervals}
+
+    # Live-ins are pinned: they keep their (word-range) identity.
+    pinned_words: Set[int] = set()
+    for reg in kernel.live_in:
+        if not reg.is_gpr:
+            continue
+        for word in range(reg.index, reg.index + reg.num_words):
+            if word >= max_words:
+                raise RegisterPressureError(
+                    f"live-in {reg} exceeds the {max_words}-word MRF"
+                )
+            pinned_words.add(word)
+
+    #: word index -> position at which it becomes free again (interval
+    #: end of the current occupant), or None when free.
+    busy_until: List[Optional[int]] = [None] * max_words
+    for word in pinned_words:
+        live_in_reg = next(
+            reg
+            for reg in kernel.live_in
+            if reg.is_gpr
+            and reg.index <= word < reg.index + reg.num_words
+        )
+        interval = by_reg.get(live_in_reg)
+        busy_until[word] = interval.end if interval else 0
+
+    mapping: Dict[Register, Register] = {}
+    highest_word = -1
+
+    for interval in intervals:
+        reg = interval.reg
+        if reg in [r for r in kernel.live_in if r.is_gpr]:
+            mapping[reg] = reg
+            highest_word = max(
+                highest_word, reg.index + reg.num_words - 1
+            )
+            continue
+        words = reg.num_words
+        base = _find_free_run(busy_until, interval.start, words, max_words)
+        if base is None:
+            raise RegisterPressureError(
+                f"{kernel.name}: register pressure exceeds "
+                f"{max_words} words at position {interval.start} "
+                f"(allocating {reg}, live [{interval.start}, "
+                f"{interval.end}])"
+            )
+        for word in range(base, base + words):
+            busy_until[word] = interval.end
+        mapping[reg] = gpr(base, reg.width)
+        highest_word = max(highest_word, base + words - 1)
+
+    lowered = rename_registers(kernel, mapping)
+    lowered.validate()
+    return LinearScanResult(
+        kernel=lowered, mapping=mapping, words_used=highest_word + 1
+    )
+
+
+def _find_free_run(
+    busy_until: List[Optional[int]],
+    position: int,
+    words: int,
+    max_words: int,
+) -> Optional[int]:
+    """Lowest base index of ``words`` consecutive free words."""
+    run = 0
+    for word in range(max_words):
+        occupied_to = busy_until[word]
+        if occupied_to is None or occupied_to < position:
+            run += 1
+            if run == words:
+                return word - words + 1
+        else:
+            run = 0
+    return None
+
+
+def register_pressure(kernel: Kernel) -> int:
+    """Maximum number of simultaneously live MRF words."""
+    intervals = compute_live_intervals(kernel)
+    events: List = []
+    for interval in intervals:
+        events.append((interval.start, interval.reg.num_words))
+        events.append((interval.end + 1, -interval.reg.num_words))
+    events.sort()
+    live = 0
+    peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak

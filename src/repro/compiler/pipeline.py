@@ -1,0 +1,55 @@
+"""The full compilation pipeline: schedule -> lower -> allocate.
+
+``compile_kernel`` glues the earlier compiler stages to the paper's
+hierarchy allocator, producing a kernel whose operands are annotated
+with hierarchy levels and whose registers fit the 32-word MRF:
+
+1. optional intra-block rescheduling (Section 7);
+2. linear-scan lowering of virtual registers to architectural names
+   (the "register allocated" input form of Section 5.1);
+3. strand partitioning + LRF/ORF allocation (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..alloc.allocator import (
+    AllocationConfig,
+    AllocationResult,
+    allocate_kernel,
+)
+from ..ir.kernel import Kernel
+from .linear_scan import LinearScanResult, run_linear_scan
+from .schedule import ScheduleStrategy, schedule_kernel
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by the pipeline."""
+
+    kernel: Kernel
+    linear_scan: LinearScanResult
+    allocation: AllocationResult
+
+
+def compile_kernel(
+    kernel: Kernel,
+    config: Optional[AllocationConfig] = None,
+    strategy: Optional[ScheduleStrategy] = None,
+    max_words: int = 32,
+) -> CompileResult:
+    """Compile a (possibly virtual-register) kernel end to end."""
+    if config is None:
+        config = AllocationConfig.best_paper_config()
+    staged = kernel
+    if strategy is not None:
+        staged = schedule_kernel(staged, strategy)
+    lowered = run_linear_scan(staged, max_words=max_words)
+    allocation = allocate_kernel(lowered.kernel, config)
+    return CompileResult(
+        kernel=lowered.kernel,
+        linear_scan=lowered,
+        allocation=allocation,
+    )

@@ -1,0 +1,58 @@
+"""Register renaming: apply a register map to a kernel.
+
+Shared by the linear-scan lowering (virtual -> architectural names) and
+by loop unrolling (fresh names for per-copy temporaries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Instruction, Operand
+from ..ir.kernel import Kernel
+from ..ir.registers import Register
+
+
+def rename_registers(
+    kernel: Kernel, mapping: Dict[Register, Register]
+) -> Kernel:
+    """A new kernel with every register replaced per ``mapping``.
+
+    Registers absent from the mapping keep their names.  Annotations
+    are not carried over (renaming invalidates them).
+    """
+    blocks: List[BasicBlock] = []
+    for block in kernel.blocks:
+        new_block = BasicBlock(block.label)
+        for instruction in block.instructions:
+            new_block.append(rename_instruction(instruction, mapping))
+        blocks.append(new_block)
+    live_in = tuple(mapping.get(reg, reg) for reg in kernel.live_in)
+    return Kernel(kernel.name, blocks, live_in=live_in)
+
+
+def rename_instruction(
+    instruction: Instruction, mapping: Dict[Register, Register]
+) -> Instruction:
+    """A fresh (annotation-free) copy with registers renamed."""
+
+    def map_operand(operand: Operand) -> Operand:
+        if isinstance(operand, Register):
+            return mapping.get(operand, operand)
+        return operand
+
+    dst = instruction.dst
+    if dst is not None:
+        dst = mapping.get(dst, dst)
+    guard = instruction.guard
+    if guard is not None:
+        guard = mapping.get(guard, guard)
+    return Instruction(
+        opcode=instruction.opcode,
+        dst=dst,
+        srcs=tuple(map_operand(src) for src in instruction.srcs),
+        guard=guard,
+        guard_sense=instruction.guard_sense,
+        target=instruction.target,
+    )

@@ -1,0 +1,222 @@
+"""Intra-block instruction scheduling (Section 7, "Instruction
+Scheduling").
+
+Two strategies, both dependence-safe reorderings within basic blocks:
+
+* ``hoist_long_latency`` — issue global loads and texture fetches (and
+  the address arithmetic feeding them) as early as possible.  Combined
+  with loop unrolling this implements the Section 6.4 prescription for
+  Reduction/ScalarProd: all long-latency operations issue at the top of
+  the body, so the warp deschedules once per unrolled body instead of
+  once per original iteration, and the rest of the body stays resident
+  to use the LRF/ORF.
+* ``shorten_lifetimes`` — greedy list scheduling that prefers the ready
+  instruction whose register operands were produced most recently,
+  shrinking producer-consumer distances and therefore ORF/LRF
+  occupancy (the paper's first rescheduling idealisation).
+
+Safety rules: true/anti/output register and predicate dependences are
+respected; memory operations keep their relative order among
+themselves (no alias analysis); control-flow instructions stay last.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Instruction, Opcode
+from ..ir.kernel import Kernel
+from ..ir.registers import Register
+
+_MEMORY_OPS = {
+    Opcode.LDG, Opcode.STG, Opcode.LDS, Opcode.STS, Opcode.TEX,
+}
+
+
+class ScheduleStrategy(enum.Enum):
+    HOIST_LONG_LATENCY = "hoist_long_latency"
+    SHORTEN_LIFETIMES = "shorten_lifetimes"
+
+
+def schedule_kernel(
+    kernel: Kernel, strategy: ScheduleStrategy
+) -> Kernel:
+    """A new kernel with every block rescheduled under ``strategy``."""
+    blocks = [
+        _schedule_block(block, strategy) for block in kernel.blocks
+    ]
+    scheduled = Kernel(kernel.name, blocks, live_in=kernel.live_in)
+    scheduled.validate()
+    return scheduled
+
+
+# ---------------------------------------------------------------------------
+# dependence graph
+# ---------------------------------------------------------------------------
+
+
+def _reads_of(instruction: Instruction) -> List[Register]:
+    regs = [
+        src for src in instruction.srcs if isinstance(src, Register)
+    ]
+    if instruction.guard is not None:
+        regs.append(instruction.guard)
+    return regs
+
+
+def _build_dependences(
+    instructions: Sequence[Instruction],
+) -> List[Set[int]]:
+    """predecessors[i] = indices that must issue before instruction i."""
+    predecessors: List[Set[int]] = [set() for _ in instructions]
+    last_def: Dict[Register, int] = {}
+    last_uses: Dict[Register, List[int]] = {}
+    last_memory: Optional[int] = None
+
+    for index, instruction in enumerate(instructions):
+        for reg in _reads_of(instruction):
+            if reg in last_def:
+                predecessors[index].add(last_def[reg])  # RAW
+        written = instruction.dst
+        if written is not None:
+            if written in last_def:
+                predecessors[index].add(last_def[written])  # WAW
+            for use in last_uses.get(written, ()):
+                predecessors[index].add(use)  # WAR
+        if instruction.opcode in _MEMORY_OPS:
+            if last_memory is not None:
+                predecessors[index].add(last_memory)
+            last_memory = index
+        if instruction.opcode.is_branch or instruction.opcode.is_exit:
+            predecessors[index].update(range(index))
+        for reg in _reads_of(instruction):
+            last_uses.setdefault(reg, []).append(index)
+        if written is not None:
+            last_def[written] = index
+            last_uses[written] = []
+        predecessors[index].discard(index)
+    return predecessors
+
+
+# ---------------------------------------------------------------------------
+# list scheduling
+# ---------------------------------------------------------------------------
+
+
+def _schedule_block(
+    block: BasicBlock, strategy: ScheduleStrategy
+) -> BasicBlock:
+    instructions = block.instructions
+    if len(instructions) <= 2:
+        return _copy_block(block, list(range(len(instructions))))
+    predecessors = _build_dependences(instructions)
+    order = _list_schedule(instructions, predecessors, strategy)
+    return _copy_block(block, order)
+
+
+def _copy_block(block: BasicBlock, order: Sequence[int]) -> BasicBlock:
+    new_block = BasicBlock(block.label)
+    for index in order:
+        original = block.instructions[index]
+        new_block.append(
+            Instruction(
+                opcode=original.opcode,
+                dst=original.dst,
+                srcs=original.srcs,
+                guard=original.guard,
+                guard_sense=original.guard_sense,
+                target=original.target,
+            )
+        )
+    return new_block
+
+
+def _list_schedule(
+    instructions: Sequence[Instruction],
+    predecessors: List[Set[int]],
+    strategy: ScheduleStrategy,
+) -> List[int]:
+    remaining_deps = [set(p) for p in predecessors]
+    successors: List[Set[int]] = [set() for _ in instructions]
+    for index, preds in enumerate(predecessors):
+        for pred in preds:
+            successors[pred].add(index)
+
+    hoist_set = (
+        _long_latency_slice(instructions, predecessors)
+        if strategy is ScheduleStrategy.HOIST_LONG_LATENCY
+        else set()
+    )
+
+    produced_at: Dict[Register, int] = {}
+    ready = [i for i, deps in enumerate(remaining_deps) if not deps]
+    order: List[int] = []
+
+    while ready:
+        index = _pick(
+            ready, instructions, strategy, hoist_set, produced_at,
+            len(order),
+        )
+        ready.remove(index)
+        order.append(index)
+        written = instructions[index].dst
+        if written is not None:
+            produced_at[written] = len(order) - 1
+        for succ in successors[index]:
+            remaining_deps[succ].discard(index)
+            if not remaining_deps[succ]:
+                ready.append(succ)
+    if len(order) != len(instructions):  # pragma: no cover - safety net
+        raise RuntimeError("dependence cycle in list scheduler")
+    return order
+
+
+def _long_latency_slice(
+    instructions: Sequence[Instruction],
+    predecessors: List[Set[int]],
+) -> Set[int]:
+    """Long-latency instructions plus their transitive producers."""
+    in_slice: Set[int] = {
+        index
+        for index, instruction in enumerate(instructions)
+        if instruction.is_long_latency
+    }
+    changed = True
+    while changed:
+        changed = False
+        for index in list(in_slice):
+            for pred in predecessors[index]:
+                if pred not in in_slice:
+                    in_slice.add(pred)
+                    changed = True
+    return in_slice
+
+
+def _pick(
+    ready: List[int],
+    instructions: Sequence[Instruction],
+    strategy: ScheduleStrategy,
+    hoist_set: Set[int],
+    produced_at: Dict[Register, int],
+    cycle: int,
+) -> int:
+    if strategy is ScheduleStrategy.HOIST_LONG_LATENCY:
+        # Long-latency slice first (program order within the slice),
+        # then everything else in program order.
+        slice_ready = [index for index in ready if index in hoist_set]
+        if slice_ready:
+            return min(slice_ready)
+        return min(ready)
+
+    # SHORTEN_LIFETIMES: prefer the instruction whose register inputs
+    # were produced most recently; break ties by program order.
+    def freshness(index: int) -> Tuple[int, int]:
+        reads = _reads_of(instructions[index])
+        latest = max(
+            (produced_at.get(reg, -1) for reg in reads), default=-1
+        )
+        return (-latest, index)
+
+    return min(ready, key=freshness)

@@ -1,0 +1,405 @@
+"""Loop unrolling (the optimisation Section 6.4 prescribes).
+
+The paper's worst benchmarks — Reduction and ScalarProd — are tight
+global-load loops: "The best way to optimize these benchmarks is to
+unroll the inner loop and issue all of the long latency instructions
+at the beginning of the loop.  This strategy would allow the rest of
+the loop to remain resident and make use of the LRF and ORF."
+
+``unroll_loop`` duplicates a single-block counted loop body ``factor``
+times.  Each copy keeps its own trip-count check (no divisibility
+assumption): copies 1..k-1 exit forward to the loop's fall-through
+block when the counter runs out; only the last copy branches backward.
+Per-copy temporaries are renamed to fresh registers so a subsequent
+scheduling pass (``repro.compiler.schedule``) can hoist all the loads
+to the top of the unrolled body — turning k deschedules per k
+iterations into one.
+
+The transform recognises the canonical counted-loop shape produced by
+the workload generators and the examples::
+
+    header:                      ; sole block of the loop
+        ...body...
+        iadd COUNTER, COUNTER, -1
+        setp P, 0, COUNTER
+        @P bra header
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.liveness import LivenessAnalysis
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Immediate, Instruction, Opcode
+from ..ir.kernel import Kernel
+from ..ir.registers import Register, gpr
+from .rename import rename_instruction
+
+
+class UnrollError(ValueError):
+    """The named block is not an unrollable counted loop."""
+
+
+@dataclass
+class _LoopShape:
+    block_index: int
+    block: BasicBlock
+    counter: Register
+    #: Body instructions (everything before the decrement).
+    body: List[Instruction]
+    #: The decrement / setp / bra tail.
+    tail: List[Instruction]
+
+
+def unroll_loop(
+    kernel: Kernel, header_label: str, factor: int
+) -> Kernel:
+    """Return a new kernel with the given loop unrolled ``factor``x."""
+    if factor < 2:
+        raise UnrollError("unroll factor must be >= 2")
+    shape = _match_loop(kernel, header_label)
+    carried = _loop_carried_registers(kernel, shape)
+    fresh = _FreshRegisters(kernel)
+
+    blocks: List[BasicBlock] = []
+    for index, block in enumerate(kernel.blocks):
+        if index != shape.block_index:
+            blocks.append(block)
+            continue
+        blocks.extend(
+            _build_unrolled(kernel, shape, carried, fresh, factor)
+        )
+    unrolled = Kernel(kernel.name, blocks, live_in=kernel.live_in)
+    unrolled.validate()
+    return unrolled
+
+
+# ---------------------------------------------------------------------------
+# matching
+# ---------------------------------------------------------------------------
+
+
+def _match_loop(kernel: Kernel, header_label: str) -> _LoopShape:
+    block_index = kernel.block_index(header_label)
+    block = kernel.blocks[block_index]
+    instructions = block.instructions
+    if len(instructions) < 4:
+        raise UnrollError(f"{header_label}: too short to be a loop body")
+    bra = instructions[-1]
+    if (
+        bra.opcode is not Opcode.BRA
+        or bra.target != header_label
+        or bra.guard is None
+    ):
+        raise UnrollError(
+            f"{header_label}: must end with a guarded branch to itself"
+        )
+    setp = instructions[-2]
+    if setp.opcode is not Opcode.SETP or setp.dst != bra.guard:
+        raise UnrollError(
+            f"{header_label}: branch guard must come from the preceding "
+            "setp"
+        )
+    counter_operand = setp.srcs[1]
+    if not isinstance(counter_operand, Register):
+        raise UnrollError(f"{header_label}: setp must test a register")
+    dec = instructions[-3]
+    if (
+        dec.opcode is not Opcode.IADD
+        or dec.dst != counter_operand
+        or dec.srcs[0] != counter_operand
+    ):
+        raise UnrollError(
+            f"{header_label}: counter must be decremented by an iadd "
+            "immediately before the test"
+        )
+    # Only single-block self-loops are handled.
+    for other_index in range(len(kernel.blocks)):
+        if other_index == block_index:
+            continue
+        target = kernel.blocks[other_index].branch_target
+        if target == header_label and kernel.is_backward_edge(
+            other_index, block_index
+        ):
+            raise UnrollError(
+                f"{header_label}: multiple backward branches target the "
+                "loop"
+            )
+    return _LoopShape(
+        block_index=block_index,
+        block=block,
+        counter=counter_operand,
+        body=list(instructions[:-3]),
+        tail=list(instructions[-3:]),
+    )
+
+
+def _loop_carried_registers(
+    kernel: Kernel, shape: _LoopShape
+) -> Set[Register]:
+    """Registers whose values cross iteration boundaries (must keep
+    their architectural names in every copy)."""
+    cfg = ControlFlowGraph(kernel)
+    liveness = LivenessAnalysis(kernel, cfg)
+    return set(liveness.live_in[shape.block_index]) | {shape.counter}
+
+
+class _FreshRegisters:
+    """Allocates register indices unused anywhere in the kernel."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        used = kernel.registers_used()
+        self._next = (
+            max((r.index + r.num_words for r in used), default=0)
+        )
+
+    def fresh(self, width: int = 32) -> Register:
+        reg = gpr(self._next, width)
+        self._next += reg.num_words
+        return reg
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+
+def _build_unrolled(
+    kernel: Kernel,
+    shape: _LoopShape,
+    carried: Set[Register],
+    fresh: _FreshRegisters,
+    factor: int,
+) -> List[BasicBlock]:
+    header_label = shape.block.label
+    exit_label = _exit_label(kernel, shape)
+    blocks: List[BasicBlock] = []
+
+    for copy in range(factor):
+        label = header_label if copy == 0 else f"{header_label}__u{copy}"
+        block = BasicBlock(label)
+        renames: Dict[Register, Register] = {}
+        for instruction in shape.body:
+            written = instruction.gpr_write()
+            if written is not None and written not in carried:
+                renames.setdefault(written, fresh.fresh(written.width))
+            block.append(rename_instruction(instruction, renames))
+        dec, setp, bra = shape.tail
+        block.append(rename_instruction(dec, {}))
+        block.append(rename_instruction(setp, {}))
+        if copy == factor - 1:
+            # Final copy: the backward branch.
+            block.append(
+                Instruction(
+                    Opcode.BRA,
+                    None,
+                    (),
+                    guard=bra.guard,
+                    guard_sense=bra.guard_sense,
+                    target=header_label,
+                )
+            )
+        else:
+            # Early copies exit forward when the counter runs out.
+            block.append(
+                Instruction(
+                    Opcode.BRA,
+                    None,
+                    (),
+                    guard=bra.guard,
+                    guard_sense=not bra.guard_sense,
+                    target=exit_label,
+                )
+            )
+        blocks.append(block)
+    return blocks
+
+
+def _exit_label(kernel: Kernel, shape: _LoopShape) -> str:
+    next_index = shape.block_index + 1
+    if next_index >= len(kernel.blocks):
+        raise UnrollError(
+            f"{shape.block.label}: loop has no fall-through exit block"
+        )
+    return kernel.blocks[next_index].label
+
+
+# ---------------------------------------------------------------------------
+# fused unrolling (Section 6.4's Reduction/ScalarProd prescription)
+# ---------------------------------------------------------------------------
+
+
+def unroll_loop_fused(
+    kernel: Kernel, header_label: str, factor: int
+) -> Kernel:
+    """Unroll ``factor``x into a *single* loop body with one trip test.
+
+    Induction variables (loop-carried registers with exactly one body
+    definition of the form ``iadd V, V, imm``) are strength-reduced:
+    copy *i* reads a materialised ``V + i*step`` and a single combined
+    update runs at the end of the body.  This removes the serial
+    pointer chain between copies, so a subsequent
+    ``HOIST_LONG_LATENCY`` schedule can issue every load at the top of
+    the body — the paper's prescription for Reduction and ScalarProd
+    (Section 6.4): one deschedule per ``factor`` iterations and a body
+    that stays resident to use the LRF and ORF.
+
+    **Precondition:** the dynamic trip count must be a multiple of
+    ``factor`` (the classic fused-unroll contract; no remainder loop is
+    generated).  Non-divisible trip counts over-execute the tail.
+    """
+    if factor < 2:
+        raise UnrollError("unroll factor must be >= 2")
+    shape = _match_loop(kernel, header_label)
+    carried = _loop_carried_registers(kernel, shape)
+    fresh = _FreshRegisters(kernel)
+    inductions = _induction_variables(shape, carried)
+
+    header_label = shape.block.label
+    block = BasicBlock(header_label)
+
+    for copy in range(factor):
+        renames: Dict[Register, Register] = {}
+        #: (induction reg, accumulated offset) -> materialised temp.
+        materialised: Dict[Tuple[Register, int], Register] = {}
+        updates_seen: Dict[Register, int] = {reg: 0 for reg in inductions}
+        for instruction in shape.body:
+            if _is_induction_update(instruction, inductions):
+                updates_seen[instruction.dst] += 1
+                continue  # folded into the combined update below
+            replaced = _replace_induction_uses(
+                instruction, inductions, updates_seen, copy,
+                materialised, fresh, block,
+            )
+            written = replaced.gpr_write()
+            if written is not None and written not in carried:
+                renames.setdefault(written, fresh.fresh(written.width))
+            block.append(rename_instruction(replaced, renames))
+
+    # Combined induction updates (including the counter).
+    for reg, step in inductions.items():
+        if reg == shape.counter:
+            continue
+        block.append(
+            Instruction(Opcode.IADD, reg, (reg, Immediate(step * factor)))
+        )
+    dec, setp, bra = shape.tail
+    counter_step = inductions.get(shape.counter, -1)
+    block.append(
+        Instruction(
+            Opcode.IADD,
+            shape.counter,
+            (shape.counter, Immediate(counter_step * factor)),
+        )
+    )
+    block.append(rename_instruction(setp, {}))
+    block.append(
+        Instruction(
+            Opcode.BRA,
+            None,
+            (),
+            guard=bra.guard,
+            guard_sense=bra.guard_sense,
+            target=header_label,
+        )
+    )
+
+    blocks: List[BasicBlock] = []
+    for index, original in enumerate(kernel.blocks):
+        blocks.append(
+            block if index == shape.block_index else original
+        )
+    fused = Kernel(kernel.name, blocks, live_in=kernel.live_in)
+    fused.validate()
+    return fused
+
+
+def _induction_variables(
+    shape: _LoopShape, carried: Set[Register]
+) -> Dict[Register, int]:
+    """Carried registers with exactly one ``iadd V, V, imm`` body def.
+
+    Returns reg -> per-iteration step.  The counter's decrement lives
+    in the tail and is always included.
+    """
+    defs: Dict[Register, List[Instruction]] = {}
+    for instruction in shape.body:
+        written = instruction.gpr_write()
+        if written is not None:
+            defs.setdefault(written, []).append(instruction)
+    result: Dict[Register, int] = {}
+    for reg, reg_defs in defs.items():
+        if reg not in carried or len(reg_defs) != 1:
+            continue
+        instruction = reg_defs[0]
+        if (
+            instruction.opcode is Opcode.IADD
+            and instruction.guard is None
+            and instruction.srcs[0] == reg
+            and isinstance(instruction.srcs[1], Immediate)
+        ):
+            result[reg] = int(instruction.srcs[1].value)
+    # The counter (decremented in the tail).
+    dec = shape.tail[0]
+    result[shape.counter] = int(dec.srcs[1].value)
+    return result
+
+
+def _is_induction_update(
+    instruction: Instruction, inductions: Dict[Register, int]
+) -> bool:
+    written = instruction.gpr_write()
+    return (
+        written is not None
+        and written in inductions
+        and instruction.opcode is Opcode.IADD
+        and instruction.srcs[0] == written
+        and isinstance(instruction.srcs[1], Immediate)
+    )
+
+
+def _replace_induction_uses(
+    instruction: Instruction,
+    inductions: Dict[Register, int],
+    updates_seen: Dict[Register, int],
+    copy: int,
+    materialised: Dict[Tuple[Register, int], Register],
+    fresh: _FreshRegisters,
+    block: BasicBlock,
+) -> Instruction:
+    """Rewrite reads of induction variables to materialised offsets."""
+    mapping: Dict[Register, Register] = {}
+    for src in instruction.srcs:
+        if not isinstance(src, Register) or src not in inductions:
+            continue
+        step = inductions[src]
+        offset = (copy + updates_seen.get(src, 0)) * step
+        if offset == 0:
+            continue
+        key = (src, offset)
+        temp = materialised.get(key)
+        if temp is None:
+            temp = fresh.fresh(src.width)
+            block.append(
+                Instruction(Opcode.IADD, temp, (src, Immediate(offset)))
+            )
+            materialised[key] = temp
+        mapping[src] = temp
+    if not mapping:
+        return instruction
+    # Only source reads are rewritten; an induction variable can never
+    # be this instruction's destination here (updates were filtered).
+    return Instruction(
+        opcode=instruction.opcode,
+        dst=instruction.dst,
+        srcs=tuple(
+            mapping.get(src, src) if isinstance(src, Register) else src
+            for src in instruction.srcs
+        ),
+        guard=instruction.guard,
+        guard_sense=instruction.guard_sense,
+        target=instruction.target,
+    )

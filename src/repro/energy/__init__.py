@@ -1,0 +1,24 @@
+"""Energy model and accounting (Section 5.2, Tables 3-4)."""
+
+from .accounting import (
+    EnergyBreakdown,
+    compute_energy,
+    energy_savings,
+    normalized_energy,
+)
+from .chip_power import ChipPowerResult, chip_power_savings
+from .encoding import EncodingOverheadResult, encoding_overhead
+from .model import EnergyModel, EnergyModelError
+
+__all__ = [
+    "ChipPowerResult",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyModelError",
+    "EncodingOverheadResult",
+    "chip_power_savings",
+    "compute_energy",
+    "encoding_overhead",
+    "energy_savings",
+    "normalized_energy",
+]

@@ -1,0 +1,92 @@
+"""Turning access counts into energy (Figures 13-15).
+
+``compute_energy`` combines an :class:`AccessCounters` with an
+:class:`EnergyModel` into a per-level access/wire breakdown;
+``normalized_energy`` divides by the single-level-MRF baseline, which is
+how every energy figure in the paper is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..hierarchy.counters import AccessCounters
+from ..levels import ALL_LEVELS, Level
+from .model import EnergyModel
+
+
+@dataclass
+class EnergyBreakdown:
+    """Access and wire energy (pJ) per hierarchy level."""
+
+    access_pj: Dict[Level, float] = field(
+        default_factory=lambda: {level: 0.0 for level in ALL_LEVELS}
+    )
+    wire_pj: Dict[Level, float] = field(
+        default_factory=lambda: {level: 0.0 for level in ALL_LEVELS}
+    )
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.access_pj.values()) + sum(self.wire_pj.values())
+
+    def level_total(self, level: Level) -> float:
+        return self.access_pj[level] + self.wire_pj[level]
+
+    def normalized_by(self, baseline_pj: float) -> "EnergyBreakdown":
+        """All components divided by a baseline total."""
+        if baseline_pj <= 0:
+            raise ValueError("baseline energy must be positive")
+        result = EnergyBreakdown()
+        for level in ALL_LEVELS:
+            result.access_pj[level] = self.access_pj[level] / baseline_pj
+            result.wire_pj[level] = self.wire_pj[level] / baseline_pj
+        return result
+
+
+def compute_energy(
+    counters: AccessCounters, model: EnergyModel
+) -> EnergyBreakdown:
+    """Energy of a set of hierarchy accesses under a model."""
+    breakdown = EnergyBreakdown()
+    for (level, is_read, shared_unit), count in counters.items():
+        if count == 0:
+            continue
+        breakdown.access_pj[level] += count * model.access_energy(
+            level, is_read
+        )
+        breakdown.wire_pj[level] += count * model.wire_energy(
+            level, shared_unit
+        )
+    return breakdown
+
+
+def normalized_energy(
+    counters: AccessCounters,
+    baseline: AccessCounters,
+    model: EnergyModel,
+    baseline_model: EnergyModel = None,
+) -> float:
+    """Total energy normalized to the single-level baseline (Fig 13).
+
+    The baseline is evaluated with MRF energies only (its counters only
+    touch the MRF), so its model's ORF size is irrelevant; pass
+    ``baseline_model`` to override regardless.
+    """
+    if baseline_model is None:
+        baseline_model = model
+    total = compute_energy(counters, model).total_pj
+    baseline_total = compute_energy(baseline, baseline_model).total_pj
+    if baseline_total <= 0:
+        raise ValueError("baseline has no accesses")
+    return total / baseline_total
+
+
+def energy_savings(
+    counters: AccessCounters,
+    baseline: AccessCounters,
+    model: EnergyModel,
+) -> float:
+    """Fractional savings vs the baseline (paper headline: 0.54)."""
+    return 1.0 - normalized_energy(counters, baseline, model)

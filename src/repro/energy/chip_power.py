@@ -1,0 +1,40 @@
+"""High-level GPU power model (Section 6.4).
+
+The paper translates register-file energy savings into SM- and
+chip-level dynamic power savings using its previously proposed GPU
+power model [11]: the register file consumes 15-20% of SM dynamic
+power.  Their 54% register-file saving maps to an 8.3% SM dynamic power
+reduction and a 5.8% chip-wide reduction, which fixes the two scaling
+fractions used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import tables
+
+
+@dataclass(frozen=True)
+class ChipPowerResult:
+    register_file_savings: float
+    sm_dynamic_power_savings: float
+    chip_dynamic_power_savings: float
+
+
+def chip_power_savings(
+    register_file_savings: float,
+    register_file_fraction_of_sm: float = (
+        tables.REGISTER_FILE_FRACTION_OF_SM_POWER
+    ),
+    sm_fraction_of_chip: float = tables.SM_FRACTION_OF_CHIP_POWER,
+) -> ChipPowerResult:
+    """Scale a register-file saving to SM and chip dynamic power."""
+    if not 0.0 <= register_file_savings <= 1.0:
+        raise ValueError("register_file_savings must be in [0, 1]")
+    sm_savings = register_file_savings * register_file_fraction_of_sm
+    return ChipPowerResult(
+        register_file_savings=register_file_savings,
+        sm_dynamic_power_savings=sm_savings,
+        chip_dynamic_power_savings=sm_savings * sm_fraction_of_chip,
+    )

@@ -1,0 +1,75 @@
+"""Instruction-encoding overhead model (Section 6.5).
+
+The SW-managed hierarchy changes instruction encodings in two ways:
+operand hierarchy levels (folded into unused register-namespace space on
+current GPUs, so zero extra bits in the optimistic case) and one extra
+bit per instruction marking strand endpoints.  The paper's high-level
+model assumes added bits increase fetch+decode energy linearly, with
+fetch+decode at ~10% of chip-wide dynamic power.
+
+Paper numbers reproduced by this module:
+
+* optimistic (1 extra bit): +3% fetch/decode energy, +0.3% chip-wide,
+  leaving a net 5.5% chip-wide saving from the 54% register file saving;
+* pessimistic (5 extra bits: 4 namespace bits + 1 strand bit): +15%
+  fetch/decode, +1.5% chip-wide, net >= 4.3% chip-wide saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import tables
+
+
+@dataclass(frozen=True)
+class EncodingOverheadResult:
+    extra_bits: int
+    fetch_decode_increase: float
+    chip_wide_overhead: float
+    register_file_savings: float
+    chip_wide_gross_savings: float
+    chip_wide_net_savings: float
+
+
+def encoding_overhead(
+    extra_bits: int,
+    register_file_savings: float,
+    baseline_bits: int = tables.BASELINE_ENCODING_BITS,
+    fetch_decode_fraction: float = tables.FETCH_DECODE_FRACTION_OF_CHIP_POWER,
+    register_file_chip_fraction: float = None,
+) -> EncodingOverheadResult:
+    """Chip-wide net savings after encoding overhead.
+
+    Parameters
+    ----------
+    extra_bits:
+        Bits added to every instruction (1 optimistic, 5 pessimistic).
+    register_file_savings:
+        Fractional register file energy saving (e.g. 0.54).
+    register_file_chip_fraction:
+        Fraction of chip dynamic power spent in register files; defaults
+        to the paper's model (register file is ~15.4% of SM power, SM
+        power is ~70% of chip power, giving the paper's 5.8% chip-wide
+        saving for a 54% register file saving).
+    """
+    if extra_bits < 0:
+        raise ValueError("extra_bits must be >= 0")
+    if not 0.0 <= register_file_savings <= 1.0:
+        raise ValueError("register_file_savings must be in [0, 1]")
+    if register_file_chip_fraction is None:
+        register_file_chip_fraction = (
+            tables.REGISTER_FILE_FRACTION_OF_SM_POWER
+            * tables.SM_FRACTION_OF_CHIP_POWER
+        )
+    fetch_decode_increase = extra_bits / baseline_bits
+    chip_wide_overhead = fetch_decode_fraction * fetch_decode_increase
+    chip_wide_gross = register_file_savings * register_file_chip_fraction
+    return EncodingOverheadResult(
+        extra_bits=extra_bits,
+        fetch_decode_increase=fetch_decode_increase,
+        chip_wide_overhead=chip_wide_overhead,
+        register_file_savings=register_file_savings,
+        chip_wide_gross_savings=chip_wide_gross,
+        chip_wide_net_savings=chip_wide_gross - chip_wide_overhead,
+    )

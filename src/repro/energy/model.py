@@ -1,0 +1,156 @@
+"""The register-file energy model (Section 5.2).
+
+Energy per warp-level operand access decomposes into *access* energy
+(the storage array) and *wire* energy (moving 32 x 32-bit values between
+the array and the consuming/producing datapath).  Both depend on the
+hierarchy level; wire energy additionally depends on whether the private
+(ALU) or shared (SFU/MEM/TEX) datapath is on the other end, and ORF
+access energy depends on the ORF size (Table 3).
+
+All public methods return picojoules for one warp-wide access of one
+32-bit register operand.  Multi-word (64/128-bit) operands are accounted
+as multiple 32-bit accesses by the callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..levels import Level
+from . import tables
+
+
+class EnergyModelError(ValueError):
+    """Raised for physically impossible queries (e.g. shared-unit LRF)."""
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Parameterised energy model; defaults follow Tables 3 and 4.
+
+    Parameters
+    ----------
+    orf_entries:
+        ORF entries per thread (1-8); selects the Table 3 row.
+    split_lrf:
+        If True, model the split LRF (one bank per operand slot).  The
+        per-access energy equals the unified 1-entry LRF, but the wire
+        distance to the ALUs grows because three banks must be placed
+        (Section 6.4 discusses this tradeoff and finds LRF wire energy
+        under 1% of the baseline either way).
+    split_lrf_distance_mm:
+        ALU-to-LRF distance used when ``split_lrf`` is set.
+    """
+
+    orf_entries: int = 3
+    split_lrf: bool = False
+    split_lrf_distance_mm: float = 0.075
+    #: Per-128-bit access energies; override for sensitivity studies.
+    mrf_read_pj: float = tables.MRF_READ_PJ
+    mrf_write_pj: float = tables.MRF_WRITE_PJ
+    lrf_read_pj: float = tables.LRF_READ_PJ
+    lrf_write_pj: float = tables.LRF_WRITE_PJ
+    wire_pj_per_mm: float = tables.WIRE_PJ_PER_MM_32B
+    #: Multiplier on the Table 3 ORF energies (sensitivity studies).
+    orf_energy_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.orf_entries not in tables.ORF_ENERGY_PJ:
+            raise EnergyModelError(
+                f"no Table 3 row for ORF size {self.orf_entries}; "
+                f"valid sizes: {sorted(tables.ORF_ENERGY_PJ)}"
+            )
+
+    # -- access energy (storage array only) --------------------------------
+
+    def access_energy(self, level: Level, is_read: bool) -> float:
+        """pJ for one warp access (8 x 128-bit entries), array only."""
+        per_entry = self._per_entry_access(level, is_read)
+        return per_entry * tables.WARP_ENTRY_ACCESSES
+
+    def _per_entry_access(self, level: Level, is_read: bool) -> float:
+        if level is Level.MRF:
+            return self.mrf_read_pj if is_read else self.mrf_write_pj
+        if level is Level.ORF:
+            read_pj, write_pj = tables.ORF_ENERGY_PJ[self.orf_entries]
+            scaled = read_pj if is_read else write_pj
+            return scaled * self.orf_energy_scale
+        if level is Level.LRF:
+            return self.lrf_read_pj if is_read else self.lrf_write_pj
+        raise EnergyModelError(f"unknown level {level!r}")
+
+    # -- wire energy ---------------------------------------------------------
+
+    def wire_distance_mm(self, level: Level, shared_unit: bool) -> float:
+        """Distance between a hierarchy level and a datapath (Table 4)."""
+        if level is Level.MRF:
+            return (
+                tables.MRF_TO_SHARED_MM
+                if shared_unit
+                else tables.MRF_TO_PRIVATE_MM
+            )
+        if level is Level.ORF:
+            return (
+                tables.ORF_TO_SHARED_MM
+                if shared_unit
+                else tables.ORF_TO_PRIVATE_MM
+            )
+        if level is Level.LRF:
+            if shared_unit:
+                raise EnergyModelError(
+                    "the LRF is not reachable from the shared datapath "
+                    "(Section 3.2)"
+                )
+            if self.split_lrf:
+                return self.split_lrf_distance_mm
+            return tables.LRF_TO_PRIVATE_MM
+        raise EnergyModelError(f"unknown level {level!r}")
+
+    def wire_energy(self, level: Level, shared_unit: bool) -> float:
+        """pJ to move one warp operand (32 x 32 bits) to/from a level."""
+        distance = self.wire_distance_mm(level, shared_unit)
+        return (
+            self.wire_pj_per_mm * distance * tables.THREADS_PER_WARP
+        )
+
+    # -- combined (what the allocator's savings functions use) -------------
+
+    def read_energy(self, level: Level, shared_unit: bool = False) -> float:
+        """Total pJ (access + wire) for one warp operand read."""
+        return self.access_energy(level, True) + self.wire_energy(
+            level, shared_unit
+        )
+
+    def write_energy(self, level: Level, shared_unit: bool = False) -> float:
+        """Total pJ (access + wire) for one warp operand write."""
+        return self.access_energy(level, False) + self.wire_energy(
+            level, shared_unit
+        )
+
+    def with_orf_entries(self, orf_entries: int) -> "EnergyModel":
+        """A copy of this model with a different ORF size."""
+        from dataclasses import replace
+
+        return replace(self, orf_entries=orf_entries)
+
+    def scaled(
+        self,
+        mrf: float = 1.0,
+        wire: float = 1.0,
+        orf: float = 1.0,
+        lrf: float = 1.0,
+    ) -> "EnergyModel":
+        """A copy with component energies multiplied (sensitivity
+        studies: how far can the synthesis numbers move before the
+        paper's conclusions change?)."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            mrf_read_pj=self.mrf_read_pj * mrf,
+            mrf_write_pj=self.mrf_write_pj * mrf,
+            wire_pj_per_mm=self.wire_pj_per_mm * wire,
+            orf_energy_scale=self.orf_energy_scale * orf,
+            lrf_read_pj=self.lrf_read_pj * lrf,
+            lrf_write_pj=self.lrf_write_pj * lrf,
+        )

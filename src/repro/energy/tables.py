@@ -1,0 +1,76 @@
+"""Published energy-model constants (Tables 3 and 4 of the paper).
+
+The authors synthesised the ORF/LRF as 3R1W flip-flop arrays in a
+commercial 40 nm library at 1 GHz / 0.9 V and generated the MRF SRAM
+banks with a memory compiler (Section 5.2).  We use their published
+numbers verbatim; this module is pure data.
+
+Energies are per 128-bit access (one bank entry = one register for
+4 threads).  A full-warp operand access touches 8 such entries
+(32 threads x 32 bits), and warp-level wire energy moves 32 x 32-bit
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 3 — ORF read/write energy (pJ) per 128-bit access, keyed by the
+#: number of ORF entries per thread.
+ORF_ENERGY_PJ: Dict[int, Tuple[float, float]] = {
+    1: (0.7, 2.0),
+    2: (1.2, 3.8),
+    3: (1.2, 4.4),
+    4: (1.9, 6.1),
+    5: (2.0, 6.0),
+    6: (2.0, 6.7),
+    7: (2.4, 7.7),
+    8: (3.4, 10.9),
+}
+
+#: Table 4 — MRF access energy (pJ per 128-bit access).
+MRF_READ_PJ = 8.0
+MRF_WRITE_PJ = 11.0
+
+#: Table 4 — LRF access energy (pJ per 128-bit access).  Matches the
+#: 1-entry row of Table 3: the LRF is a 1-entry flip-flop array.
+LRF_READ_PJ = 0.7
+LRF_WRITE_PJ = 2.0
+
+#: Table 4 — wire energy for a 32-bit value (pJ per mm).
+WIRE_PJ_PER_MM_32B = 1.9
+
+#: Table 4 — wire distances (mm) from each level to the private (ALU)
+#: datapath and to the shared datapath (SFU/MEM/TEX).
+MRF_TO_PRIVATE_MM = 1.0
+ORF_TO_PRIVATE_MM = 0.2
+LRF_TO_PRIVATE_MM = 0.05
+MRF_TO_SHARED_MM = 1.0
+ORF_TO_SHARED_MM = 0.4
+#: The LRF is not reachable from the shared datapath (Section 3.2).
+
+#: Table 4 — remaining physical parameters (recorded for completeness).
+MRF_BANK_AREA_UM2 = 38_000.0
+WIRE_CAPACITANCE_FF_PER_MM = 300.0
+VOLTAGE_V = 0.9
+FREQUENCY_GHZ = 1.0
+
+#: Lanes per warp and 128-bit entries per warp-wide operand access.
+THREADS_PER_WARP = 32
+ENTRIES_PER_WARP_ACCESS = 4  # per 4-lane cluster; see note below
+#: A warp operand = 32 threads x 32 bits = 8 entries of 128 bits.
+WARP_ENTRY_ACCESSES = THREADS_PER_WARP * 32 // 128
+
+#: Section 6.4 — the paper's high-level GPU power model attributes
+#: 15-20% of SM dynamic power to the register file; their 54% register
+#: file saving equates to 8.3% of SM dynamic power and 5.8% chip-wide.
+REGISTER_FILE_FRACTION_OF_SM_POWER = 0.154
+SM_FRACTION_OF_CHIP_POWER = 0.70
+
+#: Section 6.5 — instruction fetch/decode/schedule is ~15% of chip-wide
+#: dynamic power; fetch+decode alone ~10%.
+FETCH_DECODE_FRACTION_OF_CHIP_POWER = 0.10
+#: Baseline instruction encoding width assumed by the linear-overhead
+#: model for added bits (a 3% fetch/decode increase for 1 added bit
+#: implies a ~33-bit baseline encoding budget; we follow that).
+BASELINE_ENCODING_BITS = 33

@@ -1,0 +1,101 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .divergence_study import (
+    DivergenceStudyResult,
+    format_divergence_study,
+    run_divergence_study,
+)
+from .encoding_study import (
+    EncodingStudyResult,
+    format_encoding_study,
+    run_encoding_study,
+)
+from .fig2 import Fig2Result, format_fig2, run_fig2
+from .fig11 import BreakdownPoint, Fig11Result, format_fig11, run_fig11
+from .fig12 import Fig12Result, format_fig12, run_fig12
+from .fig13 import Fig13Result, format_fig13, run_fig13
+from .fig14 import Fig14Result, format_fig14, run_fig14
+from .fig15 import Fig15Result, format_fig15, run_fig15
+from .limit_study import (
+    LimitStudyResult,
+    format_limit_study,
+    run_limit_study,
+)
+from .report import build_report, write_report
+from .scheduler_study import (
+    SchedulerStudyResult,
+    expanded_warp_inputs,
+    format_scheduler_study,
+    run_scheduler_study,
+)
+from .sensitivity import (
+    SensitivityResult,
+    format_sensitivity,
+    run_sensitivity_study,
+)
+from .suite_data import SuiteData
+from .timing_study import (
+    TimingStudyResult,
+    format_timing_study,
+    run_timing_study,
+)
+from .variable_orf import (
+    VariableOrfResult,
+    format_variable_orf,
+    run_variable_orf_study,
+)
+from .unroll_study import (
+    UnrollStudyResult,
+    format_unroll_study,
+    run_unroll_study,
+)
+
+__all__ = [
+    "BreakdownPoint",
+    "DivergenceStudyResult",
+    "EncodingStudyResult",
+    "Fig2Result",
+    "Fig11Result",
+    "Fig12Result",
+    "Fig13Result",
+    "Fig14Result",
+    "Fig15Result",
+    "LimitStudyResult",
+    "SchedulerStudyResult",
+    "SensitivityResult",
+    "SuiteData",
+    "TimingStudyResult",
+    "UnrollStudyResult",
+    "build_report",
+    "VariableOrfResult",
+    "expanded_warp_inputs",
+    "format_divergence_study",
+    "format_encoding_study",
+    "format_fig2",
+    "format_fig11",
+    "format_fig12",
+    "format_fig13",
+    "format_fig14",
+    "format_fig15",
+    "format_limit_study",
+    "format_scheduler_study",
+    "format_sensitivity",
+    "format_timing_study",
+    "format_unroll_study",
+    "format_variable_orf",
+    "run_divergence_study",
+    "run_encoding_study",
+    "run_fig2",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_limit_study",
+    "run_scheduler_study",
+    "run_sensitivity_study",
+    "run_timing_study",
+    "run_unroll_study",
+    "run_variable_orf_study",
+    "write_report",
+]

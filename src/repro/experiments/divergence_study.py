@@ -1,0 +1,144 @@
+"""Divergence robustness study.
+
+The paper evaluates warp-level register file traffic on reconstructed
+warp interleavings; branch divergence changes *which* instructions
+execute but not the per-access energy (banks are driven for the whole
+warp).  This study runs the branchy benchmarks twice — uniform warps
+vs warps whose lanes take different paths and trip counts — and
+compares the normalized energy of the best design, verifying each
+divergent trace per lane along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..alloc.allocator import allocate_kernel
+from ..energy.accounting import normalized_energy
+from ..sim.divergence import DivergentWarpInput
+from ..sim.runner import (
+    build_divergent_traces,
+    build_traces,
+    evaluate_traces,
+)
+from ..sim.schemes import BEST_SCHEME
+from ..sim.verify_divergent import verify_divergent_trace
+from ..workloads.suites import get_workload
+
+DEFAULT_BENCHMARKS = (
+    "mergesort", "eigenvalues", "needle", "sortingnetworks", "histogram",
+)
+
+
+@dataclass
+class DivergencePoint:
+    benchmark: str
+    uniform_energy: float
+    divergent_energy: float
+    divergent_instructions: int
+    uniform_instructions: int
+
+    @property
+    def delta(self) -> float:
+        return self.divergent_energy - self.uniform_energy
+
+
+@dataclass
+class DivergenceStudyResult:
+    points: List[DivergencePoint] = field(default_factory=list)
+
+    def max_abs_delta(self) -> float:
+        return max(
+            (abs(point.delta) for point in self.points), default=0.0
+        )
+
+
+def _divergent_inputs(spec, lanes: int = 8) -> List[DivergentWarpInput]:
+    inputs = []
+    for warp_index, template in enumerate(spec.warp_inputs):
+        threads = []
+        for lane in range(lanes):
+            values = dict(template.live_in_values)
+            for index, reg in enumerate(
+                sorted(values, key=lambda r: r.index)
+            ):
+                if index >= 1:
+                    values[reg] = values[reg] + lane * (5 + index)
+            threads.append(values)
+        inputs.append(
+            DivergentWarpInput(threads, max_instructions=200_000)
+        )
+    return inputs
+
+
+def run_divergence_study(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    lanes: int = 8,
+) -> DivergenceStudyResult:
+    result = DivergenceStudyResult()
+    scheme = BEST_SCHEME
+    model = scheme.energy_model()
+    for name in benchmarks:
+        spec = get_workload(name)
+        allocation = allocate_kernel(
+            spec.kernel, scheme.allocation_config()
+        )
+        uniform = build_traces(spec.kernel, spec.warp_inputs)
+        divergent = build_divergent_traces(
+            spec.kernel, _divergent_inputs(spec, lanes)
+        )
+        for trace in divergent.warp_traces:
+            verify_divergent_trace(
+                spec.kernel, allocation.partition, trace, lanes
+            )
+        uniform_eval = evaluate_traces(uniform, scheme)
+        divergent_eval = evaluate_traces(divergent, scheme)
+        result.points.append(
+            DivergencePoint(
+                benchmark=name,
+                uniform_energy=normalized_energy(
+                    uniform_eval.counters, uniform_eval.baseline, model
+                ),
+                divergent_energy=normalized_energy(
+                    divergent_eval.counters,
+                    divergent_eval.baseline,
+                    model,
+                ),
+                divergent_instructions=divergent.dynamic_instructions,
+                uniform_instructions=uniform.dynamic_instructions,
+            )
+        )
+    return result
+
+
+def format_divergence_study(result: DivergenceStudyResult) -> str:
+    lines: List[str] = []
+    lines.append(
+        "Divergence robustness: normalized energy, uniform vs "
+        "divergent warps (best design, per-lane verified)"
+    )
+    lines.append(
+        f"{'benchmark':<18}{'uniform':>9}{'divergent':>11}{'delta':>8}"
+        f"{'instr ratio':>13}"
+    )
+    for point in result.points:
+        ratio = (
+            point.divergent_instructions / point.uniform_instructions
+            if point.uniform_instructions
+            else 0.0
+        )
+        lines.append(
+            f"{point.benchmark:<18}"
+            f"{point.uniform_energy:>9.3f}"
+            f"{point.divergent_energy:>11.3f}"
+            f"{point.delta:>+8.3f}"
+            f"{ratio:>13.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "normalized energy is a per-access ratio, so divergence (which "
+        "changes the executed instruction mix, not per-access costs) "
+        f"moves it by at most {result.max_abs_delta():.3f}."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Instruction encoding overhead study (Section 6.5).
+
+Combines the measured best-configuration register file savings with the
+paper's fetch/decode energy model: the optimistic encoding costs one
+extra bit per instruction (the strand-end marker; hierarchy levels fit
+in unused register-namespace encodings), the pessimistic one costs five
+(four namespace bits plus the strand bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..energy.encoding import EncodingOverheadResult, encoding_overhead
+from ..sim.schemes import BEST_SCHEME
+from .suite_data import SuiteData
+
+
+@dataclass
+class EncodingStudyResult:
+    register_file_savings: float
+    optimistic: EncodingOverheadResult
+    pessimistic: EncodingOverheadResult
+
+
+def run_encoding_study(data: SuiteData) -> EncodingStudyResult:
+    savings = 1.0 - data.normalized_energy(BEST_SCHEME)
+    return EncodingStudyResult(
+        register_file_savings=savings,
+        optimistic=encoding_overhead(1, savings),
+        pessimistic=encoding_overhead(5, savings),
+    )
+
+
+def format_encoding_study(result: EncodingStudyResult) -> str:
+    lines: List[str] = []
+    lines.append("Section 6.5: instruction encoding overhead")
+    lines.append(
+        f"  measured register file savings: "
+        f"{100 * result.register_file_savings:.1f}% (paper 54%)"
+    )
+    for label, outcome, paper in (
+        ("optimistic (1 extra bit)", result.optimistic,
+         "+3% fetch/decode, 0.3% chip, net 5.5%"),
+        ("pessimistic (5 extra bits)", result.pessimistic,
+         "+15% fetch/decode, 1.5% chip, net >=4.3%"),
+    ):
+        lines.append(f"  {label}  [paper: {paper}]")
+        lines.append(
+            f"    fetch/decode energy increase: "
+            f"{100 * outcome.fetch_decode_increase:.1f}%"
+        )
+        lines.append(
+            f"    chip-wide overhead: "
+            f"{100 * outcome.chip_wide_overhead:.2f}%"
+        )
+        lines.append(
+            f"    chip-wide net savings: "
+            f"{100 * outcome.chip_wide_net_savings:.2f}%"
+        )
+    return "\n".join(lines)

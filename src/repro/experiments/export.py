@@ -1,0 +1,181 @@
+"""CSV export of experiment results.
+
+Each ``*_csv`` function renders one result dataclass as CSV text
+(plot-ready: one row per series point), and :func:`export_all` runs
+every experiment and writes the full artifact set to a directory —
+useful for regenerating the paper's figures in any plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Dict, List, Sequence
+
+from ..levels import Level
+from .fig2 import Fig2Result
+from .fig11 import Fig11Result
+from .fig12 import Fig12Result
+from .fig13 import Fig13Result
+from .fig14 import Fig14Result
+from .fig15 import Fig15Result
+from .limit_study import LimitStudyResult
+from .scheduler_study import SchedulerStudyResult
+from .unroll_study import UnrollStudyResult
+
+
+def _render(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def fig2_csv(result: Fig2Result) -> str:
+    rows: List[List] = []
+    for suite, histogram in list(result.per_suite.items()) + [
+        ("all", result.overall)
+    ]:
+        reads = histogram.read_count_fractions()
+        lifetimes = histogram.lifetime_fractions()
+        for bucket, fraction in reads.items():
+            rows.append([suite, "reads", bucket, f"{fraction:.6f}"])
+        for bucket, fraction in lifetimes.items():
+            rows.append([suite, "lifetime", bucket, f"{fraction:.6f}"])
+    return _render(["suite", "metric", "bucket", "fraction"], rows)
+
+
+def _breakdown_csv(series: Dict[str, List]) -> str:
+    rows: List[List] = []
+    for name, points in series.items():
+        for point in points:
+            for level in Level:
+                rows.append(
+                    [
+                        name,
+                        point.entries,
+                        level.value,
+                        f"{point.reads[level]:.6f}",
+                        f"{point.writes[level]:.6f}",
+                    ]
+                )
+    return _render(
+        ["series", "entries", "level", "reads_frac", "writes_frac"], rows
+    )
+
+
+def fig11_csv(result: Fig11Result) -> str:
+    return _breakdown_csv({"hw": result.hw, "sw": result.sw})
+
+
+def fig12_csv(result: Fig12Result) -> str:
+    return _breakdown_csv(
+        {
+            "hw": result.hw,
+            "sw": result.sw,
+            "sw_split": result.sw_split,
+        }
+    )
+
+
+def fig13_csv(result: Fig13Result) -> str:
+    rows = [
+        [name, entries, f"{energy:.6f}"]
+        for name, curve in result.curves.items()
+        for entries, energy in sorted(curve.items())
+    ]
+    return _render(["series", "entries", "normalized_energy"], rows)
+
+
+def fig14_csv(result: Fig14Result) -> str:
+    rows: List[List] = []
+    for point in result.points:
+        for level in Level:
+            rows.append(
+                [
+                    point.entries,
+                    level.value,
+                    f"{point.access[level]:.6f}",
+                    f"{point.wire[level]:.6f}",
+                ]
+            )
+    return _render(
+        ["entries", "level", "access_frac", "wire_frac"], rows
+    )
+
+
+def fig15_csv(result: Fig15Result) -> str:
+    rows = [
+        [name, f"{energy:.6f}"]
+        for name, energy in result.sorted_by_savings()
+    ]
+    return _render(["benchmark", "normalized_energy"], rows)
+
+
+def limit_study_csv(result: LimitStudyResult) -> str:
+    rows = [
+        [name, f"{energy:.6f}"]
+        for name, energy in result.summary().items()
+    ]
+    return _render(["variant", "normalized_energy"], rows)
+
+
+def scheduler_csv(result: SchedulerStudyResult) -> str:
+    rows = [
+        [name, active, f"{ipc:.6f}"]
+        for name, curves in sorted(result.ipc.items())
+        for active, ipc in sorted(curves.items())
+    ]
+    return _render(["benchmark", "active_warps", "ipc"], rows)
+
+
+def unroll_csv(result: UnrollStudyResult) -> str:
+    rows = [
+        [point.benchmark, point.variant, f"{point.normalized:.6f}"]
+        for point in result.points
+    ]
+    return _render(["benchmark", "variant", "normalized_energy"], rows)
+
+
+def export_all(
+    data,
+    directory,
+    include_slow: bool = True,
+) -> List[pathlib.Path]:
+    """Run every experiment on ``data`` and write CSVs to ``directory``.
+
+    Returns the written paths.  ``include_slow`` controls the limit
+    study (the most expensive driver).
+    """
+    from . import (
+        run_fig2,
+        run_fig11,
+        run_fig12,
+        run_fig13,
+        run_fig14,
+        run_fig15,
+        run_limit_study,
+    )
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "fig2.csv": fig2_csv(run_fig2(data)),
+        "fig11.csv": fig11_csv(run_fig11(data)),
+        "fig12.csv": fig12_csv(run_fig12(data)),
+        "fig13.csv": fig13_csv(run_fig13(data)),
+        "fig14.csv": fig14_csv(run_fig14(data)),
+        "fig15.csv": fig15_csv(run_fig15(data)),
+    }
+    if include_slow:
+        artifacts["limit_study.csv"] = limit_study_csv(
+            run_limit_study(data)
+        )
+    written: List[pathlib.Path] = []
+    for name, text in artifacts.items():
+        path = directory / name
+        path.write_text(text)
+        written.append(path)
+    return written

@@ -1,0 +1,119 @@
+"""Figure 11: reads/writes by level, two-level hierarchy, HW vs SW.
+
+Sweeps RFC/ORF entries per thread from 1 to 8 and reports, normalized
+to the single-level baseline, the fraction of reads and writes serviced
+by each level.  Paper observations (Section 6.1):
+
+* the HW RFC performs ~20% more reads than baseline (write-backs);
+* the SW scheme eliminates write-back reads entirely and slightly
+  reduces MRF reads at probable ORF sizes (2-5 entries);
+* the SW scheme writes the ORF ~20% less than the RFC (only values
+  worth caching are written).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..levels import Level
+from ..sim.schemes import Scheme, SchemeKind
+from .suite_data import SuiteData
+
+ENTRY_SWEEP = tuple(range(1, 9))
+
+
+@dataclass
+class BreakdownPoint:
+    """Read/write fractions (of baseline totals) per level, one config."""
+
+    entries: int
+    reads: Dict[Level, float]
+    writes: Dict[Level, float]
+
+    @property
+    def total_reads(self) -> float:
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> float:
+        return sum(self.writes.values())
+
+
+@dataclass
+class Fig11Result:
+    hw: List[BreakdownPoint] = field(default_factory=list)
+    sw: List[BreakdownPoint] = field(default_factory=list)
+
+    def point(self, scheme: str, entries: int) -> BreakdownPoint:
+        series = self.hw if scheme == "hw" else self.sw
+        for point in series:
+            if point.entries == entries:
+                return point
+        raise KeyError(f"no point for {scheme} entries={entries}")
+
+
+def _breakdown(data: SuiteData, scheme: Scheme) -> BreakdownPoint:
+    counters, baseline = data.aggregate(scheme)
+    total_reads = baseline.total_reads()
+    total_writes = baseline.total_writes()
+    return BreakdownPoint(
+        entries=scheme.entries_per_thread,
+        reads={
+            level: counters.reads(level) / total_reads for level in Level
+        },
+        writes={
+            level: counters.writes(level) / total_writes for level in Level
+        },
+    )
+
+
+def run_fig11(
+    data: SuiteData, sweep: Sequence[int] = ENTRY_SWEEP
+) -> Fig11Result:
+    result = Fig11Result()
+    for entries in sweep:
+        result.hw.append(
+            _breakdown(data, Scheme(SchemeKind.HW_TWO_LEVEL, entries))
+        )
+        result.sw.append(
+            _breakdown(data, Scheme(SchemeKind.SW_TWO_LEVEL, entries))
+        )
+    return result
+
+
+def format_fig11(result: Fig11Result) -> str:
+    lines: List[str] = []
+    for kind, series in (("HW (RFC)", result.hw), ("SW (ORF)", result.sw)):
+        lines.append(
+            f"Figure 11 — {kind}: % of baseline reads / writes by level"
+        )
+        lines.append(
+            f"{'entries':>8}{'rd RFC/ORF':>12}{'rd MRF':>9}{'rd tot':>9}"
+            f"{'wr RFC/ORF':>12}{'wr MRF':>9}{'wr tot':>9}"
+        )
+        for point in series:
+            lines.append(
+                f"{point.entries:>8}"
+                f"{100 * point.reads[Level.ORF]:>11.1f}%"
+                f"{100 * point.reads[Level.MRF]:>8.1f}%"
+                f"{100 * point.total_reads:>8.1f}%"
+                f"{100 * point.writes[Level.ORF]:>11.1f}%"
+                f"{100 * point.writes[Level.MRF]:>8.1f}%"
+                f"{100 * point.total_writes:>8.1f}%"
+            )
+        lines.append("")
+    hw3 = result.point("hw", 3)
+    sw3 = result.point("sw", 3)
+    extra_hw_reads = hw3.total_reads - sw3.total_reads
+    lines.append(
+        "paper: RFC performs ~20% more reads than SW (write-backs) -> "
+        f"measured {100 * extra_hw_reads:.1f}% more at 3 entries"
+    )
+    if hw3.writes[Level.ORF] > 0:
+        write_reduction = 1 - sw3.writes[Level.ORF] / hw3.writes[Level.ORF]
+        lines.append(
+            "paper: SW reduces ORF writes by ~20% vs RFC -> measured "
+            f"{100 * write_reduction:.1f}%"
+        )
+    return "\n".join(lines)

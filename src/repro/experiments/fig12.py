@@ -1,0 +1,105 @@
+"""Figure 12: reads/writes by level, three-level hierarchy, HW vs SW.
+
+Same sweep as Figure 11 with the LRF added.  Paper observations
+(Sections 6.2-6.3):
+
+* despite its single entry per thread, the LRF captures ~30% of reads
+  under software control;
+* software management cuts overhead writes from ~40% to under 10%;
+* MRF writes rise slightly under SW control (control-flow uncertainty
+  forces some dual writes);
+* a split LRF increases LRF reads by ~20% over a unified LRF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..levels import Level
+from ..sim.schemes import Scheme, SchemeKind
+from .fig11 import ENTRY_SWEEP, BreakdownPoint, _breakdown
+from .suite_data import SuiteData
+
+
+@dataclass
+class Fig12Result:
+    hw: List[BreakdownPoint] = field(default_factory=list)
+    sw: List[BreakdownPoint] = field(default_factory=list)
+    sw_split: List[BreakdownPoint] = field(default_factory=list)
+
+    def point(self, series_name: str, entries: int) -> BreakdownPoint:
+        series = getattr(self, series_name)
+        for point in series:
+            if point.entries == entries:
+                return point
+        raise KeyError(f"no point for {series_name} entries={entries}")
+
+
+def run_fig12(
+    data: SuiteData, sweep: Sequence[int] = ENTRY_SWEEP
+) -> Fig12Result:
+    result = Fig12Result()
+    for entries in sweep:
+        result.hw.append(
+            _breakdown(data, Scheme(SchemeKind.HW_THREE_LEVEL, entries))
+        )
+        result.sw.append(
+            _breakdown(data, Scheme(SchemeKind.SW_THREE_LEVEL, entries))
+        )
+        result.sw_split.append(
+            _breakdown(
+                data,
+                Scheme(SchemeKind.SW_THREE_LEVEL, entries, split_lrf=True),
+            )
+        )
+    return result
+
+
+def format_fig12(result: Fig12Result) -> str:
+    lines: List[str] = []
+    for kind, series in (
+        ("HW (LRF+RFC+MRF)", result.hw),
+        ("SW (LRF+ORF+MRF, unified LRF)", result.sw),
+        ("SW (LRF+ORF+MRF, split LRF)", result.sw_split),
+    ):
+        lines.append(
+            f"Figure 12 — {kind}: % of baseline reads / writes by level"
+        )
+        lines.append(
+            f"{'entries':>8}{'rd LRF':>9}{'rd RFC/ORF':>12}{'rd MRF':>9}"
+            f"{'wr LRF':>9}{'wr RFC/ORF':>12}{'wr MRF':>9}{'wr tot':>9}"
+        )
+        for point in series:
+            lines.append(
+                f"{point.entries:>8}"
+                f"{100 * point.reads[Level.LRF]:>8.1f}%"
+                f"{100 * point.reads[Level.ORF]:>11.1f}%"
+                f"{100 * point.reads[Level.MRF]:>8.1f}%"
+                f"{100 * point.writes[Level.LRF]:>8.1f}%"
+                f"{100 * point.writes[Level.ORF]:>11.1f}%"
+                f"{100 * point.writes[Level.MRF]:>8.1f}%"
+                f"{100 * point.total_writes:>8.1f}%"
+            )
+        lines.append("")
+    sw3 = result.point("sw", 3)
+    split3 = result.point("sw_split", 3)
+    lines.append(
+        "paper: LRF captures ~30% of all reads under SW control -> "
+        f"measured {100 * sw3.reads[Level.LRF]:.1f}% (unified, 3 entries)"
+    )
+    if sw3.reads[Level.LRF] > 0:
+        gain = split3.reads[Level.LRF] / sw3.reads[Level.LRF] - 1
+        lines.append(
+            "paper: split LRF increases LRF reads ~20% vs unified -> "
+            f"measured {100 * gain:+.1f}%"
+        )
+    hw3 = result.point("hw", 3)
+    hw_overhead = hw3.total_writes - 1.0
+    sw_overhead = sw3.total_writes - 1.0
+    lines.append(
+        "paper: overhead writes drop from ~40% (HW) to <10% (SW) -> "
+        f"measured {100 * hw_overhead:.1f}% (HW) vs "
+        f"{100 * sw_overhead:.1f}% (SW) at 3 entries"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Figure 13: normalized access + wire energy of every organisation.
+
+The paper's headline figure.  Four curves over 1-8 entries per thread,
+normalized to the single-level register file:
+
+* ``HW``       — hardware RFC + MRF          (paper best: 34% at 3)
+* ``HW LRF``   — hardware LRF + RFC + MRF    (paper best: 41% at 6)
+* ``SW``       — software ORF + MRF          (paper best: 45% at 3)
+* ``SW LRF Split`` — software split LRF + ORF + MRF (paper best: 54% at 3)
+
+Also reports the unified-LRF software variant (split is worth ~4% in
+the paper, Section 6.4) and the baseline-algorithm ablation (partial
+range + read operand allocation are worth 3-4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..energy.chip_power import chip_power_savings
+from ..sim.schemes import Scheme, SchemeKind
+from .fig11 import ENTRY_SWEEP
+from .suite_data import SuiteData
+
+#: Figure 13 series, in the paper's legend order.
+SERIES: Tuple[Tuple[str, Scheme], ...] = (
+    ("HW", Scheme(SchemeKind.HW_TWO_LEVEL)),
+    ("HW LRF", Scheme(SchemeKind.HW_THREE_LEVEL)),
+    ("SW", Scheme(SchemeKind.SW_TWO_LEVEL)),
+    ("SW LRF Split", Scheme(SchemeKind.SW_THREE_LEVEL, split_lrf=True)),
+)
+
+EXTRA_SERIES: Tuple[Tuple[str, Scheme], ...] = (
+    ("SW LRF Unified", Scheme(SchemeKind.SW_THREE_LEVEL)),
+    (
+        "SW (no opts)",
+        Scheme(
+            SchemeKind.SW_TWO_LEVEL,
+            enable_partial_ranges=False,
+            enable_read_operands=False,
+        ),
+    ),
+)
+
+#: Paper-reported best savings per series, for the comparison table.
+PAPER_BEST = {
+    "HW": (3, 0.34),
+    "HW LRF": (6, 0.41),
+    "SW": (3, 0.45),
+    "SW LRF Split": (3, 0.54),
+}
+
+
+@dataclass
+class Fig13Result:
+    """name -> {entries -> normalized energy}."""
+
+    curves: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def best(self, name: str) -> Tuple[int, float]:
+        """(entries, normalized energy) of the most efficient size."""
+        curve = self.curves[name]
+        entries = min(curve, key=curve.get)
+        return entries, curve[entries]
+
+    def savings(self, name: str, entries: int) -> float:
+        return 1.0 - self.curves[name][entries]
+
+
+def run_fig13(
+    data: SuiteData,
+    sweep: Sequence[int] = ENTRY_SWEEP,
+    include_extras: bool = True,
+) -> Fig13Result:
+    result = Fig13Result()
+    series = SERIES + (EXTRA_SERIES if include_extras else ())
+    for name, base_scheme in series:
+        curve: Dict[int, float] = {}
+        for entries in sweep:
+            scheme = base_scheme.with_entries(entries)
+            curve[entries] = data.normalized_energy(scheme)
+        result.curves[name] = curve
+    return result
+
+
+def format_fig13(result: Fig13Result) -> str:
+    lines: List[str] = []
+    lines.append(
+        "Figure 13: normalized access+wire energy "
+        "(single-level register file = 1.0)"
+    )
+    names = list(result.curves)
+    sweep = sorted(next(iter(result.curves.values())))
+    lines.append(
+        f"{'entries':>8}" + "".join(f"{name:>16}" for name in names)
+    )
+    for entries in sweep:
+        lines.append(
+            f"{entries:>8}"
+            + "".join(
+                f"{result.curves[name][entries]:>16.3f}" for name in names
+            )
+        )
+    lines.append("")
+    lines.append("Best configuration per series (paper in parentheses):")
+    for name in names:
+        entries, energy = result.best(name)
+        saving = 1.0 - energy
+        paper = PAPER_BEST.get(name)
+        paper_note = (
+            f" (paper: {100 * paper[1]:.0f}% at {paper[0]} entries)"
+            if paper
+            else ""
+        )
+        lines.append(
+            f"  {name:<16} {100 * saving:5.1f}% savings at {entries} "
+            f"entries/thread{paper_note}"
+        )
+    best_entries, best_energy = result.best("SW LRF Split")
+    chip = chip_power_savings(1.0 - best_energy)
+    lines.append("")
+    lines.append(
+        "Section 6.4 power scaling of the best design: "
+        f"{100 * chip.register_file_savings:.1f}% RF energy -> "
+        f"{100 * chip.sm_dynamic_power_savings:.1f}% SM dynamic power "
+        f"(paper 8.3%) -> "
+        f"{100 * chip.chip_dynamic_power_savings:.1f}% chip-wide "
+        "(paper 5.8%)"
+    )
+    if "SW LRF Unified" in result.curves:
+        _, unified = result.best("SW LRF Unified")
+        lines.append(
+            "split vs unified LRF: "
+            f"{100 * (unified - best_energy):+.1f} points "
+            "(paper: split saves ~4%)"
+        )
+    if "SW (no opts)" in result.curves:
+        _, no_opts = result.best("SW (no opts)")
+        _, sw = result.best("SW")
+        lines.append(
+            "partial-range + read-operand allocation: "
+            f"{100 * (no_opts - sw):+.1f} points (paper: 3-4%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Figure 14: energy breakdown of the most efficient configuration.
+
+For the best design (software three-level hierarchy with a split LRF),
+sweeps ORF entries per thread and splits the normalized energy into
+access and wire components per level.  Paper observations (Section
+6.4): roughly two thirds of the remaining energy is MRF (split about
+evenly between access and wire); the LRF serves a third of the reads
+but costs almost nothing; LRF wire energy is under 1% of baseline even
+when split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..energy.accounting import compute_energy
+from ..levels import ALL_LEVELS, Level
+from ..sim.schemes import Scheme, SchemeKind
+from .fig11 import ENTRY_SWEEP
+from .suite_data import SuiteData
+
+
+@dataclass
+class Fig14Point:
+    entries: int
+    #: Fractions of baseline total energy.
+    access: Dict[Level, float]
+    wire: Dict[Level, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.access.values()) + sum(self.wire.values())
+
+
+@dataclass
+class Fig14Result:
+    points: List[Fig14Point] = field(default_factory=list)
+
+    def point(self, entries: int) -> Fig14Point:
+        for point in self.points:
+            if point.entries == entries:
+                return point
+        raise KeyError(f"no point for entries={entries}")
+
+
+def run_fig14(
+    data: SuiteData, sweep: Sequence[int] = ENTRY_SWEEP
+) -> Fig14Result:
+    result = Fig14Result()
+    for entries in sweep:
+        scheme = Scheme(
+            SchemeKind.SW_THREE_LEVEL, entries, split_lrf=True
+        )
+        counters, baseline = data.aggregate(scheme)
+        model = scheme.energy_model()
+        breakdown = compute_energy(counters, model)
+        baseline_total = compute_energy(baseline, model).total_pj
+        result.points.append(
+            Fig14Point(
+                entries=entries,
+                access={
+                    level: breakdown.access_pj[level] / baseline_total
+                    for level in ALL_LEVELS
+                },
+                wire={
+                    level: breakdown.wire_pj[level] / baseline_total
+                    for level in ALL_LEVELS
+                },
+            )
+        )
+    return result
+
+
+def format_fig14(result: Fig14Result) -> str:
+    lines: List[str] = []
+    lines.append(
+        "Figure 14: energy breakdown of the best design "
+        "(SW split LRF), fractions of baseline energy"
+    )
+    lines.append(
+        f"{'ORF ent':>8}{'MRF acc':>9}{'MRF wire':>10}{'ORF acc':>9}"
+        f"{'ORF wire':>10}{'LRF acc':>9}{'LRF wire':>10}{'total':>8}"
+    )
+    for point in result.points:
+        lines.append(
+            f"{point.entries:>8}"
+            f"{100 * point.access[Level.MRF]:>8.1f}%"
+            f"{100 * point.wire[Level.MRF]:>9.1f}%"
+            f"{100 * point.access[Level.ORF]:>8.1f}%"
+            f"{100 * point.wire[Level.ORF]:>9.1f}%"
+            f"{100 * point.access[Level.LRF]:>8.1f}%"
+            f"{100 * point.wire[Level.LRF]:>9.1f}%"
+            f"{100 * point.total:>7.1f}%"
+        )
+    best = result.point(3)
+    mrf_fraction = (
+        best.access[Level.MRF] + best.wire[Level.MRF]
+    ) / best.total
+    lines.append("")
+    lines.append(
+        "paper: ~2/3 of remaining energy is MRF -> measured "
+        f"{100 * mrf_fraction:.1f}% at 3 entries"
+    )
+    lines.append(
+        "paper: LRF wire energy <1% of baseline -> measured "
+        f"{100 * best.wire[Level.LRF]:.2f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Shared evaluation data for the experiment drivers.
+
+Building traces is the expensive step, so :class:`SuiteData` executes
+every workload once and the per-figure drivers re-account the cached
+traces under each scheme — the same structure as the authors' Ocelot
+trace-analysis methodology (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..energy.accounting import normalized_energy
+from ..energy.model import EnergyModel
+from ..hierarchy.counters import AccessCounters
+from ..sim.runner import TraceSet, build_traces, evaluate_traces
+from ..sim.schemes import Scheme
+from ..workloads.shapes import WorkloadSpec
+from ..workloads.suites import all_workloads
+
+
+@dataclass
+class SuiteData:
+    """Materialised traces for a set of workloads."""
+
+    items: List[Tuple[WorkloadSpec, TraceSet]]
+
+    @classmethod
+    def build(
+        cls,
+        workloads: Optional[Sequence[WorkloadSpec]] = None,
+        scale: float = 1.0,
+    ) -> "SuiteData":
+        if workloads is None:
+            workloads = all_workloads(scale)
+        return cls(
+            [
+                (spec, build_traces(spec.kernel, spec.warp_inputs))
+                for spec in workloads
+            ]
+        )
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(traces.dynamic_instructions for _, traces in self.items)
+
+    def aggregate(
+        self, scheme: Scheme
+    ) -> Tuple[AccessCounters, AccessCounters]:
+        """(scheme counters, baseline counters) summed over workloads."""
+        counters = AccessCounters()
+        baseline = AccessCounters()
+        for _, traces in self.items:
+            evaluation = evaluate_traces(traces, scheme)
+            counters.merge(evaluation.counters)
+            baseline.merge(evaluation.baseline)
+        return counters, baseline
+
+    def normalized_energy(
+        self, scheme: Scheme, model: Optional[EnergyModel] = None
+    ) -> float:
+        counters, baseline = self.aggregate(scheme)
+        if model is None:
+            model = scheme.energy_model()
+        return normalized_energy(counters, baseline, model)
+
+    def per_benchmark_energy(
+        self, scheme: Scheme, model: Optional[EnergyModel] = None
+    ) -> Dict[str, float]:
+        """Benchmark name -> normalized energy (Figure 15)."""
+        if model is None:
+            model = scheme.energy_model()
+        result: Dict[str, float] = {}
+        for spec, traces in self.items:
+            evaluation = evaluate_traces(traces, scheme)
+            result[spec.name] = normalized_energy(
+                evaluation.counters, evaluation.baseline, model
+            )
+        return result

@@ -1,0 +1,11 @@
+"""Register file hierarchy hardware models and access counting."""
+
+from .counters import AccessCounters
+from .hw_lrf import HardwareThreeLevel
+from .rfc import RegisterFileCache
+
+__all__ = [
+    "AccessCounters",
+    "HardwareThreeLevel",
+    "RegisterFileCache",
+]

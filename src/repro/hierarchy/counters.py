@@ -1,0 +1,92 @@
+"""Access counting across the register file hierarchy.
+
+Every result in the paper's evaluation is a function of how many warp
+operand reads and writes hit each level (Figures 11, 12) combined with
+the energy model (Figures 13-15).  :class:`AccessCounters` is the shared
+currency: the software accounting pass, the hardware RFC/LRF simulators,
+and the baseline all produce one.
+
+Counts are warp-level operand accesses of 32-bit words: a 64-bit operand
+counts as two accesses.  Reads and writes are tagged with whether the
+datapath on the other end is shared (SFU/MEM/TEX) or private (ALU),
+because wire energy differs (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from ..levels import ALL_LEVELS, Level
+
+#: Counter key: (level, is_read, shared_unit).
+CounterKey = Tuple[Level, bool, bool]
+
+
+@dataclass
+class AccessCounters:
+    """Read/write counts per hierarchy level and datapath class."""
+
+    counts: Dict[CounterKey, int] = field(default_factory=dict)
+
+    def add_read(
+        self, level: Level, shared_unit: bool = False, count: int = 1
+    ) -> None:
+        key = (level, True, shared_unit)
+        self.counts[key] = self.counts.get(key, 0) + count
+
+    def add_write(
+        self, level: Level, shared_unit: bool = False, count: int = 1
+    ) -> None:
+        key = (level, False, shared_unit)
+        self.counts[key] = self.counts.get(key, 0) + count
+
+    def merge(self, other: "AccessCounters") -> None:
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+
+    def scaled(self, factor: float) -> "AccessCounters":
+        """A copy with every count multiplied by ``factor``.
+
+        Used to weight per-path static counts by dynamic path execution
+        frequencies.  Counts become floats conceptually; we keep them as
+        numbers and never require integrality downstream.
+        """
+        result = AccessCounters()
+        for key, count in self.counts.items():
+            result.counts[key] = count * factor  # type: ignore[assignment]
+        return result
+
+    # -- queries (the units of Figures 11 and 12) --------------------------
+
+    def reads(self, level: Level) -> float:
+        return sum(
+            count
+            for (lvl, is_read, _), count in self.counts.items()
+            if lvl is level and is_read
+        )
+
+    def writes(self, level: Level) -> float:
+        return sum(
+            count
+            for (lvl, is_read, _), count in self.counts.items()
+            if lvl is level and not is_read
+        )
+
+    def total_reads(self) -> float:
+        return sum(self.reads(level) for level in ALL_LEVELS)
+
+    def total_writes(self) -> float:
+        return sum(self.writes(level) for level in ALL_LEVELS)
+
+    def read_breakdown(self) -> Dict[Level, float]:
+        return {level: self.reads(level) for level in ALL_LEVELS}
+
+    def write_breakdown(self) -> Dict[Level, float]:
+        return {level: self.writes(level) for level in ALL_LEVELS}
+
+    def items(self) -> Iterable[Tuple[CounterKey, float]]:
+        return self.counts.items()
+
+    def copy(self) -> "AccessCounters":
+        return AccessCounters(dict(self.counts))

@@ -1,0 +1,163 @@
+"""Hardware-managed three-level hierarchy: LRF + RFC + MRF (Section 6.2).
+
+The paper's hardware three-level variant chains a one-entry-per-thread
+last result file in front of the RFC:
+
+* values produced by the execution units are written into the LRF
+  first; evicting a live LRF value writes it back to the RFC; evicting
+  a live RFC value writes it back to the MRF;
+* long-latency results bypass both and go straight to the MRF;
+* the shared datapath cannot access the LRF, so values that will be
+  consumed by shared units are written into the RFC instead (the
+  compiler guarantees this with static use information — callers pass
+  the positions of such producing instructions);
+* a warp deschedule flushes live LRF and RFC contents to the MRF.
+
+Static liveness elides dead write-backs at every step.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet
+
+from ..ir.registers import Register
+from ..levels import Level
+from .counters import AccessCounters
+
+
+class HardwareThreeLevel:
+    """LRF + RFC + MRF hardware caching model for one warp."""
+
+    def __init__(
+        self,
+        rfc_entries_per_thread: int,
+        counters: AccessCounters,
+        shared_consumed_positions: FrozenSet[int],
+        lrf_entries: int = 1,
+        flush_on_backward_branch: bool = False,
+    ) -> None:
+        if rfc_entries_per_thread < 1:
+            raise ValueError("RFC needs at least one entry per thread")
+        if lrf_entries < 1:
+            raise ValueError("LRF needs at least one entry per thread")
+        self.rfc_capacity = rfc_entries_per_thread
+        self.lrf_capacity = lrf_entries
+        self.counters = counters
+        self.shared_consumed = shared_consumed_positions
+        self.flush_on_backward_branch = flush_on_backward_branch
+        self._lrf: "OrderedDict[Register, None]" = OrderedDict()
+        self._rfc: "OrderedDict[Register, None]" = OrderedDict()
+
+    # -- trace hooks ---------------------------------------------------------
+
+    def read(self, reg: Register, shared_unit: bool) -> Level:
+        words = reg.num_words
+        if reg in self._lrf and not shared_unit:
+            self.counters.add_read(Level.LRF, shared_unit, words)
+            return Level.LRF
+        if reg in self._rfc:
+            self.counters.add_read(Level.ORF, shared_unit, words)
+            return Level.ORF
+        self.counters.add_read(Level.MRF, shared_unit, words)
+        return Level.MRF
+
+    def write(
+        self,
+        reg: Register,
+        shared_unit: bool,
+        is_long_latency: bool,
+        live_after: FrozenSet[Register],
+        position: int = -1,
+    ) -> Level:
+        """Account one result write at static instruction ``position``."""
+        words = reg.num_words
+        if is_long_latency:
+            self._invalidate(reg)
+            self.counters.add_write(Level.MRF, shared_unit, words)
+            return Level.MRF
+        if position in self.shared_consumed or shared_unit:
+            # Results consumed *or produced* by the shared datapath
+            # cannot use the LRF (it is wired to the private ALUs only,
+            # Section 3.2): write into the RFC directly.
+            self._lrf.pop(reg, None)
+            self._write_rfc(reg, shared_unit, live_after)
+            return Level.ORF
+        self._rfc.pop(reg, None)
+        if reg in self._lrf:
+            self.counters.add_write(Level.LRF, shared_unit, words)
+            return Level.LRF
+        while len(self._lrf) >= self.lrf_capacity:
+            self._evict_lrf(live_after)
+        self._lrf[reg] = None
+        self.counters.add_write(Level.LRF, shared_unit, words)
+        return Level.LRF
+
+    def on_deschedule(self, live: FrozenSet[Register]) -> None:
+        self._flush(live)
+
+    def on_backward_branch(self, live: FrozenSet[Register]) -> None:
+        if self.flush_on_backward_branch:
+            self._flush(live)
+
+    def finish(self) -> None:
+        self._lrf.clear()
+        self._rfc.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _invalidate(self, reg: Register) -> None:
+        self._lrf.pop(reg, None)
+        self._rfc.pop(reg, None)
+
+    def _write_rfc(
+        self,
+        reg: Register,
+        shared_unit: bool,
+        live: FrozenSet[Register],
+    ) -> None:
+        words = reg.num_words
+        if reg not in self._rfc:
+            while len(self._rfc) >= self.rfc_capacity:
+                self._evict_rfc(live)
+            self._rfc[reg] = None
+        self.counters.add_write(Level.ORF, shared_unit, words)
+
+    def _evict_lrf(self, live: FrozenSet[Register]) -> None:
+        reg, _ = self._lrf.popitem(last=False)
+        if reg not in live:
+            return
+        # Live LRF eviction: the value moves down into the RFC.
+        words = reg.num_words
+        self.counters.add_read(Level.LRF, False, words)
+        self._write_rfc(reg, False, live)
+
+    def _evict_rfc(self, live: FrozenSet[Register]) -> None:
+        reg, _ = self._rfc.popitem(last=False)
+        if reg not in live:
+            return
+        words = reg.num_words
+        self.counters.add_read(Level.ORF, False, words)
+        self.counters.add_write(Level.MRF, False, words)
+
+    def _flush(self, live: FrozenSet[Register]) -> None:
+        lrf_regs = list(self._lrf)
+        rfc_regs = list(self._rfc)
+        self._lrf.clear()
+        self._rfc.clear()
+        for reg in lrf_regs:
+            if reg not in live:
+                continue
+            words = reg.num_words
+            self.counters.add_read(Level.LRF, False, words)
+            self.counters.add_write(Level.MRF, False, words)
+        for reg in rfc_regs:
+            if reg not in live:
+                continue
+            words = reg.num_words
+            self.counters.add_read(Level.ORF, False, words)
+            self.counters.add_write(Level.MRF, False, words)
+
+    @property
+    def resident_registers(self) -> FrozenSet[Register]:
+        return frozenset(self._lrf) | frozenset(self._rfc)

@@ -1,0 +1,124 @@
+"""Hardware-managed register file cache (RFC) — the prior-work baseline
+(Section 2.2, Gebhart et al. ISCA 2011).
+
+Per-thread FIFO cache in front of the MRF:
+
+* every non-long-latency result is written into the RFC;
+* reads check the RFC first and fall back to the MRF on a miss;
+* a FIFO eviction of a *live* value costs an RFC read plus an MRF
+  write (the write-back traffic the software scheme eliminates);
+  static liveness information encoded in the binary elides write-back
+  of dead values;
+* when the two-level scheduler deschedules the warp (dependence on a
+  long-latency operation), all live RFC contents are flushed to the
+  MRF.
+
+Because all threads of a warp execute in lockstep, cache state is
+identical across a warp's threads; the model tracks one copy and counts
+warp-level accesses.  Callers (the trace-driven accounting in
+``repro.sim``) pass the statically-known live register set at each
+eviction/flush point.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet
+
+from ..ir.registers import Register
+from ..levels import Level
+from .counters import AccessCounters
+
+
+class RegisterFileCache:
+    """FIFO register file cache for one warp."""
+
+    def __init__(
+        self,
+        entries_per_thread: int,
+        counters: AccessCounters,
+        flush_on_backward_branch: bool = False,
+    ) -> None:
+        if entries_per_thread < 1:
+            raise ValueError("RFC needs at least one entry per thread")
+        self.capacity = entries_per_thread
+        self.counters = counters
+        self.flush_on_backward_branch = flush_on_backward_branch
+        #: FIFO order: oldest first (residency only; values are not
+        #: modelled here).
+        self._resident: "OrderedDict[Register, None]" = OrderedDict()
+
+    # -- trace hooks ---------------------------------------------------------
+
+    def read(self, reg: Register, shared_unit: bool) -> Level:
+        """Account one operand read; returns the level that serviced it."""
+        words = reg.num_words
+        if reg in self._resident:
+            self.counters.add_read(Level.ORF, shared_unit, words)
+            return Level.ORF
+        self.counters.add_read(Level.MRF, shared_unit, words)
+        return Level.MRF
+
+    def write(
+        self,
+        reg: Register,
+        shared_unit: bool,
+        is_long_latency: bool,
+        live_after: FrozenSet[Register],
+    ) -> Level:
+        """Account one result write; returns the level written.
+
+        ``live_after`` is the set of registers live after the writing
+        instruction — used to elide write-back of values that a FIFO
+        eviction would otherwise spill.
+        """
+        words = reg.num_words
+        if is_long_latency:
+            # Long-latency results bypass the RFC (Section 6.1).
+            self._resident.pop(reg, None)
+            self.counters.add_write(Level.MRF, shared_unit, words)
+            return Level.MRF
+        if reg in self._resident:
+            # Overwrite in place; FIFO position unchanged.
+            self.counters.add_write(Level.ORF, shared_unit, words)
+            return Level.ORF
+        while len(self._resident) >= self.capacity:
+            self._evict(live_after)
+        self._resident[reg] = None
+        self.counters.add_write(Level.ORF, shared_unit, words)
+        return Level.ORF
+
+    def on_deschedule(self, live: FrozenSet[Register]) -> None:
+        """Two-level scheduler swapped the warp out: flush live values."""
+        self._flush(live)
+
+    def on_backward_branch(self, live: FrozenSet[Register]) -> None:
+        if self.flush_on_backward_branch:
+            self._flush(live)
+
+    def finish(self) -> None:
+        """End of the warp's execution; nothing is architecturally live."""
+        self._resident.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _evict(self, live: FrozenSet[Register]) -> None:
+        reg, _ = self._resident.popitem(last=False)
+        self._writeback(reg, live)
+
+    def _flush(self, live: FrozenSet[Register]) -> None:
+        regs = list(self._resident)
+        self._resident.clear()
+        for reg in regs:
+            self._writeback(reg, live)
+
+    def _writeback(self, reg: Register, live: FrozenSet[Register]) -> None:
+        if reg not in live:
+            return
+        words = reg.num_words
+        self.counters.add_read(Level.ORF, False, words)
+        self.counters.add_write(Level.MRF, False, words)
+
+    @property
+    def resident_registers(self) -> FrozenSet[Register]:
+        return frozenset(self._resident)

@@ -1,0 +1,49 @@
+"""PTX-like intermediate representation.
+
+The IR mirrors scheduled, register-allocated PTX (the input to the
+paper's allocation pass, Section 5.1): kernels of basic blocks of
+instructions over a flat architectural register namespace.
+"""
+
+from .basic_block import BasicBlock
+from .builder import KernelBuilder
+from .instructions import (
+    DestAnnotation,
+    FunctionalUnit,
+    Immediate,
+    Instruction,
+    LatencyClass,
+    Opcode,
+    Operand,
+    SourceAnnotation,
+)
+from .kernel import InstructionRef, Kernel, KernelValidationError
+from .parser import AsmSyntaxError, parse_kernel, parse_kernels
+from .printer import format_allocated_kernel, format_kernel
+from .registers import RegClass, Register, gpr, parse_register, pred
+
+__all__ = [
+    "AsmSyntaxError",
+    "BasicBlock",
+    "DestAnnotation",
+    "FunctionalUnit",
+    "Immediate",
+    "Instruction",
+    "InstructionRef",
+    "Kernel",
+    "KernelBuilder",
+    "KernelValidationError",
+    "LatencyClass",
+    "Opcode",
+    "Operand",
+    "RegClass",
+    "Register",
+    "SourceAnnotation",
+    "format_allocated_kernel",
+    "format_kernel",
+    "gpr",
+    "parse_kernel",
+    "parse_kernels",
+    "parse_register",
+    "pred",
+]

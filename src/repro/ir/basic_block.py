@@ -1,0 +1,71 @@
+"""Basic blocks of the PTX-like IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction, Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions with a single entry point.
+
+    A block may end in a branch (conditional or unconditional), an
+    ``EXIT``, or fall through to the next block in kernel layout order.
+    A conditional branch (a ``BRA`` with a guard predicate) has two
+    successors: the branch target and the fall-through block.
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final instruction if it is a branch or exit, else None."""
+        if not self.instructions:
+            return None
+        last = self.instructions[-1]
+        if last.opcode.is_branch or last.opcode.is_exit:
+            return last
+        return None
+
+    @property
+    def branch_target(self) -> Optional[str]:
+        """Label this block branches to, or None."""
+        term = self.terminator
+        if term is not None and term.opcode is Opcode.BRA:
+            return term.target
+        return None
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control may continue to the next block in layout order.
+
+        A block falls through unless it ends in an unconditional branch
+        or an exit.
+        """
+        term = self.terminator
+        if term is None:
+            return True
+        if term.opcode.is_exit:
+            return False
+        if term.opcode is Opcode.BRA and term.guard is None:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"    {inst}" for inst in self.instructions)
+        return "\n".join(lines)

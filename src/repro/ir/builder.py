@@ -1,0 +1,111 @@
+"""A small fluent builder for constructing kernels programmatically.
+
+Workload generators (``repro.workloads``) and tests construct kernels
+with this builder rather than hand-assembling instruction dataclasses::
+
+    b = KernelBuilder("saxpy", live_in=[gpr(0), gpr(1), gpr(2)])
+    b.block("body")
+    b.op(Opcode.LDG, gpr(3), gpr(0))
+    b.op(Opcode.FFMA, gpr(4), gpr(3), gpr(1), gpr(2))
+    b.op(Opcode.STG, None, gpr(0), gpr(4))
+    b.exit()
+    kernel = b.build()
+
+Plain ``int``/``float`` sources are wrapped into :class:`Immediate`
+operands automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .basic_block import BasicBlock
+from .instructions import Immediate, Instruction, Opcode, Operand
+from .kernel import Kernel
+from .registers import Register
+
+#: Anything acceptable as a source operand argument.
+SourceLike = Union[Register, Immediate, int, float]
+
+
+def _coerce(source: SourceLike) -> Operand:
+    if isinstance(source, (Register, Immediate)):
+        return source
+    if isinstance(source, (int, float)):
+        return Immediate(source)
+    raise TypeError(f"cannot use {source!r} as an instruction source")
+
+
+class KernelBuilder:
+    """Incrementally assembles a :class:`Kernel`."""
+
+    def __init__(
+        self, name: str, live_in: Sequence[Register] = ()
+    ) -> None:
+        self.name = name
+        self.live_in = tuple(live_in)
+        self._blocks: List[BasicBlock] = []
+        self._current: Optional[BasicBlock] = None
+
+    # -- block management ---------------------------------------------------
+
+    def block(self, label: str) -> "KernelBuilder":
+        """Start a new basic block with the given label."""
+        block = BasicBlock(label)
+        self._blocks.append(block)
+        self._current = block
+        return self
+
+    def _require_block(self) -> BasicBlock:
+        if self._current is None:
+            raise ValueError(
+                "no current block; call KernelBuilder.block() first"
+            )
+        return self._current
+
+    # -- instruction emission -----------------------------------------------
+
+    def op(
+        self,
+        opcode: Opcode,
+        dst: Optional[Register],
+        *srcs: SourceLike,
+        guard: Optional[Register] = None,
+        guard_sense: bool = True,
+        target: Optional[str] = None,
+    ) -> Instruction:
+        """Emit one instruction into the current block."""
+        instruction = Instruction(
+            opcode=opcode,
+            dst=dst,
+            srcs=tuple(_coerce(src) for src in srcs),
+            guard=guard,
+            guard_sense=guard_sense,
+            target=target,
+        )
+        return self._require_block().append(instruction)
+
+    def bra(
+        self,
+        target: str,
+        guard: Optional[Register] = None,
+        guard_sense: bool = True,
+    ) -> Instruction:
+        """Emit a (possibly guarded) branch."""
+        return self.op(
+            Opcode.BRA, None, guard=guard, guard_sense=guard_sense,
+            target=target,
+        )
+
+    def exit(self) -> Instruction:
+        """Emit a kernel exit."""
+        return self.op(Opcode.EXIT, None)
+
+    # -- finalisation ---------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Kernel:
+        """Produce the kernel (validated by default)."""
+        kernel = Kernel(self.name, self._blocks, live_in=self.live_in)
+        if validate:
+            kernel.validate()
+        return kernel

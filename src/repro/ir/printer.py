@@ -1,0 +1,101 @@
+"""Pretty-printing of kernels, with optional allocation annotations.
+
+``format_kernel`` renders plain assembly (re-parseable by
+``repro.ir.parser``); ``format_allocated_kernel`` additionally shows the
+hierarchy level of every operand as decided by the allocator, e.g.::
+
+    body:
+        ffma R4, R3, R1, R2    ; R4->LRF  R3<-LRF  R1<-ORF[0]  R2<-MRF
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..levels import Level
+from .instructions import Instruction
+from .kernel import Kernel
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a kernel as re-parseable assembly text."""
+    lines: List[str] = [f".kernel {kernel.name}"]
+    if kernel.live_in:
+        lines.append(
+            ".livein " + " ".join(str(reg) for reg in kernel.live_in)
+        )
+    for block in kernel.blocks:
+        lines.append(f"{block.label}:")
+        for instruction in block.instructions:
+            lines.append(f"    {_format_plain(instruction)}")
+    return "\n".join(lines)
+
+
+def format_allocated_kernel(kernel: Kernel) -> str:
+    """Render a kernel with per-operand hierarchy annotations."""
+    lines: List[str] = [f".kernel {kernel.name}"]
+    if kernel.live_in:
+        lines.append(
+            ".livein " + " ".join(str(reg) for reg in kernel.live_in)
+        )
+    for block in kernel.blocks:
+        lines.append(f"{block.label}:")
+        for instruction in block.instructions:
+            text = _format_plain(instruction)
+            notes = _format_annotations(instruction)
+            if notes:
+                text = f"{text:<40s}; {notes}"
+            lines.append(f"    {text}")
+    return "\n".join(lines)
+
+
+def _format_plain(instruction: Instruction) -> str:
+    parts = []
+    if instruction.guard is not None:
+        sense = "" if instruction.guard_sense else "!"
+        parts.append(f"@{sense}{instruction.guard}")
+    parts.append(instruction.opcode.value)
+    operands = []
+    if instruction.dst is not None:
+        operands.append(str(instruction.dst))
+    operands.extend(str(src) for src in instruction.srcs)
+    if instruction.target is not None:
+        operands.append(instruction.target)
+    if operands:
+        parts.append(", ".join(operands))
+    return " ".join(parts)
+
+
+def _format_annotations(instruction: Instruction) -> str:
+    notes: List[str] = []
+    dst = instruction.gpr_write()
+    if dst is not None and instruction.dst_ann is not None:
+        targets = []
+        for level in instruction.dst_ann.levels:
+            targets.append(_format_level(
+                level,
+                instruction.dst_ann.orf_entry,
+                instruction.dst_ann.lrf_bank,
+            ))
+        notes.append(f"{dst}->{'+'.join(targets)}")
+    if instruction.src_anns is not None:
+        for slot, reg in instruction.gpr_reads():
+            annotation = instruction.src_anns[slot]
+            source = _format_level(
+                annotation.level, annotation.orf_entry, annotation.lrf_bank
+            )
+            text = f"{reg}<-{source}"
+            if annotation.orf_write_entry is not None:
+                text += f"(+ORF[{annotation.orf_write_entry}])"
+            notes.append(text)
+    if instruction.ends_strand:
+        notes.append("end-strand")
+    return "  ".join(notes)
+
+
+def _format_level(level: Level, orf_entry, lrf_bank) -> str:
+    if level is Level.ORF and orf_entry is not None:
+        return f"ORF[{orf_entry}]"
+    if level is Level.LRF and lrf_bank is not None:
+        return f"LRF[{lrf_bank}]"
+    return str(level)

@@ -1,0 +1,254 @@
+"""Functional warp-level executor.
+
+Executes a kernel for one warp with concrete live-in values and a
+functional memory, producing the warp's dynamic instruction stream
+(:class:`TraceEvent` per executed instruction).  The stream drives
+access accounting, the hardware cache models, usage statistics, and the
+timing simulator.
+
+Execution is warp-uniform: branches are taken by the whole warp (the
+paper's register-file results do not depend on divergence, and its own
+trace methodology reconstructs warp-level control-flow paths).
+Predicated non-branch instructions whose guard fails still read their
+operands (the operand fetch happens before the predicate squashes the
+lanes) but do not write their result.
+
+Semantics notes:
+
+* ``SETP P, a, b`` sets ``P = (a < b)``; ``@P``/``@!P`` guards and
+  ``SELP`` consume predicates.
+* ``CVT`` is a value-preserving copy (width conversion).
+* SFU operations use safe math (e.g. ``RCP 0`` yields a large finite
+  number) so synthetic workloads never fault.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ir.instructions import Immediate, Instruction, Opcode
+from ..ir.kernel import InstructionRef, Kernel
+from ..ir.registers import Register
+from .memory import Memory, Number
+
+
+class ExecutionError(RuntimeError):
+    """Raised on malformed execution (unset register, runaway loop)."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One dynamically executed (issued) warp instruction."""
+
+    ref: InstructionRef
+    instruction: Instruction
+    #: False when a guard squashed the instruction's write (for every
+    #: lane, in divergent execution).
+    guard_passed: bool
+    #: True when a BRA was taken (by at least one lane).
+    branch_taken: bool = False
+    #: Bitmask of lanes executing the instruction; -1 means uniform
+    #: execution (every lane active), the scalar executor's output.
+    active_mask: int = -1
+    #: Bitmask of lanes whose guard passed (the lanes that write /
+    #: take the branch); -1 mirrors ``guard_passed`` for uniform
+    #: execution.
+    exec_mask: int = -1
+
+
+@dataclass
+class WarpInput:
+    """Initial state for one warp's execution."""
+
+    live_in_values: Dict[Register, Number]
+    memory: Optional[Memory] = None
+    #: Safety cap on dynamic instructions.
+    max_instructions: int = 200_000
+
+
+_BIG = 1.0e9
+
+
+def _safe_div(x: Number) -> Number:
+    return 1.0 / x if x else _BIG
+
+
+class WarpExecutor:
+    """Interprets one kernel for one warp."""
+
+    def __init__(self, kernel: Kernel, warp_input: WarpInput) -> None:
+        kernel.validate()
+        self.kernel = kernel
+        self.memory = warp_input.memory or Memory()
+        self.max_instructions = warp_input.max_instructions
+        self.registers: Dict[Register, Number] = dict(
+            warp_input.live_in_values
+        )
+        for reg in kernel.live_in:
+            self.registers.setdefault(reg, 0)
+        self.predicates: Dict[Register, bool] = {}
+        self._refs: Dict[Tuple[int, int], InstructionRef] = {
+            (ref.block_index, ref.instr_index): ref
+            for ref, _ in kernel.instructions()
+        }
+
+    # -- register access ------------------------------------------------------
+
+    def _read(self, operand) -> Number:
+        if isinstance(operand, Immediate):
+            return operand.value
+        if operand.is_pred:
+            return 1 if self.predicates.get(operand, False) else 0
+        try:
+            return self.registers[operand]
+        except KeyError:
+            raise ExecutionError(
+                f"read of uninitialised register {operand} in "
+                f"{self.kernel.name}"
+            ) from None
+
+    def _write(self, reg: Register, value: Number) -> None:
+        if reg.is_pred:
+            self.predicates[reg] = bool(value)
+        else:
+            self.registers[reg] = value
+
+    def _guard_passes(self, instruction: Instruction) -> bool:
+        if instruction.guard is None:
+            return True
+        value = self.predicates.get(instruction.guard, False)
+        return value == instruction.guard_sense
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> Iterator[TraceEvent]:
+        """Execute the kernel, yielding one event per issued instruction."""
+        block_index = 0
+        instr_index = 0
+        executed = 0
+        blocks = self.kernel.blocks
+
+        while True:
+            if executed >= self.max_instructions:
+                raise ExecutionError(
+                    f"{self.kernel.name}: exceeded "
+                    f"{self.max_instructions} dynamic instructions"
+                )
+            block = blocks[block_index]
+            instruction = block.instructions[instr_index]
+            ref = self._refs[(block_index, instr_index)]
+            executed += 1
+
+            guard_passed = self._guard_passes(instruction)
+            opcode = instruction.opcode
+
+            if opcode.is_exit:
+                yield TraceEvent(ref, instruction, guard_passed)
+                if guard_passed:
+                    return
+                block_index, instr_index = self._advance(
+                    block_index, instr_index
+                )
+                continue
+
+            if opcode is Opcode.BRA:
+                taken = guard_passed
+                yield TraceEvent(
+                    ref, instruction, guard_passed, branch_taken=taken
+                )
+                if taken:
+                    block_index = self.kernel.block_index(
+                        instruction.target
+                    )
+                    instr_index = 0
+                else:
+                    block_index, instr_index = self._advance(
+                        block_index, instr_index
+                    )
+                continue
+
+            if guard_passed:
+                self._execute(instruction)
+            yield TraceEvent(ref, instruction, guard_passed)
+            block_index, instr_index = self._advance(block_index, instr_index)
+
+    def _advance(
+        self, block_index: int, instr_index: int
+    ) -> Tuple[int, int]:
+        block = self.kernel.blocks[block_index]
+        if instr_index + 1 < len(block.instructions):
+            return block_index, instr_index + 1
+        if block_index + 1 >= len(self.kernel.blocks):
+            raise ExecutionError(
+                f"{self.kernel.name}: fell off the end of the kernel"
+            )
+        return block_index + 1, 0
+
+    # -- instruction semantics ---------------------------------------------
+
+    def _execute(self, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        srcs = [self._read(s) for s in instruction.srcs]
+        dst = instruction.dst
+
+        if opcode in _BINARY_OPS:
+            self._write(dst, _BINARY_OPS[opcode](srcs[0], srcs[1]))
+        elif opcode in (Opcode.IMAD, Opcode.FFMA):
+            self._write(dst, srcs[0] * srcs[1] + srcs[2])
+        elif opcode in (Opcode.MOV, Opcode.CVT):
+            self._write(dst, srcs[0])
+        elif opcode is Opcode.SELP:
+            self._write(dst, srcs[0] if srcs[2] else srcs[1])
+        elif opcode is Opcode.SETP:
+            self._write(dst, 1 if srcs[0] < srcs[1] else 0)
+        elif opcode in _UNARY_OPS:
+            self._write(dst, _UNARY_OPS[opcode](srcs[0]))
+        elif opcode is Opcode.LDG:
+            self._write(dst, self.memory.load_global(srcs[0]))
+        elif opcode is Opcode.LDS:
+            self._write(dst, self.memory.load_shared(srcs[0]))
+        elif opcode is Opcode.STG:
+            self.memory.store_global(srcs[0], srcs[1])
+        elif opcode is Opcode.STS:
+            self.memory.store_shared(srcs[0], srcs[1])
+        elif opcode is Opcode.TEX:
+            self._write(dst, self.memory.texture_fetch(srcs[0]))
+        else:  # pragma: no cover - exhaustive over the opcode set
+            raise ExecutionError(f"no semantics for {opcode}")
+
+
+def _shift_amount(value: Number) -> int:
+    return max(0, min(63, int(value)))
+
+
+_BINARY_OPS = {
+    Opcode.IADD: lambda a, b: a + b,
+    Opcode.ISUB: lambda a, b: a - b,
+    Opcode.IMUL: lambda a, b: a * b,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.IMIN: min,
+    Opcode.IMAX: max,
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.SHL: lambda a, b: int(a) << _shift_amount(b),
+    Opcode.SHR: lambda a, b: int(a) >> _shift_amount(b),
+}
+
+_UNARY_OPS = {
+    Opcode.RCP: _safe_div,
+    Opcode.SQRT: lambda x: math.sqrt(abs(x)),
+    Opcode.RSQRT: lambda x: _safe_div(math.sqrt(abs(x))),
+    Opcode.SIN: lambda x: math.sin(float(x)),
+    Opcode.COS: lambda x: math.cos(float(x)),
+    Opcode.LG2: lambda x: math.log2(abs(x)) if x else 0.0,
+    Opcode.EX2: lambda x: math.pow(2.0, min(64.0, float(x))),
+}
+
+
+def run_warp(kernel: Kernel, warp_input: WarpInput) -> List[TraceEvent]:
+    """Convenience wrapper: execute and materialise the trace."""
+    return list(WarpExecutor(kernel, warp_input).run())

@@ -1,0 +1,61 @@
+"""Functional memory model for the kernel executor.
+
+The executor needs concrete values so control flow resolves; the
+*contents* are otherwise irrelevant to the register-file study.  Loads
+from unwritten addresses return a deterministic pseudo-random value
+derived from the address and a seed, so traces are reproducible without
+materialising input arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+def _mix(value: int) -> int:
+    """A small deterministic 64-bit mixer (splitmix64 finaliser)."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & (
+        0xFFFFFFFFFFFFFFFF
+    )
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & (
+        0xFFFFFFFFFFFFFFFF
+    )
+    return value ^ (value >> 31)
+
+
+@dataclass
+class Memory:
+    """Sparse global + shared memory with deterministic default values."""
+
+    seed: int = 0
+    global_mem: Dict[int, Number] = field(default_factory=dict)
+    shared_mem: Dict[int, Number] = field(default_factory=dict)
+
+    def _default(self, address: int, space_salt: int) -> Number:
+        mixed = _mix((int(address) << 2) ^ self.seed ^ space_salt)
+        # Small positive ints keep arithmetic well behaved in kernels
+        # that use loaded values as counters or offsets.
+        return mixed % 251
+
+    def load_global(self, address: int) -> Number:
+        return self.global_mem.get(
+            int(address), self._default(int(address), 0x0)
+        )
+
+    def store_global(self, address: int, value: Number) -> None:
+        self.global_mem[int(address)] = value
+
+    def load_shared(self, address: int) -> Number:
+        return self.shared_mem.get(
+            int(address), self._default(int(address), 0x5A5A)
+        )
+
+    def store_shared(self, address: int, value: Number) -> None:
+        self.shared_mem[int(address)] = value
+
+    def texture_fetch(self, coordinate: Number) -> Number:
+        return _mix(int(coordinate) ^ self.seed ^ 0x7E57) % 1021

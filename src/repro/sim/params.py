@@ -1,0 +1,53 @@
+"""Simulation parameters (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.instructions import LatencyClass
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Single-SM trace simulation parameters (Table 2)."""
+
+    execution_width: int = 32          # SIMT lanes
+    threads_per_warp: int = 32
+    num_warps: int = 32                # machine-resident warps per SM
+    register_file_kb: int = 128
+    register_bank_kb: int = 4
+    shared_memory_kb: int = 32
+    shared_memory_bw_bytes: int = 32   # bytes/cycle
+    dram_bw_bytes: int = 32            # bytes/cycle
+    alu_latency: int = 8
+    sfu_latency: int = 20
+    shared_memory_latency: int = 20
+    texture_latency: int = 400
+    dram_latency: int = 400
+    #: Active warps under the two-level scheduler (Section 6: 8 active
+    #: warps suffice for full performance).
+    active_warps: int = 8
+
+    def latency_of(self, latency_class: LatencyClass) -> int:
+        """Cycles until a result of the given class is ready."""
+        return {
+            LatencyClass.ALU: self.alu_latency,
+            LatencyClass.SFU: self.sfu_latency,
+            LatencyClass.SHARED_MEM: self.shared_memory_latency,
+            LatencyClass.TEXTURE: self.texture_latency,
+            LatencyClass.DRAM: self.dram_latency,
+        }[latency_class]
+
+    @property
+    def shared_unit_issue_cycles(self) -> int:
+        """Cycles a shared unit is occupied per warp instruction.
+
+        The shared units (SFU/MEM/TEX) are one per 4-lane cluster
+        (Figure 1c): a 32-thread warp instruction occupies them for
+        32/8 = 4 cycles, which also matches 128 bytes moved at 32
+        bytes/cycle for memory operations.
+        """
+        return self.threads_per_warp // 8
+
+
+DEFAULT_PARAMS = SimParams()

@@ -1,0 +1,174 @@
+"""High-level evaluation driver: kernel + warps + scheme -> counts.
+
+Mirrors the paper's methodology (Section 5.1): execute the workload,
+record the number of accesses to each level of the register file over
+the whole execution, and separately record the single-level baseline's
+access counts for normalisation.
+
+Traces are materialised once per workload (:class:`TraceSet`) and
+re-accounted under every scheme, exactly like the authors' custom
+Ocelot trace-analysis tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..alloc.allocator import AllocationResult, allocate_kernel
+from ..analysis.usage import UsageHistogram, ValueUsageTracker
+from ..hierarchy.counters import AccessCounters
+from ..hierarchy.hw_lrf import HardwareThreeLevel
+from ..hierarchy.rfc import RegisterFileCache
+from ..ir.kernel import Kernel
+from .accounting import (
+    BaselineAccounting,
+    HardwareAccounting,
+    PointLiveness,
+    SoftwareAccounting,
+    account_trace,
+    shared_consumed_positions,
+)
+from .executor import TraceEvent, WarpExecutor, WarpInput
+from .schemes import Scheme, SchemeKind
+
+
+@dataclass
+class TraceSet:
+    """Materialised dynamic traces for one kernel's warps."""
+
+    kernel: Kernel
+    warp_traces: List[List[TraceEvent]]
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(len(trace) for trace in self.warp_traces)
+
+
+def build_traces(
+    kernel: Kernel, warp_inputs: Sequence[WarpInput]
+) -> TraceSet:
+    """Execute every warp and materialise its instruction stream."""
+    traces = [
+        list(WarpExecutor(kernel, warp_input).run())
+        for warp_input in warp_inputs
+    ]
+    return TraceSet(kernel, traces)
+
+
+def build_divergent_traces(kernel: Kernel, warp_inputs) -> TraceSet:
+    """Execute SIMT-divergent warps (per-thread inputs) and materialise
+    their traces; the result feeds the same accounting as uniform
+    traces (register file access costs are warp-level regardless of the
+    active mask, Section 5.2)."""
+    from .divergence import DivergentWarpExecutor
+
+    traces = [
+        list(DivergentWarpExecutor(kernel, warp_input).run())
+        for warp_input in warp_inputs
+    ]
+    return TraceSet(kernel, traces)
+
+
+@dataclass
+class KernelEvaluation:
+    """Access counts for one kernel under one scheme."""
+
+    kernel_name: str
+    scheme: Scheme
+    counters: AccessCounters
+    baseline: AccessCounters
+    dynamic_instructions: int
+    allocation: Optional[AllocationResult] = None
+
+
+def evaluate_traces(
+    traces: TraceSet,
+    scheme: Scheme,
+) -> KernelEvaluation:
+    """Account a workload's traces under one scheme.
+
+    For software schemes this (re)runs the allocator on the kernel,
+    annotating its instructions in place, before accounting.
+    """
+    kernel = traces.kernel
+    counters = AccessCounters()
+    baseline = AccessCounters()
+    allocation: Optional[AllocationResult] = None
+
+    if scheme.kind.is_software:
+        allocation = allocate_kernel(kernel, scheme.allocation_config())
+
+    liveness: Optional[PointLiveness] = None
+    shared_positions = frozenset()
+    if scheme.kind.is_hardware:
+        liveness = PointLiveness(kernel)
+        if scheme.kind is SchemeKind.HW_THREE_LEVEL:
+            shared_positions = shared_consumed_positions(kernel)
+
+    for trace in traces.warp_traces:
+        driver = _make_driver(
+            scheme, kernel, counters, liveness, shared_positions
+        )
+        account_trace(driver, trace)
+        baseline_driver = BaselineAccounting(baseline)
+        account_trace(baseline_driver, trace)
+
+    return KernelEvaluation(
+        kernel_name=kernel.name,
+        scheme=scheme,
+        counters=counters,
+        baseline=baseline,
+        dynamic_instructions=traces.dynamic_instructions,
+        allocation=allocation,
+    )
+
+
+def _make_driver(
+    scheme: Scheme,
+    kernel: Kernel,
+    counters: AccessCounters,
+    liveness: Optional[PointLiveness],
+    shared_positions,
+):
+    if scheme.kind is SchemeKind.BASELINE:
+        return BaselineAccounting(counters)
+    if scheme.kind.is_software:
+        return SoftwareAccounting(counters)
+    if scheme.kind is SchemeKind.HW_TWO_LEVEL:
+        model = RegisterFileCache(
+            scheme.entries_per_thread,
+            counters,
+            flush_on_backward_branch=scheme.flush_on_backward_branch,
+        )
+        return HardwareAccounting(model, liveness, kernel)
+    if scheme.kind is SchemeKind.HW_THREE_LEVEL:
+        model = HardwareThreeLevel(
+            scheme.entries_per_thread,
+            counters,
+            shared_positions,
+            flush_on_backward_branch=scheme.flush_on_backward_branch,
+        )
+        return HardwareAccounting(model, liveness, kernel, three_level=True)
+    raise ValueError(f"unknown scheme kind {scheme.kind}")
+
+
+def evaluate_kernel(
+    kernel: Kernel,
+    warp_inputs: Sequence[WarpInput],
+    scheme: Scheme,
+) -> KernelEvaluation:
+    """Convenience wrapper: trace then account under one scheme."""
+    return evaluate_traces(build_traces(kernel, warp_inputs), scheme)
+
+
+def usage_histogram(traces: TraceSet) -> UsageHistogram:
+    """Figure 2 statistics for one workload's traces."""
+    histogram = UsageHistogram()
+    for trace in traces.warp_traces:
+        tracker = ValueUsageTracker()
+        for event in trace:
+            tracker.observe(event.instruction, event.guard_passed)
+        tracker.finish()
+        histogram.add_tracker(tracker)
+    return histogram

@@ -1,0 +1,201 @@
+"""Cycle-level two-level warp scheduler timing model (Sections 2.2, 5.1).
+
+Verifies the paper's performance claim: with a two-level scheduler and
+8 active warps (out of 32 machine-resident), the SM suffers no
+performance penalty relative to scheduling all warps, because the
+active set hides short (ALU/shared-memory) latencies while descheduling
+hides long (DRAM/texture) latencies.
+
+The model issues at most one warp instruction per cycle (Table 2:
+32-wide SIMT, in-order).  Shared units (SFU/MEM/TEX) are occupied for
+32/8 = 4 cycles per warp instruction (one unit per 4-lane cluster).
+A warp whose next instruction depends on an outstanding long-latency
+result is descheduled: it leaves the active set and becomes eligible
+again once all its outstanding long-latency operations complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..ir.instructions import FunctionalUnit
+from ..ir.registers import Register
+from .executor import TraceEvent
+from .params import DEFAULT_PARAMS, SimParams
+
+
+@dataclass
+class _WarpState:
+    trace: Sequence[TraceEvent]
+    pc: int = 0
+    #: Cycle at which each written register becomes ready.
+    reg_ready: Dict[Register, int] = field(default_factory=dict)
+    #: Registers whose outstanding producer is long-latency.
+    long_pending: Dict[Register, int] = field(default_factory=dict)
+    #: When descheduled, cycle at which the warp may re-activate.
+    wakeup: int = 0
+    active: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.pc >= len(self.trace)
+
+    def next_event(self) -> TraceEvent:
+        return self.trace[self.pc]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one timing simulation."""
+
+    cycles: int
+    instructions: int
+    active_warps: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def simulate_schedule(
+    warp_traces: Sequence[Sequence[TraceEvent]],
+    active_warps: int,
+    params: SimParams = DEFAULT_PARAMS,
+    max_cycles: int = 50_000_000,
+) -> ScheduleResult:
+    """Simulate issuing the given warp traces with a bounded active set.
+
+    ``active_warps >= len(warp_traces)`` reduces to the single-level
+    scheduler (no warp is ever excluded from issue).
+    """
+    if active_warps < 1:
+        raise ValueError("need at least one active warp")
+    warps = [_WarpState(trace) for trace in warp_traces]
+    pending: List[int] = list(range(len(warps)))
+    active: List[int] = []
+    unit_busy: Dict[FunctionalUnit, int] = {
+        unit: 0 for unit in FunctionalUnit
+    }
+
+    cycle = 0
+    issued = 0
+    rotate = 0
+
+    def refill_active() -> None:
+        index = 0
+        while len(active) < active_warps and index < len(pending):
+            warp_id = pending[index]
+            warp = warps[warp_id]
+            if warp.wakeup <= cycle and not warp.finished:
+                pending.pop(index)
+                warp.active = True
+                active.append(warp_id)
+            else:
+                index += 1
+
+    refill_active()
+    while any(not warp.finished for warp in warps):
+        if cycle >= max_cycles:
+            raise RuntimeError("timing simulation exceeded max_cycles")
+        refill_active()
+        issued_this_cycle = False
+        for offset in range(len(active)):
+            warp_id = active[(rotate + offset) % len(active)] if active else None
+            if warp_id is None:
+                break
+            warp = warps[warp_id]
+            if warp.finished:
+                warp.active = False
+                active.remove(warp_id)
+                refill_active()
+                break
+            event = warp.next_event()
+            status = _issue_status(warp, event, cycle, unit_busy, params)
+            if status == "issue":
+                _do_issue(warp, event, cycle, unit_busy, params)
+                issued += 1
+                issued_this_cycle = True
+                rotate = (rotate + offset + 1) % max(1, len(active))
+                break
+            if status == "deschedule":
+                # Two-level scheduler: swap the warp out until all of
+                # its outstanding long-latency operations complete.
+                warp.wakeup = max(
+                    warp.long_pending.values(), default=cycle
+                )
+                warp.long_pending.clear()
+                warp.active = False
+                active.remove(warp_id)
+                pending.append(warp_id)
+                refill_active()
+                break
+            # "stall": try the next active warp.
+        cycle += 1
+        if not issued_this_cycle:
+            continue
+    return ScheduleResult(
+        cycles=max(1, cycle), instructions=issued, active_warps=active_warps
+    )
+
+
+def _issue_status(
+    warp: _WarpState,
+    event: TraceEvent,
+    cycle: int,
+    unit_busy: Dict[FunctionalUnit, int],
+    params: SimParams,
+) -> str:
+    """'issue', 'stall' (short dependence / busy unit), or 'deschedule'."""
+    instruction = event.instruction
+    # Expire completed long-latency markers.
+    for reg in [r for r, c in warp.long_pending.items() if c <= cycle]:
+        del warp.long_pending[reg]
+
+    deps = [reg for _, reg in instruction.gpr_reads()]
+    written = instruction.gpr_write()
+    if written is not None:
+        deps.append(written)
+    for reg in deps:
+        ready = warp.reg_ready.get(reg, 0)
+        if ready > cycle:
+            if reg in warp.long_pending:
+                return "deschedule"
+            return "stall"
+    unit = instruction.unit
+    if unit.is_shared and unit_busy[unit] > cycle:
+        return "stall"
+    return "issue"
+
+
+def _do_issue(
+    warp: _WarpState,
+    event: TraceEvent,
+    cycle: int,
+    unit_busy: Dict[FunctionalUnit, int],
+    params: SimParams,
+) -> None:
+    instruction = event.instruction
+    written = instruction.gpr_write()
+    if written is not None and event.guard_passed:
+        latency = params.latency_of(instruction.opcode.latency_class)
+        ready = cycle + latency
+        warp.reg_ready[written] = ready
+        if instruction.is_long_latency:
+            warp.long_pending[written] = ready
+    unit = instruction.unit
+    if unit.is_shared:
+        unit_busy[unit] = cycle + params.shared_unit_issue_cycles
+    warp.pc += 1
+
+
+def active_warp_sweep(
+    warp_traces: Sequence[Sequence[TraceEvent]],
+    active_counts: Sequence[int],
+    params: SimParams = DEFAULT_PARAMS,
+) -> Dict[int, ScheduleResult]:
+    """IPC for several active-set sizes (the Section 6 scheduler study)."""
+    return {
+        count: simulate_schedule(warp_traces, count, params)
+        for count in active_counts
+    }

@@ -1,0 +1,186 @@
+"""Dynamic verification of allocation correctness.
+
+The allocator promises that every annotated read observes the same
+value a single-level register file would deliver.  This module checks
+that promise by shadow-executing a warp trace:
+
+* every dynamic definition gets a unique token;
+* writes deposit the token into shadow copies of the MRF, the ORF
+  entries, and the LRF banks named by the destination annotation;
+* ORF/LRF shadows are invalidated at strand boundaries (the two-level
+  scheduler may swap the warp out there, and entries are time-shared
+  across warps);
+* every read asserts that the shadow at its annotated location holds
+  the token of the architecturally current value.
+
+Any allocator bug that lets a stale or foreign value be read —
+allocation across a strand boundary, entry-sharing collision, missing
+MRF write for a live-out or mixed-read value — surfaces as an
+:class:`AllocationVerificationError` naming the instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..ir.kernel import Kernel
+from ..ir.registers import Register
+from ..levels import Level
+from ..strands.model import StrandPartition
+from .executor import TraceEvent
+
+
+class AllocationVerificationError(AssertionError):
+    """A read would have observed a wrong value."""
+
+
+@dataclass
+class VerificationStats:
+    """What the verifier observed (useful in tests)."""
+
+    instructions: int = 0
+    reads_checked: int = 0
+    lrf_reads: int = 0
+    orf_reads: int = 0
+    mrf_reads: int = 0
+    invalidations: int = 0
+
+
+class AllocationVerifier:
+    """Shadow-executes one warp trace against the static annotations."""
+
+    def __init__(self, kernel: Kernel, partition: StrandPartition) -> None:
+        self.kernel = kernel
+        self.partition = partition
+        self._next_token = 1
+        #: Architecturally current token per register.
+        self._arch: Dict[Register, int] = {}
+        #: Shadow hierarchy contents (tokens).
+        self._mrf: Dict[Register, int] = {}
+        self._orf: Dict[int, int] = {}
+        self._lrf: Dict[int, int] = {}
+        self._current_strand: Optional[int] = None
+        self._prev_position: Optional[int] = None
+        self.stats = VerificationStats()
+        # Live-in values exist in the MRF before the kernel starts.
+        for reg in kernel.live_in:
+            if reg.is_gpr:
+                token = self._new_token()
+                self._arch[reg] = token
+                self._mrf[reg] = token
+
+    def _new_token(self) -> int:
+        token = self._next_token
+        self._next_token += 1
+        return token
+
+    # -- main hooks -----------------------------------------------------------
+
+    def process(self, event: TraceEvent) -> None:
+        self.stats.instructions += 1
+        self._check_strand_boundary(event)
+        instruction = event.instruction
+        src_anns = instruction.src_anns
+        fills = []
+        for slot, reg in instruction.gpr_reads():
+            annotation = src_anns[slot] if src_anns else None
+            self._check_read(event, slot, reg, annotation)
+            if annotation is not None and (
+                annotation.orf_write_entry is not None
+            ):
+                # Read operand allocation refills the ORF entry — in
+                # the write phase, i.e. after all reads of this slot.
+                fills.append((annotation.orf_write_entry, reg))
+        for entry, reg in fills:
+            self._orf[entry] = self._arch[reg]
+        written = instruction.gpr_write()
+        if written is not None and event.guard_passed:
+            self._apply_write(event, written)
+
+    def finish(self) -> None:
+        """End of trace; nothing further to check."""
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_strand_boundary(self, event: TraceEvent) -> None:
+        position = event.ref.position
+        strand = self.partition.strand_of_position.get(position)
+        # A boundary is crossed when the static strand changes, and also
+        # when the same strand re-enters dynamically (a taken backward
+        # branch re-executes a loop-body strand: positions within one
+        # strand execution strictly increase, so a non-increasing step
+        # is a new execution).
+        re_entered = (
+            self._prev_position is not None
+            and position <= self._prev_position
+        )
+        if strand != self._current_strand or re_entered:
+            # Entering a new strand (execution): ORF and LRF contents
+            # are dead (descheduling and time-sharing across warps).
+            self._orf.clear()
+            self._lrf.clear()
+            self._current_strand = strand
+            self.stats.invalidations += 1
+        self._prev_position = position
+
+    def _check_read(self, event, slot, reg, annotation) -> None:
+        expected = self._arch.get(reg)
+        if expected is None:
+            raise AllocationVerificationError(
+                f"{self.kernel.name} @{event.ref.position}: read of "
+                f"never-written register {reg}"
+            )
+        self.stats.reads_checked += 1
+        if annotation is None or annotation.level is Level.MRF:
+            self.stats.mrf_reads += 1
+            actual = self._mrf.get(reg)
+            where = f"MRF[{reg}]"
+        elif annotation.level is Level.ORF:
+            self.stats.orf_reads += 1
+            actual = self._orf.get(annotation.orf_entry)
+            where = f"ORF[{annotation.orf_entry}]"
+        else:
+            self.stats.lrf_reads += 1
+            bank = annotation.lrf_bank if annotation.lrf_bank is not None else 0
+            actual = self._lrf.get(bank)
+            where = f"LRF[{bank}]"
+        if actual != expected:
+            raise AllocationVerificationError(
+                f"{self.kernel.name} @{event.ref.position} "
+                f"({event.instruction}): operand {slot} ({reg}) reads "
+                f"{where} which holds token {actual}, expected {expected}"
+            )
+
+    def _apply_write(self, event: TraceEvent, written: Register) -> None:
+        token = self._new_token()
+        self._arch[written] = token
+        annotation = event.instruction.dst_ann
+        if annotation is None:
+            self._mrf[written] = token
+            return
+        for level in annotation.levels:
+            if level is Level.MRF:
+                self._mrf[written] = token
+            elif level is Level.ORF:
+                self._orf[annotation.orf_entry] = token
+            else:
+                bank = (
+                    annotation.lrf_bank
+                    if annotation.lrf_bank is not None
+                    else 0
+                )
+                self._lrf[bank] = token
+
+
+def verify_trace(
+    kernel: Kernel,
+    partition: StrandPartition,
+    events: Iterable[TraceEvent],
+) -> VerificationStats:
+    """Verify one warp trace; raises on any inconsistent read."""
+    verifier = AllocationVerifier(kernel, partition)
+    for event in events:
+        verifier.process(event)
+    verifier.finish()
+    return verifier.stats

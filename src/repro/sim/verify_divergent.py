@@ -1,0 +1,206 @@
+"""Per-lane dynamic verification of allocations under SIMT divergence.
+
+The warp-level verifier (``repro.sim.verify``) shadow-executes uniform
+traces.  Under divergence the same allocation must stay correct *per
+lane*: a Figure 10(c) hammock instance writes its shared ORF entry from
+whichever arm each lane takes, and the merge-point read must observe
+each lane's own value.  This verifier tracks one shadow hierarchy per
+lane and checks exactly that.
+
+ORF/LRF invalidation points are derived from the event stream at warp
+granularity (descheduling affects the whole warp): entry into a
+different strand, or a taken backward branch re-entering the same
+strand.  Within a strand, divergent arm-switching revisits lower layout
+positions without crossing an invalidation point — which is precisely
+why per-lane checking is needed: the warp-level verifier's
+position-monotonicity heuristic would misfire there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..ir.kernel import Kernel
+from ..ir.registers import Register
+from ..levels import Level
+from ..strands.model import StrandPartition
+from .executor import TraceEvent
+from .verify import AllocationVerificationError
+
+
+@dataclass
+class DivergentVerificationStats:
+    instructions: int = 0
+    lane_reads_checked: int = 0
+    invalidations: int = 0
+    max_divergence: int = 0  # max simultaneous path splits observed
+
+
+class DivergentAllocationVerifier:
+    """Shadow-executes one divergent warp trace, per lane."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        partition: StrandPartition,
+        num_lanes: int,
+    ) -> None:
+        self.kernel = kernel
+        self.partition = partition
+        self.num_lanes = num_lanes
+        self._next_token = 1
+        self._arch: List[Dict[Register, int]] = [
+            {} for _ in range(num_lanes)
+        ]
+        self._mrf: List[Dict[Register, int]] = [
+            {} for _ in range(num_lanes)
+        ]
+        self._orf: List[Dict[int, int]] = [{} for _ in range(num_lanes)]
+        self._lrf: List[Dict[int, int]] = [{} for _ in range(num_lanes)]
+        self._current_strand: Optional[int] = None
+        self.stats = DivergentVerificationStats()
+        for reg in kernel.live_in:
+            if not reg.is_gpr:
+                continue
+            for lane in range(num_lanes):
+                token = self._token()
+                self._arch[lane][reg] = token
+                self._mrf[lane][reg] = token
+
+    def _token(self) -> int:
+        token = self._next_token
+        self._next_token += 1
+        return token
+
+    def _lanes(self, mask: int) -> Iterable[int]:
+        for lane in range(self.num_lanes):
+            if mask & (1 << lane):
+                yield lane
+
+    # -- hooks -----------------------------------------------------------
+
+    def process(self, event: TraceEvent) -> None:
+        self.stats.instructions += 1
+        self._maybe_invalidate(event)
+        instruction = event.instruction
+        mask = (
+            event.active_mask
+            if event.active_mask != -1
+            else (1 << self.num_lanes) - 1
+        )
+        exec_mask = (
+            event.exec_mask if event.exec_mask != -1 else mask
+        )
+        src_anns = instruction.src_anns
+        fills = []
+        for slot, reg in instruction.gpr_reads():
+            annotation = src_anns[slot] if src_anns else None
+            for lane in self._lanes(mask):
+                self._check_lane_read(event, lane, slot, reg, annotation)
+            if annotation is not None and (
+                annotation.orf_write_entry is not None
+            ):
+                fills.append((annotation.orf_write_entry, reg))
+        for entry, reg in fills:
+            for lane in self._lanes(mask):
+                self._orf[lane][entry] = self._arch[lane][reg]
+        written = instruction.gpr_write()
+        if written is not None:
+            for lane in self._lanes(exec_mask):
+                self._apply_lane_write(event, lane, written)
+
+    def finish(self) -> None:
+        """Nothing outstanding at end of trace."""
+
+    # -- internals ---------------------------------------------------------
+
+    def _maybe_invalidate(self, event: TraceEvent) -> None:
+        strand = self.partition.strand_of_position.get(
+            event.ref.position
+        )
+        if strand != self._current_strand:
+            self._clear_upper_levels()
+            self._current_strand = strand
+
+    def _note_backward_branch(self, event: TraceEvent) -> None:
+        target = event.instruction.target
+        if target is None or not event.branch_taken:
+            return
+        if self.kernel.is_backward_edge(
+            event.ref.block_index, self.kernel.block_index(target)
+        ):
+            self._clear_upper_levels()
+            self._current_strand = None
+
+    def _clear_upper_levels(self) -> None:
+        for lane in range(self.num_lanes):
+            self._orf[lane].clear()
+            self._lrf[lane].clear()
+        self.stats.invalidations += 1
+
+    def _check_lane_read(self, event, lane, slot, reg, annotation) -> None:
+        expected = self._arch[lane].get(reg)
+        if expected is None:
+            raise AllocationVerificationError(
+                f"{self.kernel.name} @{event.ref.position} lane {lane}: "
+                f"read of never-written register {reg}"
+            )
+        self.stats.lane_reads_checked += 1
+        if annotation is None or annotation.level is Level.MRF:
+            actual = self._mrf[lane].get(reg)
+            where = f"MRF[{reg}]"
+        elif annotation.level is Level.ORF:
+            actual = self._orf[lane].get(annotation.orf_entry)
+            where = f"ORF[{annotation.orf_entry}]"
+        else:
+            bank = (
+                annotation.lrf_bank
+                if annotation.lrf_bank is not None
+                else 0
+            )
+            actual = self._lrf[lane].get(bank)
+            where = f"LRF[{bank}]"
+        if actual != expected:
+            raise AllocationVerificationError(
+                f"{self.kernel.name} @{event.ref.position} "
+                f"({event.instruction}) lane {lane}: operand {slot} "
+                f"({reg}) reads {where} holding token {actual}, "
+                f"expected {expected}"
+            )
+
+    def _apply_lane_write(self, event, lane, written) -> None:
+        token = self._token()
+        self._arch[lane][written] = token
+        annotation = event.instruction.dst_ann
+        if annotation is None:
+            self._mrf[lane][written] = token
+            return
+        for level in annotation.levels:
+            if level is Level.MRF:
+                self._mrf[lane][written] = token
+            elif level is Level.ORF:
+                self._orf[lane][annotation.orf_entry] = token
+            else:
+                bank = (
+                    annotation.lrf_bank
+                    if annotation.lrf_bank is not None
+                    else 0
+                )
+                self._lrf[lane][bank] = token
+
+
+def verify_divergent_trace(
+    kernel: Kernel,
+    partition: StrandPartition,
+    events: Iterable[TraceEvent],
+    num_lanes: int,
+) -> DivergentVerificationStats:
+    """Verify one divergent warp trace per lane; raises on any
+    inconsistent read."""
+    verifier = DivergentAllocationVerifier(kernel, partition, num_lanes)
+    for event in events:
+        verifier.process(event)
+        verifier._note_backward_branch(event)
+    verifier.finish()
+    return verifier.stats

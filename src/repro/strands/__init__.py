@@ -1,0 +1,12 @@
+"""Strand partitioning (Section 4.1): the allocation scope of the
+ORF/LRF hierarchy."""
+
+from .model import EndpointKind, Strand, StrandPartition
+from .partition import partition_strands
+
+__all__ = [
+    "EndpointKind",
+    "Strand",
+    "StrandPartition",
+    "partition_strands",
+]

@@ -1,0 +1,31 @@
+"""Synthetic benchmark workloads standing in for Table 1's suites."""
+
+from .generators import GeneratorConfig, generate_kernel, generate_workload
+from .shapes import WorkloadSpec
+from .suites import (
+    BENCHMARK_NAMES,
+    SUITE_CUDA_SDK,
+    SUITE_NAMES,
+    SUITE_PARBOIL,
+    SUITE_RODINIA,
+    all_workloads,
+    build_suite,
+    get_workload,
+    suite_of,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "GeneratorConfig",
+    "SUITE_CUDA_SDK",
+    "SUITE_NAMES",
+    "SUITE_PARBOIL",
+    "SUITE_RODINIA",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_suite",
+    "generate_kernel",
+    "generate_workload",
+    "get_workload",
+    "suite_of",
+]

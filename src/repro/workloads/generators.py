@@ -1,0 +1,206 @@
+"""Random structured kernel generation (fuzzing and property tests).
+
+Generates valid kernels — every register defined before use on every
+path, structured control flow (straight-line segments, hammocks, and
+counted loops) — from a seed.  Used to fuzz the allocator against the
+dynamic verifier (``repro.sim.verify``): for any generated kernel and
+any allocator configuration, every annotated read must observe the
+architecturally correct value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..ir.builder import KernelBuilder
+from ..ir.instructions import Opcode
+from ..ir.kernel import Kernel
+from ..ir.registers import Register, gpr, pred
+from ..sim.executor import WarpInput
+from .shapes import LIVE_INS, R_C0, R_C1, R_IN, R_N, R_OUT, WorkloadSpec
+
+_ALU_BINARY = (
+    Opcode.IADD,
+    Opcode.ISUB,
+    Opcode.IMUL,
+    Opcode.IMIN,
+    Opcode.IMAX,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+)
+_SFU_UNARY = (Opcode.RCP, Opcode.SQRT, Opcode.SIN, Opcode.EX2)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for random kernel generation."""
+
+    num_segments: int = 4
+    ops_per_segment: int = 6
+    max_registers: int = 20
+    loop_probability: float = 0.35
+    hammock_probability: float = 0.3
+    load_probability: float = 0.25
+    sfu_probability: float = 0.1
+    store_probability: float = 0.15
+    max_loop_trip: int = 5
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.rng = random.Random(seed)
+        self.config = config
+        self.builder = KernelBuilder(f"fuzz_{seed}", live_in=LIVE_INS)
+        #: Registers guaranteed defined on every path to this point.
+        self.defined: List[Register] = [r for r in LIVE_INS]
+        self._label_counter = 0
+        self._loop_counter_regs = 0
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}{self._label_counter}"
+
+    def _fresh_reg(self) -> Register:
+        index = self.rng.randrange(5, self.config.max_registers)
+        return gpr(index)
+
+    def _source(self) -> Register:
+        return self.rng.choice(self.defined)
+
+    def _define(self, reg: Register) -> None:
+        if reg not in self.defined:
+            self.defined.append(reg)
+
+    # -- emission ---------------------------------------------------------
+
+    def _emit_op(self) -> None:
+        b = self.builder
+        roll = self.rng.random()
+        if roll < self.config.load_probability:
+            dst = self._fresh_reg()
+            b.op(Opcode.LDG, dst, self._source())
+            self._define(dst)
+        elif roll < self.config.load_probability + self.config.sfu_probability:
+            dst = self._fresh_reg()
+            b.op(self.rng.choice(_SFU_UNARY), dst, self._source())
+            self._define(dst)
+        elif roll < (
+            self.config.load_probability
+            + self.config.sfu_probability
+            + self.config.store_probability
+        ):
+            b.op(Opcode.STG, None, self._source(), self._source())
+        else:
+            dst = self._fresh_reg()
+            opcode = self.rng.choice(_ALU_BINARY + (Opcode.FFMA,))
+            if opcode is Opcode.FFMA:
+                b.op(opcode, dst, self._source(), self._source(),
+                     self._source())
+            else:
+                b.op(opcode, dst, self._source(), self._source())
+            self._define(dst)
+
+    def _emit_straight(self, count: int) -> None:
+        for _ in range(count):
+            self._emit_op()
+
+    def _emit_hammock(self) -> None:
+        b = self.builder
+        p = pred(self.rng.randrange(0, 2))
+        b.op(Opcode.SETP, p, self._source(), self.rng.randrange(1, 200))
+        else_label = self._label("else")
+        merge_label = self._label("merge")
+        b.bra(else_label, guard=p)
+        b.block(self._label("then"))
+        # then-side; both sides define the same register so the merge
+        # point may consume it (Figure 10c).
+        common = self._fresh_reg()
+        before = list(self.defined)
+        self._emit_straight(self.rng.randrange(1, 4))
+        b.op(Opcode.IADD, common, self._source(), 1)
+        b.bra(merge_label)
+        # else-side: reset definedness to the pre-hammock state.
+        self.defined = list(before)
+        b.block(else_label)
+        self._emit_straight(self.rng.randrange(1, 4))
+        b.op(Opcode.ISUB, common, self._source(), 1)
+        b.block(merge_label)
+        self.defined = list(before)
+        self._define(common)
+
+    def _emit_loop(self) -> None:
+        b = self.builder
+        counter = gpr(self.config.max_registers + self._loop_counter_regs)
+        self._loop_counter_regs += 1
+        trip = self.rng.randrange(2, self.config.max_loop_trip + 1)
+        b.op(Opcode.MOV, counter, trip)
+        self._define(counter)
+        loop_label = self._label("loop")
+        b.block(loop_label)
+        before = list(self.defined)
+        self._emit_straight(self.rng.randrange(2, self.config.ops_per_segment))
+        # Only registers defined before the loop are guaranteed on the
+        # backward path; restore definedness conservatively.
+        p = pred(2)
+        b.op(Opcode.IADD, counter, counter, -1)
+        b.op(Opcode.SETP, p, 0, counter)
+        b.bra(loop_label, guard=p)
+        b.block(self._label("after"))
+        self.defined = before
+
+    def generate(self) -> Kernel:
+        b = self.builder
+        b.block("entry")
+        self._emit_straight(2)
+        for _ in range(self.config.num_segments):
+            roll = self.rng.random()
+            if roll < self.config.loop_probability:
+                self._emit_loop()
+            elif roll < (
+                self.config.loop_probability
+                + self.config.hammock_probability
+            ):
+                self._emit_hammock()
+            else:
+                self._emit_straight(self.config.ops_per_segment)
+        b.op(Opcode.STG, None, R_OUT, self._source())
+        b.exit()
+        return b.build()
+
+
+def generate_kernel(
+    seed: int, config: GeneratorConfig = GeneratorConfig()
+) -> Kernel:
+    """Deterministically generate one valid random kernel."""
+    return _Generator(seed, config).generate()
+
+
+def generate_workload(
+    seed: int,
+    config: GeneratorConfig = GeneratorConfig(),
+    num_warps: int = 2,
+) -> WorkloadSpec:
+    """A random kernel with standard warp inputs."""
+    kernel = generate_kernel(seed, config)
+    inputs = [
+        WarpInput(
+            live_in_values={
+                R_IN: 4096 * warp,
+                R_OUT: 1_000_000 + 4096 * warp,
+                R_N: 4 + warp,
+                R_C0: 3,
+                R_C1: 5,
+            }
+        )
+        for warp in range(num_warps)
+    ]
+    return WorkloadSpec(
+        name=kernel.name,
+        suite="fuzz",
+        kernel=kernel,
+        warp_inputs=inputs,
+        description=f"random kernel, seed={seed}",
+    )

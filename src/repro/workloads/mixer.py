@@ -1,0 +1,212 @@
+"""Deterministic arithmetic-block synthesis shared by all kernel shapes.
+
+The register-usage statistics that drive the paper's results (Figure 2)
+come from the *arithmetic texture* of real kernels: interleaved
+dependence chains, butterfly pairs (each input read twice, in two
+different operand slots), short producer-consumer distances with an
+occasional long-lived value, and a few dead writes.  :class:`ArithMixer`
+emits such blocks deterministically from a seed, managing a small pool
+of temporary registers the way a real register allocator would.
+
+Patterns emitted (probabilities configurable):
+
+* *chain step* — ``t = ffma(head, coef, head2)``: head read once,
+  lifetime 1;
+* *butterfly* — ``c = a + b; d = a - b``: a and b each read twice, in
+  operand slots A and B, then die;
+* *triad* — three fresh read-once values consumed by one FMA in
+  operand slots A, B, and C: with three values simultaneously live for
+  one or two cycles, a unified one-entry LRF can hold only one of them
+  while a split LRF holds all three — the pattern behind the paper's
+  split-LRF advantage (Section 6.3);
+* *stash* — hold a value and consume it several ops later (lifetime
+  >3 tail of Figure 2b);
+* *dead write* — a value never read (the 'Read 0 Times' band of
+  Figure 2a).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..ir.builder import KernelBuilder
+from ..ir.instructions import Opcode
+from ..ir.registers import Register, gpr
+
+_CHAIN_OPS = (Opcode.FFMA, Opcode.IMAD)
+_PAIR_OPS = (
+    (Opcode.IADD, Opcode.ISUB),
+    (Opcode.FADD, Opcode.FMUL),
+    (Opcode.IMIN, Opcode.IMAX),
+)
+
+
+class ArithMixer:
+    """Emits a realistic arithmetic block into a KernelBuilder."""
+
+    def __init__(
+        self,
+        builder: KernelBuilder,
+        seed: int,
+        temp_range: Sequence[int] = range(8, 22),
+        butterfly_prob: float = 0.22,
+        triad_prob: float = 0.18,
+        stash_prob: float = 0.12,
+        dead_prob: float = 0.04,
+    ) -> None:
+        self.b = builder
+        self.rng = random.Random(seed)
+        self.free: List[Register] = [gpr(i) for i in temp_range]
+        self.butterfly_prob = butterfly_prob
+        self.triad_prob = triad_prob
+        self.stash_prob = stash_prob
+        self.dead_prob = dead_prob
+        #: (register, ops remaining until consumption)
+        self._stashes: List[List] = []
+
+    def _alloc(self) -> Register:
+        if not self.free:
+            raise RuntimeError("mixer temp pool exhausted")
+        return self.free.pop()
+
+    def _release(self, reg: Register) -> None:
+        if reg not in self.free:
+            self.free.append(reg)
+
+    def emit(
+        self,
+        inputs: Sequence[Register],
+        num_ops: int,
+        coefficients: Sequence[Register] = (),
+    ) -> Register:
+        """Emit ~``num_ops`` instructions consuming ``inputs``; returns
+        the register holding the block's result.
+
+        ``inputs`` must hold live values; they are treated as read-only.
+        ``coefficients`` are extra read-only multi-read values (loop
+        invariants), matching the '>2 reads' band of Figure 2a.
+        """
+        if not inputs:
+            raise ValueError("mixer needs at least one input")
+        rng = self.rng
+        coefs = list(coefficients) if coefficients else list(inputs[:1])
+
+        # Two live chain heads, seeded from the inputs.
+        heads: List[Register] = []
+        first = self._alloc()
+        self.b.op(Opcode.IADD, first, inputs[0], 1)
+        heads.append(first)
+        second = self._alloc()
+        self.b.op(
+            Opcode.IMUL, second, inputs[min(1, len(inputs) - 1)],
+            rng.choice(coefs),
+        )
+        heads.append(second)
+        emitted = 2
+
+        while emitted < num_ops:
+            self._age_stashes(heads)
+            roll = rng.random()
+            if roll < self.dead_prob:
+                dead = self._alloc()
+                self.b.op(
+                    Opcode.XOR, dead, rng.choice(heads), emitted
+                )
+                self._release(dead)
+                emitted += 1
+            elif roll < self.dead_prob + self.butterfly_prob and (
+                len(heads) >= 2 and len(self.free) >= 2
+            ):
+                a, b_reg = heads[0], heads[1]
+                op_add, op_sub = rng.choice(_PAIR_OPS)
+                out1, out2 = self._alloc(), self._alloc()
+                self.b.op(op_add, out1, a, b_reg)
+                self.b.op(op_sub, out2, a, b_reg)
+                self._release(a)
+                self._release(b_reg)
+                heads[0], heads[1] = out1, out2
+                emitted += 2
+            elif roll < (
+                self.dead_prob + self.butterfly_prob + self.triad_prob
+            ) and len(self.free) >= 4:
+                # Triad: three fresh read-once values, consumed in
+                # operand slots A, B, and C of one FMA (Section 6.3).
+                slot_a = self._alloc()
+                slot_b = self._alloc()
+                slot_c = self._alloc()
+                self.b.op(
+                    Opcode.IADD, slot_a, heads[0], rng.randrange(1, 32)
+                )
+                self.b.op(Opcode.IMUL, slot_b, heads[-1], rng.choice(coefs))
+                self.b.op(
+                    Opcode.IADD, slot_c, heads[0], rng.randrange(32, 64)
+                )
+                out = self._alloc()
+                self.b.op(Opcode.IMAD, out, slot_a, slot_b, slot_c)
+                self._release(slot_a)
+                self._release(slot_b)
+                self._release(slot_c)
+                head_index = rng.randrange(len(heads))
+                self._release(heads[head_index])
+                heads[head_index] = out
+                emitted += 4
+            elif roll < (
+                self.dead_prob + self.butterfly_prob + self.stash_prob
+            ) and self.free:
+                stash = self._alloc()
+                self.b.op(
+                    Opcode.IADD, stash, rng.choice(heads),
+                    rng.randrange(1, 64),
+                )
+                self._stashes.append([stash, rng.randrange(4, 9)])
+                emitted += 1
+            else:
+                head_index = rng.randrange(len(heads))
+                head = heads[head_index]
+                out = self._alloc()
+                other = rng.choice(
+                    list(inputs) + coefs + [h for h in heads if h != head]
+                )
+                opcode = rng.choice(_CHAIN_OPS)
+                self.b.op(opcode, out, head, rng.choice(coefs), other)
+                self._release(head)
+                heads[head_index] = out
+                emitted += 1
+
+        # Consume outstanding stashes and collapse heads.
+        for stash, _ in self._stashes:
+            out = self._alloc()
+            self.b.op(Opcode.IADD, out, heads[0], stash)
+            self._release(stash)
+            self._release(heads[0])
+            heads[0] = out
+        self._stashes.clear()
+        while len(heads) > 1:
+            merged = self._alloc()
+            self.b.op(Opcode.IADD, merged, heads[0], heads[1])
+            self._release(heads[0])
+            self._release(heads[1])
+            heads = [merged] + heads[2:]
+        return heads[0]
+
+    def _age_stashes(self, heads: List[Register]) -> None:
+        """Consume stashed values whose deferral has elapsed."""
+        remaining: List[List] = []
+        for entry in self._stashes:
+            stash, countdown = entry
+            if countdown <= 0:
+                index = self.rng.randrange(len(heads))
+                out = self._alloc()
+                self.b.op(Opcode.IMAD, out, stash, heads[index], stash)
+                self._release(stash)
+                self._release(heads[index])
+                heads[index] = out
+            else:
+                entry[1] = countdown - 1
+                remaining.append(entry)
+        self._stashes = remaining
+
+    def release_result(self, reg: Register) -> None:
+        """Return the block result's register to the pool."""
+        self._release(reg)

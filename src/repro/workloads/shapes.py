@@ -1,0 +1,476 @@
+"""Parameterised kernel shapes used to synthesise the benchmark suites.
+
+The paper evaluates on CUDA SDK 3.2, Rodinia, and Parboil (Table 1).
+Those binaries are not redistributable here, so each benchmark is
+synthesised from a *shape* — a structural template capturing how that
+class of kernel uses registers:
+
+* ``streaming_map`` — load/transform/store element streams (VectorAdd,
+  SobelFilter, ...): mostly single-use temporaries, strand per load
+  batch.
+* ``reduction_tight`` — a tight loop of one global load, one FMA into
+  an accumulator, and independent address/counter adds.  The paper
+  singles out Reduction and ScalarProd as the *worst* cases for the
+  hierarchy (Section 6.4): few register-passed values, frequent
+  descheduling on the loads.
+* ``fma_chain`` — blocked inner products (MatrixMul, Nbody, ...): long
+  chains of single-use FMA temporaries after a batch of loads.
+* ``stencil_shared`` — shared-memory stencils (Hotspot, Convolution,
+  ...): LDS has short latency, so strands span whole loop bodies and
+  the ORF/LRF capture nearly all traffic.
+* ``transcendental`` — SFU-heavy math (MonteCarlo, Mandelbrot, ...):
+  a fraction of values is consumed by the shared datapath, which the
+  LRF cannot serve (Section 3.2).
+* ``texture_sampler`` — texture fetches (long latency) plus filtering
+  arithmetic (BicubicTexture, ...).
+* ``histogram_scatter`` — bit manipulation and shared-memory scatter
+  (Histogram, DwtHaar1D, ...).
+* ``branchy_hammock`` — data-dependent hammocks writing the same
+  register on both sides (MergeSort, EigenValues, Needle, ...):
+  exercises forward-branch allocation (Section 4.5, Figure 10c).
+* ``nested_loop`` — an inner loop nested in an outer loop (SRAD,
+  BackProp, LU): backward-branch strand endpoints dominate.
+
+The arithmetic texture inside every shape comes from
+:class:`repro.workloads.mixer.ArithMixer`, which reproduces the paper's
+Figure 2 register-usage statistics (mostly read-once short-lived
+values, butterfly pairs, a tail of long-lived and dead values).
+
+Register convention: R0-R4 live-ins, R5-R7 accumulators/pointers,
+R8-R21 mixer temporaries, R22+ loads and addresses.
+
+Every shape returns a :class:`WorkloadSpec` with per-warp inputs whose
+trip counts differ, so warps interleave differently in the timing
+model.  All shapes are deterministic (seeded by the benchmark name).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..ir.builder import KernelBuilder
+from ..ir.instructions import Opcode
+from ..ir.kernel import Kernel
+from ..ir.registers import Register, gpr, pred
+from ..sim.executor import WarpInput
+from .mixer import ArithMixer
+
+#: Conventional live-in registers used by every shape.
+R_IN = gpr(0)      # input base address
+R_OUT = gpr(1)     # output base address
+R_N = gpr(2)       # element / iteration count
+R_C0 = gpr(3)      # coefficient (loop invariant, read many times)
+R_C1 = gpr(4)      # coefficient
+LIVE_INS = (R_IN, R_OUT, R_N, R_C0, R_C1)
+
+_ACC = gpr(5)
+_PTR = gpr(6)
+_PTR2 = gpr(7)
+_LOAD_BASE = 22
+_ADDR = gpr(28)
+_ADDR2 = gpr(29)
+
+
+@dataclass
+class WorkloadSpec:
+    """One synthetic benchmark: a kernel plus its simulated warps."""
+
+    name: str
+    suite: str
+    kernel: Kernel
+    warp_inputs: List[WarpInput]
+    description: str = ""
+
+
+def _seed_of(name: str) -> int:
+    return zlib.crc32(name.encode())
+
+
+def _warp_inputs(
+    num_warps: int, trips: Sequence[int], stride: int = 4096
+) -> List[WarpInput]:
+    """Standard warp inputs: disjoint address ranges, varied trips."""
+    inputs: List[WarpInput] = []
+    for warp in range(num_warps):
+        trip = trips[warp % len(trips)]
+        inputs.append(
+            WarpInput(
+                live_in_values={
+                    R_IN: warp * stride,
+                    R_OUT: 1_000_000 + warp * stride,
+                    R_N: trip,
+                    R_C0: 3 + warp,
+                    R_C1: 7,
+                }
+            )
+        )
+    return inputs
+
+
+def _loop_epilogue(
+    b: KernelBuilder,
+    counter: Register,
+    loop_label: str,
+    advance: Sequence[Register] = (),
+    step: int = 4,
+) -> None:
+    """Advance pointers, decrement the counter, and branch back."""
+    for reg in advance:
+        b.op(Opcode.IADD, reg, reg, step)
+    b.op(Opcode.IADD, counter, counter, -1)
+    b.op(Opcode.SETP, pred(0), 0, counter)
+    b.bra(loop_label, guard=pred(0))
+
+
+def _loads(
+    b: KernelBuilder,
+    count: int,
+    base: Register,
+    opcode: Opcode = Opcode.LDG,
+    spacing: int = 4,
+) -> List[Register]:
+    """Load ``count`` elements at base + i*spacing into R22+."""
+    loads: List[Register] = []
+    for index in range(count):
+        target = gpr(_LOAD_BASE + index)
+        if index == 0:
+            b.op(opcode, target, base)
+        else:
+            b.op(Opcode.IADD, _ADDR, base, spacing * index)
+            b.op(opcode, target, _ADDR)
+        loads.append(target)
+    return loads
+
+
+# ---------------------------------------------------------------------------
+# shapes
+# ---------------------------------------------------------------------------
+
+
+def streaming_map(
+    name: str,
+    suite: str,
+    unroll: int = 2,
+    ops_per_element: int = 6,
+    num_warps: int = 3,
+    trips: Sequence[int] = (6, 9, 12),
+) -> WorkloadSpec:
+    """Load a batch of elements, transform each, store the results."""
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("entry")
+    b.op(Opcode.MOV, _PTR, R_IN)
+    b.op(Opcode.MOV, _PTR2, R_OUT)
+    b.block("loop")
+    mixer = ArithMixer(b, _seed_of(name))
+    loads = _loads(b, unroll, _PTR)
+    for index, load in enumerate(loads):
+        result = mixer.emit(
+            [load] + loads[:1], ops_per_element, coefficients=(R_C0, R_C1)
+        )
+        b.op(Opcode.IADD, _ADDR2, _PTR2, 4 * index)
+        b.op(Opcode.STG, None, _ADDR2, result)
+        mixer.release_result(result)
+    _loop_epilogue(
+        b, R_N, "loop", advance=(_PTR, _PTR2), step=4 * unroll
+    )
+    b.block("done")
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description=f"streaming map, unroll={unroll}",
+    )
+
+
+def reduction_tight(
+    name: str,
+    suite: str,
+    num_warps: int = 3,
+    trips: Sequence[int] = (16, 24, 32),
+    loads: int = 1,
+) -> WorkloadSpec:
+    """The paper's worst case: load, one FMA, pointer/counter adds.
+
+    ``loads=2`` gives the ScalarProd variant (dot product of two
+    streams); ``loads=1`` the Reduction variant.
+    """
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("entry")
+    b.op(Opcode.MOV, _ACC, 0)
+    b.block("loop")
+    value = gpr(_LOAD_BASE)
+    b.op(Opcode.LDG, value, R_IN)
+    if loads >= 2:
+        b.op(Opcode.IADD, _ADDR, R_IN, 2048)
+        second = gpr(_LOAD_BASE + 1)
+        b.op(Opcode.LDG, second, _ADDR)
+        b.op(Opcode.FFMA, _ACC, value, second, _ACC)
+    else:
+        b.op(Opcode.FFMA, _ACC, value, R_C0, _ACC)
+    _loop_epilogue(b, R_N, "loop", advance=(R_IN,), step=4)
+    b.block("done")
+    b.op(Opcode.STG, None, R_OUT, _ACC)
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description="tight reduction loop (paper's worst case)",
+    )
+
+
+def fma_chain(
+    name: str,
+    suite: str,
+    loads_per_iter: int = 2,
+    chain_length: int = 10,
+    accumulators: int = 3,
+    num_warps: int = 3,
+    trips: Sequence[int] = (5, 8, 10),
+) -> WorkloadSpec:
+    """Blocked inner product: a batch of loads feeds a compute block.
+
+    Real blocked kernels (MatrixMul, Nbody, BinomialOptions) keep
+    several accumulators live across iterations; this loop-carried
+    state is flushed and refetched around every deschedule under
+    hardware caching, a key overhead the software scheme avoids
+    (Section 6.1).
+    """
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    accs = [gpr(30 + index) for index in range(accumulators)]
+    b.block("entry")
+    for index, acc in enumerate(accs):
+        b.op(Opcode.MOV, acc, index)
+    b.block("loop")
+    mixer = ArithMixer(b, _seed_of(name))
+    loads = _loads(b, loads_per_iter, R_IN)
+    result = mixer.emit(loads, chain_length, coefficients=(R_C0, R_C1))
+    for index, acc in enumerate(accs):
+        source = loads[index % len(loads)]
+        b.op(Opcode.FFMA, acc, result if index == 0 else source,
+             R_C0, acc)
+    mixer.release_result(result)
+    _loop_epilogue(b, R_N, "loop", advance=(R_IN,), step=4 * loads_per_iter)
+    b.block("done")
+    total = accs[0]
+    for acc in accs[1:]:
+        b.op(Opcode.FADD, total, total, acc)
+    b.op(Opcode.STG, None, R_OUT, total)
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description=f"FMA block, {loads_per_iter} loads/iter",
+    )
+
+
+def stencil_shared(
+    name: str,
+    suite: str,
+    taps: int = 3,
+    ops_per_tap: int = 3,
+    num_warps: int = 3,
+    trips: Sequence[int] = (8, 10, 12),
+) -> WorkloadSpec:
+    """Shared-memory stencil: short-latency LDS keeps strands long."""
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("entry")
+    b.op(Opcode.MOV, _PTR, R_IN)
+    b.block("loop")
+    mixer = ArithMixer(b, _seed_of(name))
+    taps_regs = _loads(b, taps, _PTR, opcode=Opcode.LDS)
+    result = mixer.emit(
+        taps_regs, taps * ops_per_tap, coefficients=(R_C0, R_C1)
+    )
+    b.op(Opcode.IADD, _ADDR2, _PTR, 2048)
+    b.op(Opcode.STS, None, _ADDR2, result)
+    mixer.release_result(result)
+    _loop_epilogue(b, R_N, "loop", advance=(_PTR,), step=4)
+    b.block("done")
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description=f"{taps}-tap shared-memory stencil",
+    )
+
+
+def transcendental(
+    name: str,
+    suite: str,
+    sfu_ops: Sequence[Opcode] = (Opcode.SIN, Opcode.EX2),
+    alu_ops_between: int = 5,
+    num_warps: int = 3,
+    trips: Sequence[int] = (6, 8, 10),
+) -> WorkloadSpec:
+    """SFU-heavy math: shared-datapath consumers limit LRF coverage."""
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("entry")
+    b.op(Opcode.MOV, _ACC, 0)
+    b.block("loop")
+    mixer = ArithMixer(b, _seed_of(name))
+    value = gpr(_LOAD_BASE)
+    b.op(Opcode.LDG, value, R_IN)
+    work = mixer.emit([value], alu_ops_between, coefficients=(R_C0, R_C1))
+    for index, sfu_op in enumerate(sfu_ops):
+        sfu_result = gpr(_LOAD_BASE + 1 + index)
+        b.op(sfu_op, sfu_result, work)
+        mixer.release_result(work)
+        work = mixer.emit(
+            [sfu_result], alu_ops_between, coefficients=(R_C1,)
+        )
+    b.op(Opcode.FADD, _ACC, _ACC, work)
+    mixer.release_result(work)
+    _loop_epilogue(b, R_N, "loop", advance=(R_IN,), step=4)
+    b.block("done")
+    b.op(Opcode.STG, None, R_OUT, _ACC)
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description=f"transcendental chain ({len(sfu_ops)} SFU ops/iter)",
+    )
+
+
+def texture_sampler(
+    name: str,
+    suite: str,
+    fetches: int = 2,
+    filter_ops: int = 8,
+    num_warps: int = 3,
+    trips: Sequence[int] = (5, 7, 9),
+) -> WorkloadSpec:
+    """Texture fetches (long latency) plus filtering arithmetic."""
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("entry")
+    b.op(Opcode.MOV, _PTR, R_IN)
+    b.block("loop")
+    mixer = ArithMixer(b, _seed_of(name))
+    texels = _loads(b, fetches, _PTR, opcode=Opcode.TEX, spacing=1)
+    result = mixer.emit(texels, filter_ops, coefficients=(R_C0,))
+    b.op(Opcode.STG, None, R_OUT, result)
+    mixer.release_result(result)
+    _loop_epilogue(b, R_N, "loop", advance=(_PTR, R_OUT), step=4)
+    b.block("done")
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description=f"texture sampler, {fetches} fetches/iter",
+    )
+
+
+def histogram_scatter(
+    name: str,
+    suite: str,
+    bit_ops: int = 4,
+    num_warps: int = 3,
+    trips: Sequence[int] = (8, 12, 16),
+) -> WorkloadSpec:
+    """Bit manipulation plus data-dependent shared-memory scatter."""
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("loop")
+    mixer = ArithMixer(b, _seed_of(name))
+    value = gpr(_LOAD_BASE)
+    b.op(Opcode.LDG, value, R_IN)
+    work = mixer.emit([value], bit_ops, coefficients=(R_C0,))
+    bucket = gpr(_LOAD_BASE + 1)
+    b.op(Opcode.AND, bucket, work, 255)
+    mixer.release_result(work)
+    b.op(Opcode.SHL, _ADDR, bucket, 2)
+    count = gpr(_LOAD_BASE + 2)
+    b.op(Opcode.LDS, count, _ADDR)
+    new_count = gpr(_LOAD_BASE + 3)
+    b.op(Opcode.IADD, new_count, count, 1)
+    b.op(Opcode.STS, None, _ADDR, new_count)
+    _loop_epilogue(b, R_N, "loop", advance=(R_IN,), step=4)
+    b.block("done")
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description="bit ops + shared-memory scatter",
+    )
+
+
+def branchy_hammock(
+    name: str,
+    suite: str,
+    work_ops: int = 4,
+    num_warps: int = 3,
+    trips: Sequence[int] = (8, 10, 14),
+) -> WorkloadSpec:
+    """Data-dependent hammock writing one register on both sides.
+
+    The merge-point consumer exercises forward-branch allocation
+    (Figure 10c): both sides can target the same ORF entry.
+    """
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    b.block("loop")
+    value = gpr(_LOAD_BASE)
+    b.op(Opcode.LDG, value, R_IN)
+    b.op(Opcode.SETP, pred(0), value, 128)
+    b.bra("small", guard=pred(0))
+    b.block("big")
+    result = gpr(_LOAD_BASE + 1)
+    big_mixer = ArithMixer(b, _seed_of(name + "/big"))
+    big_val = big_mixer.emit([value], work_ops, coefficients=(R_C0,))
+    b.op(Opcode.IMUL, result, big_val, 3)
+    big_mixer.release_result(big_val)
+    b.bra("merge")
+    b.block("small")
+    small_mixer = ArithMixer(b, _seed_of(name + "/small"))
+    small_val = small_mixer.emit([value], work_ops, coefficients=(R_C1,))
+    b.op(Opcode.IADD, result, small_val, 5)
+    small_mixer.release_result(small_val)
+    b.block("merge")
+    clamped = gpr(_LOAD_BASE + 2)
+    b.op(Opcode.IMIN, clamped, result, 255)
+    b.op(Opcode.STG, None, R_OUT, clamped)
+    _loop_epilogue(b, R_N, "loop", advance=(R_IN, R_OUT), step=4)
+    b.block("done")
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description="hammock writing one register on both sides",
+    )
+
+
+def nested_loop(
+    name: str,
+    suite: str,
+    inner_trip: int = 4,
+    inner_ops: int = 6,
+    accumulators: int = 2,
+    num_warps: int = 3,
+    trips: Sequence[int] = (4, 5, 6),
+) -> WorkloadSpec:
+    """Outer loop with loads feeding an inner compute loop."""
+    b = KernelBuilder(name, live_in=LIVE_INS)
+    accs = [gpr(30 + index) for index in range(accumulators)]
+    b.block("entry")
+    b.op(Opcode.MOV, _ACC, 0)
+    for index, acc in enumerate(accs):
+        b.op(Opcode.MOV, acc, index)
+    b.block("outer")
+    value = gpr(_LOAD_BASE)
+    b.op(Opcode.LDG, value, R_IN)
+    inner_count = gpr(_LOAD_BASE + 1)
+    b.op(Opcode.MOV, inner_count, inner_trip)
+    b.block("inner")
+    mixer = ArithMixer(b, _seed_of(name))
+    work = mixer.emit(
+        [value, inner_count], inner_ops, coefficients=(R_C0,)
+    )
+    b.op(Opcode.FADD, _ACC, _ACC, work)
+    for index, acc in enumerate(accs):
+        b.op(Opcode.FFMA, acc, work, R_C0, acc)
+    mixer.release_result(work)
+    b.op(Opcode.IADD, inner_count, inner_count, -1)
+    b.op(Opcode.SETP, pred(1), 0, inner_count)
+    b.bra("inner", guard=pred(1))
+    b.block("outer_tail")
+    _loop_epilogue(b, R_N, "outer", advance=(R_IN,), step=4)
+    b.block("done")
+    for acc in accs:
+        b.op(Opcode.FADD, _ACC, _ACC, acc)
+    b.op(Opcode.STG, None, R_OUT, _ACC)
+    b.exit()
+    return WorkloadSpec(
+        name, suite, b.build(), _warp_inputs(num_warps, trips),
+        description=f"nested loop, inner trip {inner_trip}",
+    )

@@ -1,0 +1,146 @@
+"""The benchmark suites of Table 1, synthesised from kernel shapes.
+
+Each benchmark name from the paper's Table 1 maps to a shape with
+parameters chosen to reflect that application's structure (see
+``repro.workloads.shapes`` for the shape taxonomy and the rationale).
+The ``scale`` parameter multiplies loop trip counts to lengthen traces
+for benchmarking; the structure (and therefore the per-access
+statistics) is scale-invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..ir.instructions import Opcode
+from . import shapes
+from .shapes import WorkloadSpec
+
+SUITE_CUDA_SDK = "cuda_sdk"
+SUITE_PARBOIL = "parboil"
+SUITE_RODINIA = "rodinia"
+SUITE_NAMES = (SUITE_CUDA_SDK, SUITE_PARBOIL, SUITE_RODINIA)
+
+
+def _scaled(trips: Sequence[int], scale: float) -> Tuple[int, ...]:
+    return tuple(max(2, int(math.ceil(t * scale))) for t in trips)
+
+
+def _make_registry() -> Dict[str, Tuple[str, Callable[..., WorkloadSpec], dict]]:
+    """name -> (suite, shape factory, shape kwargs)."""
+    sdk = SUITE_CUDA_SDK
+    parboil = SUITE_PARBOIL
+    rodinia = SUITE_RODINIA
+    return {
+        # -- CUDA SDK 3.2 ---------------------------------------------------
+        "bicubictexture": (sdk, shapes.texture_sampler,
+                           dict(fetches=4, filter_ops=6)),
+        "binomialoptions": (sdk, shapes.fma_chain,
+                            dict(loads_per_iter=2, chain_length=8)),
+        "boxfilter": (sdk, shapes.stencil_shared, dict(taps=5)),
+        "convolutionseparable": (sdk, shapes.stencil_shared, dict(taps=7)),
+        "convolutiontexture": (sdk, shapes.texture_sampler,
+                               dict(fetches=3, filter_ops=5)),
+        "dct8x8": (sdk, shapes.fma_chain,
+                   dict(loads_per_iter=4, chain_length=10)),
+        "dwthaar1d": (sdk, shapes.streaming_map,
+                      dict(unroll=2, ops_per_element=2)),
+        "dxtc": (sdk, shapes.histogram_scatter, dict(bit_ops=6)),
+        "eigenvalues": (sdk, shapes.branchy_hammock, dict(work_ops=3)),
+        "fastwalshtransform": (sdk, shapes.streaming_map,
+                               dict(unroll=4, ops_per_element=2)),
+        "histogram": (sdk, shapes.histogram_scatter, dict(bit_ops=4)),
+        "imagedenoising": (sdk, shapes.stencil_shared, dict(taps=9)),
+        "mandelbrot": (sdk, shapes.nested_loop,
+                       dict(inner_trip=6, inner_ops=4)),
+        "matrixmul": (sdk, shapes.fma_chain,
+                      dict(loads_per_iter=2, chain_length=6)),
+        "mergesort": (sdk, shapes.branchy_hammock, dict(work_ops=2)),
+        "montecarlo": (sdk, shapes.transcendental,
+                       dict(sfu_ops=(Opcode.SIN, Opcode.COS, Opcode.EX2),
+                            alu_ops_between=2)),
+        "nbody": (sdk, shapes.transcendental,
+                  dict(sfu_ops=(Opcode.RSQRT,), alu_ops_between=5)),
+        "recursivegaussian": (sdk, shapes.stencil_shared, dict(taps=4)),
+        "reduction": (sdk, shapes.reduction_tight,
+                      dict(loads=1)),
+        "scalarprod": (sdk, shapes.reduction_tight,
+                       dict(loads=2)),
+        "sobelfilter": (sdk, shapes.streaming_map,
+                        dict(unroll=3, ops_per_element=4)),
+        "sobolqrng": (sdk, shapes.histogram_scatter, dict(bit_ops=5)),
+        "sortingnetworks": (sdk, shapes.branchy_hammock, dict(work_ops=1)),
+        "vectoradd": (sdk, shapes.streaming_map,
+                      dict(unroll=1, ops_per_element=1)),
+        "volumerender": (sdk, shapes.texture_sampler,
+                         dict(fetches=2, filter_ops=8)),
+        # -- Parboil (longest running of the suites) --------------------------
+        "cp": (parboil, shapes.fma_chain,
+               dict(loads_per_iter=1, chain_length=12,
+                    trips=(10, 14, 18))),
+        "mri-fhd": (parboil, shapes.transcendental,
+                    dict(sfu_ops=(Opcode.SIN, Opcode.COS),
+                         alu_ops_between=4, trips=(10, 12, 14))),
+        "mri-q": (parboil, shapes.transcendental,
+                  dict(sfu_ops=(Opcode.SIN, Opcode.COS),
+                       alu_ops_between=3, trips=(10, 12, 14))),
+        "rpes": (parboil, shapes.fma_chain,
+                 dict(loads_per_iter=3, chain_length=7,
+                      trips=(8, 12, 16))),
+        "sad": (parboil, shapes.streaming_map,
+                dict(unroll=4, ops_per_element=3, trips=(8, 12, 16))),
+        # -- Rodinia -----------------------------------------------------------
+        "backprop": (rodinia, shapes.nested_loop,
+                     dict(inner_trip=5, inner_ops=3)),
+        "hotspot": (rodinia, shapes.stencil_shared, dict(taps=5)),
+        "hwt": (rodinia, shapes.streaming_map,
+                dict(unroll=2, ops_per_element=3)),
+        "lu": (rodinia, shapes.nested_loop,
+               dict(inner_trip=4, inner_ops=2)),
+        "needle": (rodinia, shapes.branchy_hammock, dict(work_ops=2)),
+        "srad": (rodinia, shapes.transcendental,
+                 dict(sfu_ops=(Opcode.RCP, Opcode.EX2),
+                      alu_ops_between=3)),
+    }
+
+
+_REGISTRY = _make_registry()
+
+BENCHMARK_NAMES = tuple(sorted(_REGISTRY))
+
+
+def get_workload(name: str, scale: float = 1.0) -> WorkloadSpec:
+    """Build one named benchmark (see ``BENCHMARK_NAMES``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARK_NAMES)}"
+        )
+    suite, factory, kwargs = _REGISTRY[key]
+    kwargs = dict(kwargs)
+    trips = kwargs.pop("trips", None)
+    if trips is None:
+        trips = (6, 9, 12)
+    kwargs["trips"] = _scaled(trips, scale)
+    return factory(key, suite, **kwargs)
+
+
+def build_suite(suite: str, scale: float = 1.0) -> List[WorkloadSpec]:
+    """All benchmarks of one suite (Table 1)."""
+    if suite not in SUITE_NAMES:
+        raise KeyError(f"unknown suite {suite!r}; known: {SUITE_NAMES}")
+    return [
+        get_workload(name, scale)
+        for name in BENCHMARK_NAMES
+        if _REGISTRY[name][0] == suite
+    ]
+
+
+def all_workloads(scale: float = 1.0) -> List[WorkloadSpec]:
+    """Every benchmark of every suite."""
+    return [get_workload(name, scale) for name in BENCHMARK_NAMES]
+
+
+def suite_of(name: str) -> str:
+    return _REGISTRY[name.lower()][0]

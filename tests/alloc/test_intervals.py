@@ -1,0 +1,87 @@
+"""Unit tests for the ORF/LRF entry-interval allocator."""
+
+import pytest
+
+from repro.alloc.intervals import EntryFile
+
+
+class TestSingleEntry:
+    def test_disjoint_windows_share(self):
+        entries = EntryFile(1)
+        entries.allocate(0, 1, 3)
+        assert entries.is_available(0, 5, 8)
+
+    def test_overlap_conflicts(self):
+        entries = EntryFile(1)
+        entries.allocate(0, 1, 5)
+        assert not entries.is_available(0, 3, 8)
+        assert not entries.is_available(0, 2, 4)
+        assert not entries.is_available(0, 0, 2)
+
+    def test_touching_windows_share(self):
+        """Phase semantics: A's last read at slot N (read phase) and
+        B's definition at slot N (write phase) can share an entry."""
+        entries = EntryFile(1)
+        entries.allocate(0, 1, 5)
+        assert entries.is_available(0, 5, 9)
+        entries.allocate(0, 5, 9)
+
+    def test_same_begin_conflicts(self):
+        """Two values written in the same slot's write phase collide,
+        even when one is a dead (zero-length) window."""
+        entries = EntryFile(1)
+        entries.allocate(0, 5, 5)
+        assert not entries.is_available(0, 5, 9)
+        assert not entries.is_available(0, 5, 5)
+
+    def test_dead_window_inside_live_range_conflicts(self):
+        entries = EntryFile(1)
+        entries.allocate(0, 2, 8)
+        assert not entries.is_available(0, 5, 5)
+
+    def test_dead_window_at_end_shares(self):
+        entries = EntryFile(1)
+        entries.allocate(0, 2, 8)
+        assert entries.is_available(0, 8, 8)
+
+    def test_double_allocate_raises(self):
+        entries = EntryFile(1)
+        entries.allocate(0, 1, 5)
+        with pytest.raises(ValueError):
+            entries.allocate(0, 2, 4)
+
+
+class TestMultiEntry:
+    def test_find_free_prefers_lowest(self):
+        entries = EntryFile(3)
+        assert entries.find_free(0, 5) == 0
+        entries.allocate(0, 0, 5)
+        assert entries.find_free(0, 5) == 1
+
+    def test_find_free_none_when_full(self):
+        entries = EntryFile(2)
+        entries.allocate(0, 0, 5)
+        entries.allocate(1, 0, 5)
+        assert entries.find_free(2, 4) is None
+
+    def test_find_free_group_wide_values(self):
+        entries = EntryFile(3)
+        group = entries.find_free_group(0, 5, 2)
+        assert group == [0, 1]
+        for entry in group:
+            entries.allocate(entry, 0, 5)
+        assert entries.find_free_group(2, 4, 2) is None
+        assert entries.find_free_group(2, 4, 1) == [2]
+
+    def test_empty_interval_rejected(self):
+        entries = EntryFile(1)
+        with pytest.raises(ValueError):
+            entries.find_free(5, 3)
+
+    def test_zero_entries(self):
+        entries = EntryFile(0)
+        assert entries.find_free(0, 1) is None
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            EntryFile(-1)

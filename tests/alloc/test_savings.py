@@ -1,0 +1,184 @@
+"""Unit tests for the energy-savings functions (Figures 6 and 9).
+
+The hand-computed expectations use the warp-level energy model: one
+warp operand access = 8 x 128-bit entries plus 32 x 32-bit wire moves.
+"""
+
+import pytest
+
+from repro.alloc.savings import (
+    occupancy_slots,
+    priority,
+    read_operand_savings,
+    value_allocation_savings,
+)
+from repro.alloc.webs import ReadOperandCandidate, Web, WebRead
+from repro.analysis.reaching import Definition, ReadSite
+from repro.energy.model import EnergyModel
+from repro.ir.instructions import FunctionalUnit
+from repro.ir.kernel import InstructionRef
+from repro.ir.registers import gpr
+from repro.levels import Level
+
+MODEL = EnergyModel(orf_entries=3)
+
+
+def _read(position, slot=0, shared=False, mixed=False, reg=gpr(7)):
+    site = ReadSite(InstructionRef(0, position, position), slot, reg)
+    return WebRead(site=site, shared_unit=shared, mixed=mixed)
+
+
+def _web(num_reads, live_out=False, def_position=0, shared_reads=0,
+         reg=gpr(7)):
+    definition = Definition(
+        0, reg, InstructionRef(0, def_position, def_position)
+    )
+    reads = [
+        _read(def_position + 1 + i, shared=(i < shared_reads), reg=reg)
+        for i in range(num_reads)
+    ]
+    return Web(
+        web_id=0,
+        strand_id=0,
+        reg=reg,
+        defs=[definition],
+        def_units=[FunctionalUnit.ALU],
+        reads=reads,
+        live_out=live_out,
+    )
+
+
+class TestFigure6:
+    def test_formula_not_live_out(self):
+        """savings = reads*(MRFrd - ORFrd) - ORFwr + MRFwr."""
+        web = _web(num_reads=2)
+        expected = (
+            2 * (MODEL.read_energy(Level.MRF) - MODEL.read_energy(Level.ORF))
+            - MODEL.write_energy(Level.ORF)
+            + MODEL.write_energy(Level.MRF)
+        )
+        actual = value_allocation_savings(
+            web, web.coverable_reads, Level.ORF, MODEL
+        )
+        assert actual == pytest.approx(expected)
+
+    def test_formula_live_out(self):
+        """Live-out values keep the MRF write (no elision term)."""
+        web = _web(num_reads=2, live_out=True)
+        expected = (
+            2 * (MODEL.read_energy(Level.MRF) - MODEL.read_energy(Level.ORF))
+            - MODEL.write_energy(Level.ORF)
+        )
+        actual = value_allocation_savings(
+            web, web.coverable_reads, Level.ORF, MODEL
+        )
+        assert actual == pytest.approx(expected)
+
+    def test_more_reads_more_savings(self):
+        s1 = value_allocation_savings(
+            _web(1), _web(1).coverable_reads, Level.ORF, MODEL
+        )
+        s3 = value_allocation_savings(
+            _web(3), _web(3).coverable_reads, Level.ORF, MODEL
+        )
+        assert s3 > s1
+
+    def test_lrf_saves_more_than_orf(self):
+        web = _web(num_reads=1)
+        orf = value_allocation_savings(
+            web, web.coverable_reads, Level.ORF, MODEL
+        )
+        lrf = value_allocation_savings(
+            web, web.coverable_reads, Level.LRF, MODEL
+        )
+        assert lrf > orf
+
+    def test_mrf_level_saves_nothing(self):
+        web = _web(num_reads=3)
+        assert value_allocation_savings(
+            web, web.coverable_reads, Level.MRF, MODEL
+        ) == 0.0
+
+    def test_force_mrf_write_removes_elision(self):
+        web = _web(num_reads=2)
+        full = value_allocation_savings(
+            web, web.coverable_reads, Level.ORF, MODEL
+        )
+        partial = value_allocation_savings(
+            web, web.coverable_reads, Level.ORF, MODEL,
+            force_mrf_write=True,
+        )
+        assert full - partial == pytest.approx(
+            MODEL.write_energy(Level.MRF)
+        )
+
+    def test_shared_reader_saves_less(self):
+        private = _web(num_reads=1)
+        shared = _web(num_reads=1, shared_reads=1)
+        s_private = value_allocation_savings(
+            private, private.coverable_reads, Level.ORF, MODEL
+        )
+        s_shared = value_allocation_savings(
+            shared, shared.coverable_reads, Level.ORF, MODEL
+        )
+        assert s_private > s_shared
+
+    def test_wide_value_scales_by_words(self):
+        narrow = _web(num_reads=1)
+        wide = _web(num_reads=1, reg=gpr(7, 64))
+        s_narrow = value_allocation_savings(
+            narrow, narrow.coverable_reads, Level.ORF, MODEL
+        )
+        s_wide = value_allocation_savings(
+            wide, wide.coverable_reads, Level.ORF, MODEL
+        )
+        assert s_wide == pytest.approx(2 * s_narrow)
+
+    def test_dead_value_positive_savings(self):
+        """A never-read value avoids the MRF write entirely."""
+        web = _web(num_reads=0)
+        savings = value_allocation_savings(web, [], Level.ORF, MODEL)
+        expected = MODEL.write_energy(Level.MRF) - MODEL.write_energy(
+            Level.ORF
+        )
+        assert savings == pytest.approx(expected)
+        assert savings > 0
+
+
+class TestFigure9:
+    def _candidate(self, num_reads):
+        reads = [_read(10 + i) for i in range(num_reads)]
+        return ReadOperandCandidate(
+            strand_id=0, reg=gpr(3), reads=reads, coverable_reads=reads
+        )
+
+    def test_formula(self):
+        """savings = (reads-1)*(MRFrd - ORFrd) - ORFwr."""
+        candidate = self._candidate(3)
+        expected = (
+            2 * (MODEL.read_energy(Level.MRF) - MODEL.read_energy(Level.ORF))
+            - MODEL.write_energy(Level.ORF)
+        )
+        assert read_operand_savings(
+            candidate, candidate.reads, MODEL
+        ) == pytest.approx(expected)
+
+    def test_single_read_never_profitable(self):
+        candidate = self._candidate(1)
+        assert read_operand_savings(candidate, candidate.reads, MODEL) < 0
+
+    def test_two_reads_profitable(self):
+        candidate = self._candidate(2)
+        assert read_operand_savings(candidate, candidate.reads, MODEL) > 0
+
+
+class TestPriority:
+    def test_occupancy_slots(self):
+        assert occupancy_slots(3, 7) == 5
+        assert occupancy_slots(3, 3) == 1
+
+    def test_priority_prefers_short_ranges(self):
+        assert priority(100.0, 0, 1) > priority(100.0, 0, 9)
+
+    def test_priority_scales_with_savings(self):
+        assert priority(200.0, 0, 4) == 2 * priority(100.0, 0, 4)

@@ -1,0 +1,86 @@
+"""Tests for allocation-annotation serialisation."""
+
+import pytest
+
+from repro.alloc import (
+    AllocationConfig,
+    AnnotationFormatError,
+    allocate_kernel,
+    dump_annotations,
+    load_annotations,
+)
+from repro.ir import format_allocated_kernel, parse_kernel
+from repro.ir.registers import gpr
+from repro.sim import WarpInput, build_traces
+from repro.sim.verify import verify_trace
+from tests.conftest import LOOP_ASM
+
+
+class TestRoundTrip:
+    def test_annotations_identical_after_reload(self, loop_kernel):
+        result = allocate_kernel(
+            loop_kernel, AllocationConfig.best_paper_config()
+        )
+        before = format_allocated_kernel(loop_kernel)
+        text = dump_annotations(loop_kernel)
+
+        fresh = parse_kernel(LOOP_ASM)
+        load_annotations(fresh, text)
+        assert format_allocated_kernel(fresh) == before
+
+    def test_reloaded_annotations_verify(self, loop_kernel, loop_inputs):
+        result = allocate_kernel(
+            loop_kernel, AllocationConfig.best_paper_config()
+        )
+        text = dump_annotations(loop_kernel)
+        fresh = parse_kernel(LOOP_ASM)
+        load_annotations(fresh, text)
+        traces = build_traces(fresh, loop_inputs)
+        for trace in traces.warp_traces:
+            verify_trace(fresh, result.partition, trace)
+
+    def test_unallocated_kernel_round_trips(self, straight_kernel):
+        straight_kernel.reset_annotations()
+        text = dump_annotations(straight_kernel)
+        load_annotations(straight_kernel, text)
+        assert all(
+            inst.dst_ann is None
+            for _, inst in straight_kernel.instructions()
+        )
+
+
+class TestValidation:
+    def test_wrong_kernel_rejected(self, loop_kernel, straight_kernel):
+        allocate_kernel(loop_kernel, AllocationConfig(orf_entries=3))
+        text = dump_annotations(loop_kernel)
+        with pytest.raises(AnnotationFormatError):
+            load_annotations(straight_kernel, text)
+
+    def test_modified_kernel_rejected(self, loop_kernel):
+        allocate_kernel(loop_kernel, AllocationConfig(orf_entries=3))
+        text = dump_annotations(loop_kernel)
+        shorter = parse_kernel(
+            ".kernel loop_kernel\n.livein R0\nentry:\n"
+            " iadd R1, R0, 1\n exit\n"
+        )
+        with pytest.raises(AnnotationFormatError):
+            load_annotations(shorter, text)
+
+    def test_malformed_json_rejected(self, loop_kernel):
+        with pytest.raises(AnnotationFormatError):
+            load_annotations(loop_kernel, "{not json")
+
+    def test_bad_level_rejected(self, loop_kernel):
+        allocate_kernel(loop_kernel, AllocationConfig(orf_entries=3))
+        text = dump_annotations(loop_kernel).replace(
+            '"mrf"', '"l2cache"'
+        )
+        with pytest.raises(AnnotationFormatError):
+            load_annotations(loop_kernel, text)
+
+    def test_version_checked(self, loop_kernel):
+        text = dump_annotations(loop_kernel).replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        with pytest.raises(AnnotationFormatError):
+            load_annotations(loop_kernel, text)

@@ -1,0 +1,258 @@
+"""Unit tests for register-instance (web) construction."""
+
+import pytest
+
+from repro.alloc.webs import build_strand_values
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.strands import partition_strands
+
+
+def _values(kernel):
+    cfg = ControlFlowGraph(kernel)
+    partition = partition_strands(kernel, cfg)
+    reaching = ReachingDefinitions(kernel, cfg)
+    return build_strand_values(kernel, partition, reaching), partition
+
+
+def _webs_of_reg(strand_values, reg):
+    return [
+        web
+        for values in strand_values
+        for web in values.webs
+        if web.reg == reg
+    ]
+
+
+class TestBasicWebs:
+    def test_chain_values_form_webs(self, straight_kernel):
+        strand_values, _ = _values(straight_kernel)
+        # R4, R5, R6 are ALU values defined and consumed in strand 0.
+        for index in (4, 5, 6):
+            webs = _webs_of_reg(strand_values, gpr(index))
+            assert len(webs) == 1
+
+    def test_long_latency_def_not_a_web(self, straight_kernel):
+        strand_values, _ = _values(straight_kernel)
+        assert _webs_of_reg(strand_values, gpr(3)) == []
+
+    def test_read_counts(self, straight_kernel):
+        strand_values, _ = _values(straight_kernel)
+        (web,) = _webs_of_reg(strand_values, gpr(6))
+        # R6 read by stg (strand 0) and by iadd R7 (next strand, mixed
+        # or external there).
+        in_strand = [r for r in web.reads]
+        assert len(in_strand) == 1
+        assert web.live_out  # consumed in the next strand
+
+    def test_dead_value_web(self):
+        kernel = parse_kernel(
+            """
+            .kernel dead
+            .livein R0
+            entry:
+                iadd R1, R0, 1
+                iadd R2, R0, 2
+                stg [R0], R2
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        (web,) = _webs_of_reg(strand_values, gpr(1))
+        assert web.reads == []
+        assert not web.live_out
+        assert not web.needs_mrf_write
+
+    def test_store_consumer_is_shared(self):
+        kernel = parse_kernel(
+            """
+            .kernel s
+            .livein R0
+            entry:
+                iadd R1, R0, 1
+                stg [R0], R1
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        (web,) = _webs_of_reg(strand_values, gpr(1))
+        assert web.reads[0].shared_unit
+        assert not web.all_private
+
+
+class TestHammocks:
+    def test_both_arm_defs_merge_into_one_web(self, hammock_kernel):
+        strand_values, _ = _values(hammock_kernel)
+        webs = _webs_of_reg(strand_values, gpr(6))
+        assert len(webs) == 1
+        assert len(webs[0].defs) == 2
+
+    def test_merge_read_not_mixed(self, hammock_kernel):
+        strand_values, _ = _values(hammock_kernel)
+        (web,) = _webs_of_reg(strand_values, gpr(6))
+        merge_reads = [r for r in web.reads]
+        assert merge_reads and not any(r.mixed for r in merge_reads)
+
+    def test_one_sided_def_makes_merge_read_mixed(self):
+        """Figure 10(a): R6 written on one side only; the merge read
+        must come from the MRF."""
+        kernel = parse_kernel(
+            """
+            .kernel oneside
+            .livein R0 R1 R6
+            entry:
+                lds R3, [R0]
+                setp P0, R3, 100
+                @P0 bra merge
+            big:
+                imul R6, R3, 3
+            merge:
+                iadd R7, R6, 1
+                stg [R1], R7
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        (web,) = _webs_of_reg(strand_values, gpr(6))
+        assert all(read.mixed for read in web.reads)
+        assert web.needs_mrf_write
+
+
+class TestStrandLocality:
+    def test_loop_carried_use_not_in_web(self):
+        """A value read only in the next iteration flows through the
+        MRF even though its static def is in the same strand."""
+        kernel = parse_kernel(
+            """
+            .kernel carried
+            .livein R0 R1 R2
+            entry:
+                mov R3, 0
+            loop:
+                iadd R4, R3, 1
+                iadd R3, R4, 2
+                iadd R2, R2, -1
+                setp P0, 0, R2
+                @P0 bra loop
+            done:
+                stg [R1], R3
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        webs = _webs_of_reg(strand_values, gpr(3))
+        loop_web = next(w for w in webs if w.defs[0].ref is not None
+                        and w.defs[0].ref.block_index == 1)
+        # `iadd R4, R3, 1` reads the PREVIOUS iteration's R3.
+        assert loop_web.reads == [] or all(
+            read.mixed for read in loop_web.reads
+        )
+        assert loop_web.live_out
+
+    def test_in_iteration_use_is_in_web(self):
+        kernel = parse_kernel(
+            """
+            .kernel intra
+            .livein R0 R1 R2
+            entry:
+                mov R9, 0
+            loop:
+                iadd R3, R2, 1
+                iadd R4, R3, 2
+                iadd R2, R2, -1
+                setp P0, 0, R2
+                @P0 bra loop
+            done:
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        (web,) = _webs_of_reg(strand_values, gpr(3))
+        assert len(web.reads) == 1
+        assert not web.reads[0].mixed
+        assert not web.live_out
+
+
+class TestReadOperandCandidates:
+    def test_coefficient_reads_grouped(self):
+        kernel = parse_kernel(
+            """
+            .kernel coef
+            .livein R0 R1
+            entry:
+                iadd R2, R0, 1
+                iadd R3, R0, 2
+                iadd R4, R0, 3
+                stg [R1], R4
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        candidates = [
+            c
+            for values in strand_values
+            for c in values.read_candidates
+            if c.reg == gpr(0)
+        ]
+        assert len(candidates) == 1
+        assert len(candidates[0].reads) == 3
+        assert len(candidates[0].coverable_reads) == 3
+
+    def test_hammock_arm_reads_not_coverable(self):
+        """Reads on a parallel arm are reachable without passing the
+        first read: they may not be redirected to the ORF."""
+        kernel = parse_kernel(
+            """
+            .kernel arms
+            .livein R0 R1 R2
+            entry:
+                setp P0, R2, 50
+                @P0 bra right
+            left:
+                iadd R3, R0, 1
+                bra merge
+            right:
+                iadd R3, R0, 2
+            merge:
+                stg [R1], R3
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        candidates = [
+            c
+            for values in strand_values
+            for c in values.read_candidates
+            if c.reg == gpr(0)
+        ]
+        (candidate,) = candidates
+        assert len(candidate.reads) == 2
+        # Only the first read is coverable; the other arm's read has a
+        # path from the strand entry avoiding it.
+        assert len(candidate.coverable_reads) == 1
+
+    def test_same_instruction_double_read(self):
+        kernel = parse_kernel(
+            """
+            .kernel dbl
+            .livein R0 R1
+            entry:
+                imul R2, R0, R0
+                iadd R3, R0, 1
+                stg [R1], R3
+                exit
+            """
+        )
+        strand_values, _ = _values(kernel)
+        (candidate,) = [
+            c
+            for values in strand_values
+            for c in values.read_candidates
+            if c.reg == gpr(0)
+        ]
+        assert len(candidate.reads) == 3
+        # The second slot of the imul shares the first read's position
+        # and cannot see the fill; the later iadd read can.
+        assert len(candidate.coverable_reads) == 2

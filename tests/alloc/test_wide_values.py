@@ -1,0 +1,102 @@
+"""Wide (64/128-bit) value handling through the full pipeline.
+
+Section 3.2: values wider than 32 bits are stored across multiple
+32-bit registers; the compiler allocates multiple ORF entries for them,
+and the (single-entry-per-slot) LRF never holds them.
+"""
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.hierarchy.counters import AccessCounters
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.levels import Level
+from repro.sim import WarpInput, build_traces
+from repro.sim.accounting import SoftwareAccounting, account_trace
+from repro.sim.verify import verify_trace
+
+WIDE_ASM = """
+.kernel wide
+.livein R0 R1
+entry:
+    mov RD2, R0
+    iadd RD3, RD2, 1
+    imul RD4, RD3, RD3
+    iadd R5, R0, 1
+    imul R6, R5, R5
+    stg [R1], RD4
+    stg [R1], R6
+    exit
+"""
+
+
+@pytest.fixture
+def wide_kernel():
+    return parse_kernel(WIDE_ASM)
+
+
+class TestWideAllocation:
+    def test_wide_value_gets_two_entries(self, wide_kernel):
+        result = allocate_kernel(
+            wide_kernel, AllocationConfig(orf_entries=4)
+        )
+        wide = [
+            a
+            for a in result.web_assignments
+            if a.level is Level.ORF and a.web.width_words == 2
+        ]
+        assert wide
+        for assignment in wide:
+            assert len(assignment.entries) == 2
+            assert len(set(assignment.entries)) == 2
+
+    def test_wide_value_never_in_lrf(self, wide_kernel):
+        result = allocate_kernel(
+            wide_kernel,
+            AllocationConfig(orf_entries=4, use_lrf=True, split_lrf=True),
+        )
+        for assignment in result.assignments_for_level(Level.LRF):
+            assert assignment.web.width_words == 1
+
+    def test_one_entry_orf_cannot_hold_wide(self, wide_kernel):
+        result = allocate_kernel(
+            wide_kernel, AllocationConfig(orf_entries=1)
+        )
+        for assignment in result.assignments_for_level(Level.ORF):
+            assert assignment.web.width_words == 1
+
+    def test_wide_accesses_count_double(self, wide_kernel):
+        wide_kernel.reset_annotations()
+        for _, inst in wide_kernel.instructions():
+            inst.ensure_default_annotations()
+        traces = build_traces(
+            wide_kernel, [WarpInput({gpr(0): 3, gpr(1): 100})]
+        )
+        counters = AccessCounters()
+        account_trace(SoftwareAccounting(counters), traces.warp_traces[0])
+        narrow_reads = sum(
+            len([
+                r for _, r in e.instruction.gpr_reads()
+                if r.num_words == 1
+            ])
+            for e in traces.warp_traces[0]
+        )
+        wide_reads = sum(
+            len([
+                r for _, r in e.instruction.gpr_reads()
+                if r.num_words == 2
+            ])
+            for e in traces.warp_traces[0]
+        )
+        assert counters.total_reads() == narrow_reads + 2 * wide_reads
+
+    def test_wide_allocation_verifies(self, wide_kernel):
+        result = allocate_kernel(
+            wide_kernel, AllocationConfig.best_paper_config()
+        )
+        traces = build_traces(
+            wide_kernel, [WarpInput({gpr(0): 3, gpr(1): 100})]
+        )
+        for trace in traces.warp_traces:
+            verify_trace(wide_kernel, result.partition, trace)

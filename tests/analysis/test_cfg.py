@@ -1,0 +1,101 @@
+"""Unit tests for CFG utilities and dominance."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dominance import DominatorTree
+from repro.ir import parse_kernel
+
+
+def _cfg(kernel):
+    return ControlFlowGraph(kernel)
+
+
+class TestControlFlowGraph:
+    def test_straight_line(self, straight_kernel):
+        cfg = _cfg(straight_kernel)
+        assert cfg.num_blocks == 1
+        assert cfg.reverse_postorder == (0,)
+        assert cfg.backward_edges() == set()
+
+    def test_loop_edges(self, loop_kernel):
+        cfg = _cfg(loop_kernel)
+        loop = loop_kernel.block_index("loop")
+        assert (loop, loop) in cfg.backward_edges()
+
+    def test_rpo_starts_at_entry(self, hammock_kernel):
+        cfg = _cfg(hammock_kernel)
+        assert cfg.reverse_postorder[0] == 0
+
+    def test_rpo_preds_before_succs_in_dag(self, hammock_kernel):
+        cfg = _cfg(hammock_kernel)
+        order = {b: i for i, b in enumerate(cfg.reverse_postorder)}
+        for block in cfg.reverse_postorder:
+            for succ in cfg.successors[block]:
+                if (block, succ) not in cfg.backward_edges():
+                    assert order[block] < order[succ]
+
+    def test_merge_blocks(self, hammock_kernel):
+        cfg = _cfg(hammock_kernel)
+        merge = hammock_kernel.block_index("merge")
+        assert merge in cfg.merge_blocks()
+
+    def test_unreachable_block(self):
+        kernel = parse_kernel(
+            ".kernel k\nentry:\n exit\ndead:\n exit\n"
+        )
+        cfg = _cfg(kernel)
+        assert not cfg.is_reachable(kernel.block_index("dead"))
+        assert cfg.is_reachable(0)
+
+    def test_predecessors_symmetry(self, loop_kernel):
+        cfg = _cfg(loop_kernel)
+        for block in range(cfg.num_blocks):
+            for succ in cfg.successors[block]:
+                assert block in cfg.predecessors[succ]
+
+
+class TestDominance:
+    def test_entry_dominates_all(self, hammock_kernel):
+        cfg = _cfg(hammock_kernel)
+        dom = DominatorTree(cfg)
+        for block in cfg.reverse_postorder:
+            assert dom.dominates(0, block)
+
+    def test_arms_do_not_dominate_merge(self, hammock_kernel):
+        cfg = _cfg(hammock_kernel)
+        dom = DominatorTree(cfg)
+        big = hammock_kernel.block_index("big")
+        small = hammock_kernel.block_index("small")
+        merge = hammock_kernel.block_index("merge")
+        assert not dom.dominates(big, merge)
+        assert not dom.dominates(small, merge)
+        assert dom.idom[merge] == hammock_kernel.block_index("entry")
+
+    def test_self_domination(self, loop_kernel):
+        cfg = _cfg(loop_kernel)
+        dom = DominatorTree(cfg)
+        for block in cfg.reverse_postorder:
+            assert dom.dominates(block, block)
+
+    def test_loop_header_dominates_body(self, loop_kernel):
+        cfg = _cfg(loop_kernel)
+        dom = DominatorTree(cfg)
+        loop = loop_kernel.block_index("loop")
+        done = loop_kernel.block_index("done")
+        assert dom.dominates(loop, done)
+
+    def test_dominators_of(self, hammock_kernel):
+        cfg = _cfg(hammock_kernel)
+        dom = DominatorTree(cfg)
+        merge = hammock_kernel.block_index("merge")
+        assert dom.dominators_of(merge) == {
+            hammock_kernel.block_index("entry"),
+            merge,
+        }
+
+    def test_unreachable_not_dominated(self):
+        kernel = parse_kernel(
+            ".kernel k\nentry:\n exit\ndead:\n exit\n"
+        )
+        cfg = _cfg(kernel)
+        dom = DominatorTree(cfg)
+        assert not dom.dominates(0, kernel.block_index("dead"))

@@ -1,0 +1,90 @@
+"""Unit tests for liveness analysis."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.liveness import LivenessAnalysis
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+
+
+def _liveness(kernel):
+    return LivenessAnalysis(kernel, ControlFlowGraph(kernel))
+
+
+def _ref(kernel, position):
+    for ref, _ in kernel.instructions():
+        if ref.position == position:
+            return ref
+    raise AssertionError(f"no instruction at {position}")
+
+
+class TestStraightLine:
+    def test_dead_after_last_use(self, straight_kernel):
+        live = _liveness(straight_kernel)
+        # R6 is last read by `iadd R7, R6, R3` at position 5.
+        assert gpr(6) in live.live_before(_ref(straight_kernel, 5))
+        assert gpr(6) not in live.live_after(_ref(straight_kernel, 5))
+
+    def test_live_in_of_entry(self, straight_kernel):
+        live = _liveness(straight_kernel)
+        assert gpr(0) in live.live_in[0]
+        assert gpr(1) in live.live_in[0]
+
+    def test_def_not_live_before(self, straight_kernel):
+        live = _liveness(straight_kernel)
+        # R3 is defined at position 0.
+        assert gpr(3) not in live.live_in[0]
+
+    def test_nothing_live_after_exit(self, straight_kernel):
+        live = _liveness(straight_kernel)
+        last = straight_kernel.num_instructions - 1
+        assert live.live_after(_ref(straight_kernel, last)) == frozenset()
+
+
+class TestLoops:
+    def test_loop_carried_values_live_at_header(self, loop_kernel):
+        live = _liveness(loop_kernel)
+        loop = loop_kernel.block_index("loop")
+        # Accumulator R5, pointers R0/R1, counter R2 all loop-carried.
+        for reg in (gpr(5), gpr(0), gpr(1), gpr(2)):
+            assert reg in live.live_in[loop]
+
+    def test_temp_not_live_across_iterations(self, loop_kernel):
+        live = _liveness(loop_kernel)
+        loop = loop_kernel.block_index("loop")
+        # R6/R7 are iteration-local temporaries.
+        assert gpr(6) not in live.live_in[loop]
+        assert gpr(7) not in live.live_in[loop]
+
+
+class TestBranches:
+    def test_value_live_through_both_arms(self, hammock_kernel):
+        live = _liveness(hammock_kernel)
+        big = hammock_kernel.block_index("big")
+        small = hammock_kernel.block_index("small")
+        assert gpr(3) in live.live_in[big]
+        assert gpr(3) in live.live_in[small]
+
+    def test_merged_value_live_at_merge(self, hammock_kernel):
+        live = _liveness(hammock_kernel)
+        merge = hammock_kernel.block_index("merge")
+        assert gpr(6) in live.live_in[merge]
+        assert gpr(3) not in live.live_in[merge]
+
+
+class TestGuardedDefs:
+    def test_guarded_write_does_not_kill(self):
+        kernel = parse_kernel(
+            """
+            .kernel g
+            .livein R0 R1
+            entry:
+                setp P0, R0, 4
+                @P0 iadd R1, R0, 1
+                stg [R0], R1
+                exit
+            """
+        )
+        live = _liveness(kernel)
+        # R1 must be live into the kernel: the guarded write may not
+        # execute, in which case the store reads the incoming R1.
+        assert gpr(1) in live.live_in[0]

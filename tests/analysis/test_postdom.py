@@ -1,0 +1,92 @@
+"""Unit tests for post-dominator analysis (reconvergence points)."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.postdom import PostDominatorTree
+from repro.ir import parse_kernel
+
+
+def _pdt(kernel):
+    return PostDominatorTree(ControlFlowGraph(kernel))
+
+
+class TestHammock:
+    def test_branch_reconverges_at_merge(self, hammock_kernel):
+        pdt = _pdt(hammock_kernel)
+        entry = hammock_kernel.block_index("entry")
+        merge = hammock_kernel.block_index("merge")
+        assert pdt.immediate_post_dominator(entry) == merge
+
+    def test_arms_reconverge_at_merge(self, hammock_kernel):
+        pdt = _pdt(hammock_kernel)
+        merge = hammock_kernel.block_index("merge")
+        for label in ("big", "small"):
+            block = hammock_kernel.block_index(label)
+            assert pdt.immediate_post_dominator(block) == merge
+
+    def test_exit_block_has_no_ipdom(self, hammock_kernel):
+        pdt = _pdt(hammock_kernel)
+        merge = hammock_kernel.block_index("merge")
+        assert pdt.immediate_post_dominator(merge) is None
+
+    def test_post_dominates(self, hammock_kernel):
+        pdt = _pdt(hammock_kernel)
+        entry = hammock_kernel.block_index("entry")
+        merge = hammock_kernel.block_index("merge")
+        big = hammock_kernel.block_index("big")
+        assert pdt.post_dominates(merge, entry)
+        assert pdt.post_dominates(merge, big)
+        assert not pdt.post_dominates(big, entry)
+
+
+class TestLoops:
+    def test_latch_reconverges_at_exit(self, loop_kernel):
+        pdt = _pdt(loop_kernel)
+        loop = loop_kernel.block_index("loop")
+        done = loop_kernel.block_index("done")
+        assert pdt.immediate_post_dominator(loop) == done
+
+    def test_entry_postdominated_by_loop(self, loop_kernel):
+        pdt = _pdt(loop_kernel)
+        entry = loop_kernel.block_index("entry")
+        loop = loop_kernel.block_index("loop")
+        assert pdt.post_dominates(loop, entry)
+
+
+class TestNested:
+    def test_nested_hammocks(self):
+        kernel = parse_kernel(
+            """
+            .kernel nest
+            .livein R0 R1
+            entry:
+                setp P0, R0, 10
+                @P0 bra outer_else
+            outer_then:
+                setp P1, R0, 5
+                @P1 bra inner_else
+            inner_then:
+                iadd R2, R0, 1
+                bra inner_merge
+            inner_else:
+                iadd R2, R0, 2
+            inner_merge:
+                iadd R3, R2, 1
+                bra outer_merge
+            outer_else:
+                iadd R3, R0, 3
+            outer_merge:
+                stg [R1], R3
+                exit
+            """
+        )
+        pdt = _pdt(kernel)
+        assert pdt.immediate_post_dominator(
+            kernel.block_index("outer_then")
+        ) == kernel.block_index("inner_merge")
+        assert pdt.immediate_post_dominator(
+            kernel.block_index("entry")
+        ) == kernel.block_index("outer_merge")
+
+    def test_straight_line_chain(self, straight_kernel):
+        pdt = _pdt(straight_kernel)
+        assert pdt.immediate_post_dominator(0) is None

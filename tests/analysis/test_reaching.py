@@ -1,0 +1,123 @@
+"""Unit tests for reaching definitions and def-use chains."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.reaching import ReachingDefinitions
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+
+
+def _reaching(kernel):
+    return ReachingDefinitions(kernel, ControlFlowGraph(kernel))
+
+
+def _ref(kernel, position):
+    for ref, _ in kernel.instructions():
+        if ref.position == position:
+            return ref
+    raise AssertionError(f"no instruction at {position}")
+
+
+class TestStraightLine:
+    def test_single_def_reaches_read(self, straight_kernel):
+        reaching = _reaching(straight_kernel)
+        # position 2: iadd R5, R4, R2 — R4 defined at position 1.
+        defs = reaching.reaching_defs(_ref(straight_kernel, 2), 0)
+        assert len(defs) == 1
+        definition = reaching.definition(next(iter(defs)))
+        assert definition.reg == gpr(4)
+        assert definition.ref.position == 1
+
+    def test_external_definition_for_live_in(self, straight_kernel):
+        reaching = _reaching(straight_kernel)
+        defs = reaching.reaching_defs(_ref(straight_kernel, 0), 0)
+        assert len(defs) == 1
+        assert reaching.definition(next(iter(defs))).is_external
+
+    def test_long_latency_def_flagged(self, straight_kernel):
+        reaching = _reaching(straight_kernel)
+        # position 5: iadd R7, R6, R3 — R3 from the ldg at position 0.
+        defs = reaching.reaching_defs(_ref(straight_kernel, 5), 1)
+        definition = reaching.definition(next(iter(defs)))
+        assert definition.is_long_latency
+        assert definition.mrf_pinned
+
+    def test_uses_of(self, straight_kernel):
+        reaching = _reaching(straight_kernel)
+        defs = reaching.reaching_defs(_ref(straight_kernel, 3), 0)
+        (def_id,) = defs
+        uses = reaching.uses_of(def_id)
+        assert {use.ref.position for use in uses} == {3}
+
+
+class TestKills:
+    def test_redefinition_kills(self):
+        kernel = parse_kernel(
+            """
+            .kernel k
+            .livein R0
+            entry:
+                iadd R1, R0, 1
+                iadd R1, R0, 2
+                stg [R0], R1
+                exit
+            """
+        )
+        reaching = _reaching(kernel)
+        defs = reaching.reaching_defs(_ref(kernel, 2), 1)
+        assert len(defs) == 1
+        assert reaching.definition(next(iter(defs))).ref.position == 1
+
+    def test_guarded_def_does_not_kill(self):
+        kernel = parse_kernel(
+            """
+            .kernel k
+            .livein R0 R1
+            entry:
+                setp P0, R0, 4
+                @P0 iadd R1, R0, 1
+                stg [R0], R1
+                exit
+            """
+        )
+        reaching = _reaching(kernel)
+        defs = reaching.reaching_defs(_ref(kernel, 2), 1)
+        kinds = {
+            (
+                reaching.definition(d).is_external,
+                reaching.definition(d).is_guarded,
+            )
+            for d in defs
+        }
+        assert kinds == {(True, False), (False, True)}
+
+
+class TestControlFlow:
+    def test_hammock_merge_sees_both_defs(self, hammock_kernel):
+        reaching = _reaching(hammock_kernel)
+        merge_first = hammock_kernel.block_index("merge")
+        position = sum(
+            len(hammock_kernel.blocks[i].instructions)
+            for i in range(merge_first)
+        )
+        defs = reaching.reaching_defs(_ref(hammock_kernel, position), 0)
+        positions = {
+            reaching.definition(d).ref.position for d in defs
+        }
+        assert len(positions) == 2
+
+    def test_loop_carried_def_reaches_header(self, loop_kernel):
+        reaching = _reaching(loop_kernel)
+        # ffma R5, R3, R2, R5 — R5 reaches from entry mov and from the
+        # ffma itself around the backward edge.
+        ffma_position = 2
+        defs = reaching.reaching_defs(_ref(loop_kernel, ffma_position), 2)
+        assert len(defs) == 2
+
+    def test_def_at(self, loop_kernel):
+        reaching = _reaching(loop_kernel)
+        definition = reaching.def_at(_ref(loop_kernel, 0))
+        assert definition is not None and definition.reg == gpr(5)
+        # stores define nothing
+        for ref, inst in loop_kernel.instructions():
+            if inst.gpr_write() is None:
+                assert reaching.def_at(ref) is None

@@ -1,0 +1,109 @@
+"""Unit tests for dynamic value-usage statistics (Figure 2)."""
+
+from repro.analysis.usage import UsageHistogram, ValueUsageTracker
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.registers import gpr
+
+
+def _add(dst, a, b):
+    return Instruction(Opcode.IADD, gpr(dst), (gpr(a), gpr(b)))
+
+
+def _store(addr, value):
+    return Instruction(Opcode.STG, None, (gpr(addr), gpr(value)))
+
+
+class TestTracker:
+    def test_read_once_lifetime_one(self):
+        tracker = ValueUsageTracker()
+        tracker.observe(_add(1, 0, 0))   # def R1 (R0 untracked: no def)
+        tracker.observe(_add(2, 1, 1))   # read R1 twice, def R2
+        tracker.finish()
+        record = next(r for r in tracker.records if r.num_reads == 2)
+        assert record.lifetime == 1
+
+    def test_never_read(self):
+        tracker = ValueUsageTracker()
+        tracker.observe(_add(1, 0, 0))
+        tracker.finish()
+        assert tracker.records[0].num_reads == 0
+        assert tracker.records[0].lifetime == 0
+
+    def test_overwrite_closes_record(self):
+        tracker = ValueUsageTracker()
+        tracker.observe(_add(1, 0, 0))
+        tracker.observe(_add(1, 0, 0))   # overwrite R1
+        assert len(tracker.records) == 1
+
+    def test_lifetime_measured_to_last_read(self):
+        tracker = ValueUsageTracker()
+        tracker.observe(_add(1, 0, 0))   # clock 1: def R1
+        tracker.observe(_add(2, 0, 0))   # clock 2
+        tracker.observe(_add(3, 0, 0))   # clock 3
+        tracker.observe(_add(4, 1, 0))   # clock 4: read R1
+        tracker.finish()
+        record = next(r for r in tracker.records if r.num_reads == 1)
+        assert record.lifetime == 3
+
+    def test_shared_consumption_flagged(self):
+        tracker = ValueUsageTracker()
+        tracker.observe(_add(1, 0, 0))
+        tracker.observe(_store(0, 1))   # STG is a MEM (shared) consumer
+        tracker.finish()
+        record = next(r for r in tracker.records if r.num_reads == 1)
+        assert record.read_by_shared
+
+    def test_guard_failed_write_not_tracked(self):
+        tracker = ValueUsageTracker()
+        tracker.observe(_add(1, 0, 0), guard_passed=False)
+        tracker.finish()
+        assert tracker.records == []
+
+
+class TestHistogram:
+    def _histogram(self, reads_list):
+        histogram = UsageHistogram()
+        from repro.analysis.usage import ValueRecord
+
+        for reads, lifetime in reads_list:
+            histogram.add_record(ValueRecord(reads, lifetime, False))
+        return histogram
+
+    def test_read_buckets(self):
+        histogram = self._histogram(
+            [(0, 0), (1, 1), (1, 2), (2, 3), (5, 9)]
+        )
+        assert histogram.read_counts == {"0": 1, "1": 2, "2": 1, ">2": 1}
+
+    def test_lifetime_buckets_only_for_read_once(self):
+        histogram = self._histogram(
+            [(1, 1), (1, 2), (1, 3), (1, 9), (2, 1)]
+        )
+        assert histogram.lifetimes == {"1": 1, "2": 1, "3": 1, ">3": 1}
+        assert histogram.read_once_total == 4
+
+    def test_fraction_read_at_most_once(self):
+        histogram = self._histogram([(0, 0), (1, 1), (2, 1), (3, 1)])
+        assert histogram.fraction_read_at_most_once() == 0.5
+
+    def test_fraction_read_once_within(self):
+        histogram = self._histogram([(1, 1), (1, 2), (1, 9), (2, 1)])
+        assert histogram.fraction_read_once_within(3) == 0.5
+        assert histogram.fraction_read_once_within(1) == 0.25
+
+    def test_merge(self):
+        a = self._histogram([(1, 1)])
+        b = self._histogram([(2, 1), (0, 0)])
+        a.merge(b)
+        assert a.total_values == 3
+        assert a.read_counts["2"] == 1
+
+    def test_empty_histogram_fractions(self):
+        histogram = UsageHistogram()
+        assert histogram.fraction_read_at_most_once() == 0.0
+        assert histogram.fraction_read_once_within(3) == 0.0
+        assert histogram.fraction_read_by_shared() == 0.0
+
+    def test_fractions_sum_to_one(self):
+        histogram = self._histogram([(0, 0), (1, 2), (2, 4), (7, 9)])
+        assert abs(sum(histogram.read_count_fractions().values()) - 1) < 1e-9

@@ -1,0 +1,147 @@
+"""Unit tests for live intervals and linear-scan register lowering."""
+
+import pytest
+
+from repro.compiler import (
+    MRF_WORDS_PER_THREAD,
+    RegisterPressureError,
+    compute_live_intervals,
+    register_pressure,
+    run_linear_scan,
+)
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.sim import WarpInput, run_warp
+from repro.sim.memory import Memory
+
+
+class TestLiveIntervals:
+    def test_straight_line_intervals(self, straight_kernel):
+        intervals = {
+            iv.reg: iv for iv in compute_live_intervals(straight_kernel)
+        }
+        # R4 defined at 1, last used at 2.
+        assert intervals[gpr(4)].start == 1
+        assert intervals[gpr(4)].end == 2
+        # R3 (ldg result) defined at 0, last used at 5.
+        assert intervals[gpr(3)].start == 0
+        assert intervals[gpr(3)].end == 5
+
+    def test_live_in_starts_at_zero(self, straight_kernel):
+        intervals = {
+            iv.reg: iv for iv in compute_live_intervals(straight_kernel)
+        }
+        assert intervals[gpr(0)].start == 0
+
+    def test_loop_extends_carried_intervals(self, loop_kernel):
+        intervals = {
+            iv.reg: iv for iv in compute_live_intervals(loop_kernel)
+        }
+        loop_block = loop_kernel.block_index("loop")
+        loop_end = sum(
+            len(loop_kernel.blocks[i].instructions)
+            for i in range(loop_block + 1)
+        ) - 1
+        # The accumulator R5 is loop-carried: interval spans the loop.
+        assert intervals[gpr(5)].end >= loop_end
+
+    def test_sorted_by_start(self, loop_kernel):
+        intervals = compute_live_intervals(loop_kernel)
+        starts = [iv.start for iv in intervals]
+        assert starts == sorted(starts)
+
+    def test_overlap_predicate(self):
+        from repro.compiler import LiveInterval
+
+        a = LiveInterval(gpr(0), 0, 5)
+        b = LiveInterval(gpr(1), 5, 9)
+        c = LiveInterval(gpr(2), 6, 9)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestLinearScan:
+    VIRTUAL = """
+    .kernel virt
+    .livein R0 R1
+    entry:
+        iadd R100, R0, 1
+        imul R200, R100, R100
+        iadd R300, R200, R0
+        stg [R1], R300
+        exit
+    """
+
+    def test_lowers_to_compact_names(self):
+        kernel = parse_kernel(self.VIRTUAL)
+        result = run_linear_scan(kernel)
+        assert result.words_used <= 4
+        assert (
+            result.kernel.num_architectural_registers
+            <= MRF_WORDS_PER_THREAD
+        )
+
+    def test_live_ins_pinned(self):
+        kernel = parse_kernel(self.VIRTUAL)
+        result = run_linear_scan(kernel)
+        assert result.mapping[gpr(0)] == gpr(0)
+        assert result.mapping[gpr(1)] == gpr(1)
+        assert result.kernel.live_in == (gpr(0), gpr(1))
+
+    def test_registers_reused_after_death(self):
+        kernel = parse_kernel(self.VIRTUAL)
+        result = run_linear_scan(kernel)
+        # R100 dies at the imul; R300 can reuse its word.
+        assert result.mapping[gpr(300)] == result.mapping[gpr(100)]
+
+    def test_semantics_preserved(self):
+        kernel = parse_kernel(self.VIRTUAL)
+        lowered = run_linear_scan(kernel).kernel
+
+        def final_store(k):
+            memory = Memory(seed=4)
+            run_warp(
+                k,
+                WarpInput({gpr(0): 7, gpr(1): 100}, memory=memory),
+            )
+            return memory.global_mem[100]
+
+        assert final_store(kernel) == final_store(lowered)
+
+    def test_pressure_error(self):
+        lines = [".kernel hot", ".livein R0", "entry:"]
+        # 40 simultaneously live values in a 32-word file.
+        for index in range(40):
+            lines.append(f"    iadd R{100 + index}, R0, {index}")
+        for index in range(40):
+            lines.append(f"    stg [R0], R{100 + index}")
+        lines.append("    exit")
+        kernel = parse_kernel("\n".join(lines))
+        with pytest.raises(RegisterPressureError):
+            run_linear_scan(kernel)
+
+    def test_wide_values_get_consecutive_words(self):
+        kernel = parse_kernel(
+            """
+            .kernel wide
+            .livein R0
+            entry:
+                mov RD100, R0
+                iadd R101, R0, 1
+                stg [R0], R101
+                stg [R0], RD100
+                exit
+            """
+        )
+        result = run_linear_scan(kernel)
+        wide = result.mapping[gpr(100, 64)]
+        assert wide.num_words == 2
+
+    def test_loop_kernel_round_trips(self, loop_kernel):
+        result = run_linear_scan(loop_kernel)
+        assert result.words_used <= 8
+        result.kernel.validate()
+
+    def test_register_pressure_metric(self, straight_kernel):
+        pressure = register_pressure(straight_kernel)
+        assert 3 <= pressure <= 8

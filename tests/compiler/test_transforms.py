@@ -1,0 +1,353 @@
+"""Unit tests for loop unrolling and instruction scheduling."""
+
+import pytest
+
+from repro.compiler import (
+    ScheduleStrategy,
+    UnrollError,
+    schedule_kernel,
+    unroll_loop,
+)
+from repro.compiler.unroll import unroll_loop_fused
+from repro.ir import Opcode, parse_kernel
+from repro.ir.registers import gpr
+from repro.sim import WarpInput, run_warp
+from repro.sim.memory import Memory
+
+REDUCTION = """
+.kernel red
+.livein R0 R1 R2 R3
+entry:
+    mov R5, 0
+loop:
+    ldg R6, [R0]
+    ffma R5, R6, R3, R5
+    iadd R0, R0, 4
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    stg [R1], R5
+    exit
+"""
+
+
+def _acc_after(kernel, trip, seed=11):
+    memory = Memory(seed=seed)
+    run_warp(
+        kernel,
+        WarpInput(
+            {gpr(0): 0, gpr(1): 512, gpr(2): trip, gpr(3): 3},
+            memory=memory,
+        ),
+    )
+    return memory.global_mem[512]
+
+
+class TestUnroll:
+    def test_unrolled_semantics_any_trip(self):
+        kernel = parse_kernel(REDUCTION)
+        unrolled = unroll_loop(kernel, "loop", 4)
+        for trip in (1, 2, 3, 4, 5, 7, 8, 13):
+            assert _acc_after(kernel, trip) == _acc_after(unrolled, trip)
+
+    def test_unrolled_block_count(self):
+        kernel = parse_kernel(REDUCTION)
+        unrolled = unroll_loop(kernel, "loop", 3)
+        labels = [block.label for block in unrolled.blocks]
+        assert labels == [
+            "entry", "loop", "loop__u1", "loop__u2", "done",
+        ]
+
+    def test_temporaries_renamed_per_copy(self):
+        kernel = parse_kernel(REDUCTION)
+        unrolled = unroll_loop(kernel, "loop", 2)
+        load_dsts = {
+            inst.dst
+            for _, inst in unrolled.instructions()
+            if inst.opcode is Opcode.LDG
+        }
+        assert len(load_dsts) == 2
+
+    def test_factor_validation(self):
+        kernel = parse_kernel(REDUCTION)
+        with pytest.raises(UnrollError):
+            unroll_loop(kernel, "loop", 1)
+
+    def test_non_loop_rejected(self):
+        kernel = parse_kernel(REDUCTION)
+        with pytest.raises(UnrollError):
+            unroll_loop(kernel, "entry", 2)
+
+    def test_fused_semantics_divisible_trips(self):
+        kernel = parse_kernel(REDUCTION)
+        fused = unroll_loop_fused(kernel, "loop", 4)
+        for trip in (4, 8, 16):
+            assert _acc_after(kernel, trip) == _acc_after(fused, trip)
+
+    def test_fused_single_body_block(self):
+        kernel = parse_kernel(REDUCTION)
+        fused = unroll_loop_fused(kernel, "loop", 4)
+        labels = [block.label for block in fused.blocks]
+        assert labels == ["entry", "loop", "done"]
+        loads = sum(
+            1
+            for inst in fused.block("loop").instructions
+            if inst.opcode is Opcode.LDG
+        )
+        assert loads == 4
+
+    def test_fused_combines_induction_updates(self):
+        kernel = parse_kernel(REDUCTION)
+        fused = unroll_loop_fused(kernel, "loop", 4)
+        pointer_updates = [
+            inst
+            for inst in fused.block("loop").instructions
+            if inst.opcode is Opcode.IADD and inst.dst == gpr(0)
+            and inst.srcs[0] == gpr(0)
+        ]
+        assert len(pointer_updates) == 1
+        assert pointer_updates[0].srcs[1].value == 16
+
+
+class TestScheduling:
+    def test_hoist_moves_loads_first(self):
+        kernel = parse_kernel(REDUCTION)
+        fused = unroll_loop_fused(kernel, "loop", 4)
+        hoisted = schedule_kernel(
+            fused, ScheduleStrategy.HOIST_LONG_LATENCY
+        )
+        body = hoisted.block("loop").instructions
+        load_positions = [
+            i for i, inst in enumerate(body)
+            if inst.opcode is Opcode.LDG
+        ]
+        ffma_positions = [
+            i for i, inst in enumerate(body)
+            if inst.opcode is Opcode.FFMA
+        ]
+        assert max(load_positions) < min(ffma_positions)
+
+    def test_hoist_preserves_semantics(self):
+        kernel = parse_kernel(REDUCTION)
+        fused = unroll_loop_fused(kernel, "loop", 4)
+        hoisted = schedule_kernel(
+            fused, ScheduleStrategy.HOIST_LONG_LATENCY
+        )
+        assert _acc_after(fused, 8) == _acc_after(hoisted, 8)
+
+    def test_shorten_lifetimes_preserves_semantics(self, loop_kernel):
+        rescheduled = schedule_kernel(
+            loop_kernel, ScheduleStrategy.SHORTEN_LIFETIMES
+        )
+
+        def result(kernel):
+            memory = Memory(seed=2)
+            run_warp(
+                kernel,
+                WarpInput(
+                    {gpr(0): 0, gpr(1): 700, gpr(2): 5}, memory=memory
+                ),
+            )
+            return sorted(memory.global_mem.items())
+
+        assert result(loop_kernel) == result(rescheduled)
+
+    def test_memory_order_preserved(self):
+        kernel = parse_kernel(
+            """
+            .kernel mem
+            .livein R0 R1
+            entry:
+                stg [R0], R1
+                ldg R2, [R0]
+                stg [R1], R2
+                exit
+            """
+        )
+        for strategy in ScheduleStrategy:
+            scheduled = schedule_kernel(kernel, strategy)
+            opcodes = [
+                inst.opcode
+                for inst in scheduled.blocks[0].instructions
+                if inst.opcode in (Opcode.STG, Opcode.LDG)
+            ]
+            assert opcodes == [Opcode.STG, Opcode.LDG, Opcode.STG]
+
+    def test_control_flow_stays_last(self, loop_kernel):
+        for strategy in ScheduleStrategy:
+            scheduled = schedule_kernel(loop_kernel, strategy)
+            for block in scheduled.blocks:
+                for inst in block.instructions[:-1]:
+                    assert not inst.opcode.is_branch
+                    assert not inst.opcode.is_exit
+
+    def test_predicate_dependences_respected(self):
+        kernel = parse_kernel(
+            """
+            .kernel p
+            .livein R0 R1
+            entry:
+                setp P0, R0, 5
+                selp R2, R0, R1, P0
+                stg [R1], R2
+                exit
+            """
+        )
+        scheduled = schedule_kernel(
+            kernel, ScheduleStrategy.SHORTEN_LIFETIMES
+        )
+        ops = [i.opcode for i in scheduled.blocks[0].instructions]
+        assert ops.index(Opcode.SETP) < ops.index(Opcode.SELP)
+
+
+class TestPipeline:
+    def test_compile_kernel_end_to_end(self):
+        from repro.compiler import compile_kernel
+
+        kernel = parse_kernel(
+            """
+            .kernel virt
+            .livein R0 R1
+            entry:
+                iadd R50, R0, 1
+                imul R60, R50, R50
+                iadd R70, R60, R50
+                stg [R1], R70
+                exit
+            """
+        )
+        result = compile_kernel(kernel)
+        assert result.kernel.num_architectural_registers <= 32
+        assert result.allocation.num_webs > 0
+
+    def test_compile_verifies_dynamically(self):
+        from repro.compiler import compile_kernel
+        from repro.sim import build_traces
+        from repro.sim.verify import verify_trace
+
+        kernel = parse_kernel(REDUCTION)
+        result = compile_kernel(
+            kernel, strategy=ScheduleStrategy.SHORTEN_LIFETIMES
+        )
+        traces = build_traces(
+            result.kernel,
+            [WarpInput({gpr(0): 0, gpr(1): 512, gpr(2): 6, gpr(3): 3})],
+        )
+        for trace in traces.warp_traces:
+            verify_trace(
+                result.kernel, result.allocation.partition, trace
+            )
+
+
+class TestFusedUnrollEdgeCases:
+    def test_use_after_update_gets_next_offset(self):
+        """A read of the induction variable placed *after* its update
+        in the body must see (i+1)*step in copy i."""
+        kernel = parse_kernel(
+            """
+            .kernel ua
+            .livein R0 R1 R2
+            entry:
+                mov R5, 0
+            loop:
+                ldg R6, [R0]
+                iadd R0, R0, 4
+                iadd R7, R0, 0
+                iadd R5, R5, R7
+                iadd R5, R5, R6
+                iadd R2, R2, -1
+                setp P0, 0, R2
+                @P0 bra loop
+            done:
+                stg [R1], R5
+                exit
+            """
+        )
+        fused = unroll_loop_fused(kernel, "loop", 2)
+
+        def result(k, trip):
+            memory = Memory(seed=3)
+            run_warp(
+                k,
+                WarpInput(
+                    {gpr(0): 0, gpr(1): 640, gpr(2): trip},
+                    memory=memory,
+                ),
+            )
+            return memory.global_mem[640]
+
+        for trip in (2, 4, 6):
+            assert result(kernel, trip) == result(fused, trip)
+
+    def test_multiple_induction_variables(self):
+        kernel = parse_kernel(
+            """
+            .kernel multi
+            .livein R0 R1 R2
+            entry:
+                mov R5, 0
+            loop:
+                ldg R6, [R0]
+                ldg R7, [R1]
+                iadd R8, R6, R7
+                iadd R5, R5, R8
+                iadd R0, R0, 4
+                iadd R1, R1, 8
+                iadd R2, R2, -1
+                setp P0, 0, R2
+                @P0 bra loop
+            done:
+                stg [R0], R5
+                exit
+            """
+        )
+        fused = unroll_loop_fused(kernel, "loop", 3)
+
+        def acc(k, trip):
+            from repro.sim import WarpExecutor
+
+            executor = WarpExecutor(
+                k,
+                WarpInput(
+                    {gpr(0): 0, gpr(1): 4096, gpr(2): trip},
+                    memory=Memory(seed=8),
+                ),
+            )
+            list(executor.run())
+            return executor.registers[gpr(5)]
+
+        for trip in (3, 6):
+            assert acc(kernel, trip) == acc(fused, trip)
+        # Each pointer's update is combined into one stride.
+        pointer_updates = [
+            inst
+            for inst in fused.block("loop").instructions
+            if inst.opcode is Opcode.IADD
+            and inst.dst in (gpr(0), gpr(1))
+            and inst.srcs[0] == inst.dst
+        ]
+        strides = sorted(int(i.srcs[1].value) for i in pointer_updates)
+        assert strides == [12, 24]
+
+    def test_multi_block_loop_rejected(self):
+        from repro.workloads import get_workload
+
+        spec = get_workload("mergesort")  # hammock inside the loop
+        with pytest.raises(UnrollError):
+            unroll_loop_fused(spec.kernel, "loop", 2)
+
+    def test_unguarded_backward_branch_rejected(self):
+        kernel = parse_kernel(
+            """
+            .kernel f
+            .livein R0
+            entry:
+                iadd R1, R0, 1
+                iadd R2, R1, 1
+                iadd R3, R2, 1
+                bra entry
+            """
+        )
+        with pytest.raises(UnrollError):
+            unroll_loop_fused(kernel, "entry", 2)

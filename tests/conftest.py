@@ -1,0 +1,118 @@
+"""Shared fixtures: small hand-written kernels used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.sim.executor import WarpInput
+
+#: A straight-line kernel: no control flow, one long-latency load.
+STRAIGHT_LINE_ASM = """
+.kernel straight
+.livein R0 R1 R2
+entry:
+    ldg R3, [R0]
+    iadd R4, R0, 4
+    iadd R5, R4, R2
+    imul R6, R5, R5
+    stg [R1], R6
+    iadd R7, R6, R3
+    stg [R1], R7
+    exit
+"""
+
+#: A counted loop with a long-latency load at the top (strand per
+#: iteration, deschedule on the first use of the load).
+LOOP_ASM = """
+.kernel loop_kernel
+.livein R0 R1 R2
+entry:
+    mov R5, 0
+loop:
+    ldg R3, [R0]
+    ffma R5, R3, R2, R5
+    imul R6, R3, R3
+    iadd R7, R6, 1
+    stg [R1], R7
+    iadd R0, R0, 4
+    iadd R1, R1, 4
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    stg [R1], R5
+    exit
+"""
+
+#: A hammock writing R6 on both sides, consumed at the merge point
+#: (Figure 10c of the paper).
+HAMMOCK_ASM = """
+.kernel hammock
+.livein R0 R1
+entry:
+    ldg R3, [R0]
+    setp P0, R3, 100
+    @P0 bra small
+big:
+    imul R6, R3, 3
+    bra merge
+small:
+    iadd R6, R3, 5
+merge:
+    iadd R7, R6, 1
+    stg [R1], R7
+    exit
+"""
+
+#: Figure 5(b): a long-latency load on only one side of a hammock; the
+#: merge block needs an uncertainty endpoint.
+UNCERTAIN_ASM = """
+.kernel uncertain
+.livein R0 R1 R2
+entry:
+    setp P0, R2, 50
+    @P0 bra skip
+taken:
+    ldg R3, [R0]
+    iadd R9, R2, 1
+    bra merge
+skip:
+    iadd R3, R2, 7
+    iadd R9, R2, 2
+merge:
+    iadd R4, R3, R9
+    stg [R1], R4
+    exit
+"""
+
+
+@pytest.fixture
+def straight_kernel():
+    return parse_kernel(STRAIGHT_LINE_ASM)
+
+
+@pytest.fixture
+def loop_kernel():
+    return parse_kernel(LOOP_ASM)
+
+
+@pytest.fixture
+def hammock_kernel():
+    return parse_kernel(HAMMOCK_ASM)
+
+
+@pytest.fixture
+def uncertain_kernel():
+    return parse_kernel(UNCERTAIN_ASM)
+
+
+@pytest.fixture
+def loop_inputs():
+    return [WarpInput({gpr(0): 0, gpr(1): 1000, gpr(2): 5})]
+
+
+@pytest.fixture
+def straight_inputs():
+    return [WarpInput({gpr(0): 0, gpr(1): 1000, gpr(2): 3})]

@@ -1,0 +1,124 @@
+"""Unit tests for energy accounting, encoding overhead, and chip power."""
+
+import pytest
+
+from repro.energy.accounting import (
+    compute_energy,
+    energy_savings,
+    normalized_energy,
+)
+from repro.energy.chip_power import chip_power_savings
+from repro.energy.encoding import encoding_overhead
+from repro.energy.model import EnergyModel
+from repro.hierarchy.counters import AccessCounters
+from repro.levels import Level
+
+MODEL = EnergyModel(orf_entries=3)
+
+
+def _baseline(reads=10, writes=5):
+    counters = AccessCounters()
+    counters.add_read(Level.MRF, count=reads)
+    counters.add_write(Level.MRF, count=writes)
+    return counters
+
+
+class TestComputeEnergy:
+    def test_breakdown_components(self):
+        counters = AccessCounters()
+        counters.add_read(Level.MRF, count=2)
+        breakdown = compute_energy(counters, MODEL)
+        assert breakdown.access_pj[Level.MRF] == pytest.approx(
+            2 * MODEL.access_energy(Level.MRF, True)
+        )
+        assert breakdown.wire_pj[Level.MRF] == pytest.approx(
+            2 * MODEL.wire_energy(Level.MRF, False)
+        )
+        assert breakdown.access_pj[Level.ORF] == 0.0
+
+    def test_total(self):
+        counters = _baseline(1, 1)
+        breakdown = compute_energy(counters, MODEL)
+        expected = MODEL.read_energy(Level.MRF) + MODEL.write_energy(
+            Level.MRF
+        )
+        assert breakdown.total_pj == pytest.approx(expected)
+
+    def test_level_total(self):
+        counters = AccessCounters()
+        counters.add_read(Level.LRF, count=3)
+        breakdown = compute_energy(counters, MODEL)
+        assert breakdown.level_total(Level.LRF) == pytest.approx(
+            3 * MODEL.read_energy(Level.LRF)
+        )
+
+
+class TestNormalization:
+    def test_identity(self):
+        baseline = _baseline()
+        assert normalized_energy(baseline, baseline, MODEL) == 1.0
+
+    def test_cheaper_hierarchy_below_one(self):
+        baseline = _baseline(10, 5)
+        hierarchy = AccessCounters()
+        hierarchy.add_read(Level.ORF, count=10)
+        hierarchy.add_write(Level.ORF, count=5)
+        assert normalized_energy(hierarchy, baseline, MODEL) < 1.0
+
+    def test_savings_complements_normalized(self):
+        baseline = _baseline()
+        hierarchy = AccessCounters()
+        hierarchy.add_read(Level.LRF, count=10)
+        hierarchy.add_write(Level.LRF, count=5)
+        normalized = normalized_energy(hierarchy, baseline, MODEL)
+        assert energy_savings(
+            hierarchy, baseline, MODEL
+        ) == pytest.approx(1 - normalized)
+
+    def test_empty_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_energy(AccessCounters(), AccessCounters(), MODEL)
+
+    def test_normalized_by_validates(self):
+        breakdown = compute_energy(_baseline(), MODEL)
+        with pytest.raises(ValueError):
+            breakdown.normalized_by(0.0)
+
+
+class TestEncodingOverhead:
+    def test_paper_optimistic_case(self):
+        result = encoding_overhead(1, 0.54)
+        assert result.fetch_decode_increase == pytest.approx(0.03, abs=0.01)
+        assert result.chip_wide_overhead == pytest.approx(0.003, abs=0.001)
+        assert result.chip_wide_net_savings == pytest.approx(0.055, abs=0.01)
+
+    def test_paper_pessimistic_case(self):
+        result = encoding_overhead(5, 0.54)
+        assert result.fetch_decode_increase == pytest.approx(0.15, abs=0.01)
+        assert result.chip_wide_overhead == pytest.approx(0.015, abs=0.002)
+        assert result.chip_wide_net_savings >= 0.043
+
+    def test_zero_bits_no_overhead(self):
+        result = encoding_overhead(0, 0.5)
+        assert result.chip_wide_overhead == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encoding_overhead(-1, 0.5)
+        with pytest.raises(ValueError):
+            encoding_overhead(1, 1.5)
+
+
+class TestChipPower:
+    def test_paper_scaling(self):
+        result = chip_power_savings(0.54)
+        assert result.sm_dynamic_power_savings == pytest.approx(
+            0.083, abs=0.003
+        )
+        assert result.chip_dynamic_power_savings == pytest.approx(
+            0.058, abs=0.003
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chip_power_savings(-0.1)

@@ -1,0 +1,121 @@
+"""Unit tests for the energy model (Tables 3-4) and its derived scaling."""
+
+import pytest
+
+from repro.energy import tables
+from repro.energy.model import EnergyModel, EnergyModelError
+from repro.levels import Level
+
+
+class TestTables:
+    def test_table3_values(self):
+        assert tables.ORF_ENERGY_PJ[1] == (0.7, 2.0)
+        assert tables.ORF_ENERGY_PJ[3] == (1.2, 4.4)
+        assert tables.ORF_ENERGY_PJ[5] == (2.0, 6.0)
+        assert tables.ORF_ENERGY_PJ[8] == (3.4, 10.9)
+
+    def test_table4_values(self):
+        assert tables.MRF_READ_PJ == 8.0
+        assert tables.MRF_WRITE_PJ == 11.0
+        assert tables.LRF_READ_PJ == 0.7
+        assert tables.LRF_WRITE_PJ == 2.0
+        assert tables.WIRE_PJ_PER_MM_32B == 1.9
+
+    def test_warp_scaling_constant(self):
+        # 32 threads x 32 bits = 8 entries of 128 bits per warp access.
+        assert tables.WARP_ENTRY_ACCESSES == 8
+
+
+class TestAccessEnergy:
+    def test_mrf_read_warp_level(self):
+        model = EnergyModel(orf_entries=3)
+        assert model.access_energy(Level.MRF, True) == pytest.approx(
+            8 * 8.0
+        )
+
+    def test_orf_size_dependence(self):
+        small = EnergyModel(orf_entries=1)
+        large = EnergyModel(orf_entries=8)
+        assert small.access_energy(Level.ORF, True) == pytest.approx(
+            8 * 0.7
+        )
+        assert large.access_energy(Level.ORF, True) == pytest.approx(
+            8 * 3.4
+        )
+
+    def test_lrf_matches_one_entry_orf(self):
+        model = EnergyModel(orf_entries=1)
+        assert model.access_energy(Level.LRF, True) == pytest.approx(
+            model.access_energy(Level.ORF, True)
+        )
+
+    def test_invalid_orf_size_rejected(self):
+        with pytest.raises(EnergyModelError):
+            EnergyModel(orf_entries=9)
+        with pytest.raises(EnergyModelError):
+            EnergyModel(orf_entries=0)
+
+
+class TestWireEnergy:
+    def test_distances(self):
+        model = EnergyModel(orf_entries=3)
+        assert model.wire_distance_mm(Level.MRF, False) == 1.0
+        assert model.wire_distance_mm(Level.ORF, False) == 0.2
+        assert model.wire_distance_mm(Level.LRF, False) == 0.05
+        assert model.wire_distance_mm(Level.MRF, True) == 1.0
+        assert model.wire_distance_mm(Level.ORF, True) == 0.4
+
+    def test_lrf_unreachable_from_shared(self):
+        model = EnergyModel(orf_entries=3)
+        with pytest.raises(EnergyModelError):
+            model.wire_distance_mm(Level.LRF, True)
+
+    def test_wire_energy_per_warp(self):
+        model = EnergyModel(orf_entries=3)
+        # 32 lanes x 1.9 pJ/mm x 1 mm.
+        assert model.wire_energy(Level.MRF, False) == pytest.approx(
+            32 * 1.9
+        )
+
+    def test_paper_wire_ratios(self):
+        """Section 5.2: private-path wire energy is 5x lower for the
+        ORF and 20x lower for the LRF than for the MRF."""
+        model = EnergyModel(orf_entries=3)
+        mrf = model.wire_energy(Level.MRF, False)
+        assert mrf / model.wire_energy(Level.ORF, False) == pytest.approx(5)
+        assert mrf / model.wire_energy(Level.LRF, False) == pytest.approx(20)
+
+    def test_split_lrf_longer_wire(self):
+        unified = EnergyModel(orf_entries=3, split_lrf=False)
+        split = EnergyModel(orf_entries=3, split_lrf=True)
+        assert split.wire_energy(Level.LRF, False) > unified.wire_energy(
+            Level.LRF, False
+        )
+
+
+class TestCombined:
+    def test_hierarchy_ordering(self):
+        model = EnergyModel(orf_entries=3)
+        assert (
+            model.read_energy(Level.LRF)
+            < model.read_energy(Level.ORF)
+            < model.read_energy(Level.MRF)
+        )
+        assert (
+            model.write_energy(Level.LRF)
+            < model.write_energy(Level.ORF)
+            < model.write_energy(Level.MRF)
+        )
+
+    def test_with_orf_entries(self):
+        model = EnergyModel(orf_entries=3, split_lrf=True)
+        resized = model.with_orf_entries(5)
+        assert resized.orf_entries == 5
+        assert resized.split_lrf
+        assert model.orf_entries == 3
+
+    def test_shared_read_costs_more_wire(self):
+        model = EnergyModel(orf_entries=3)
+        assert model.read_energy(Level.ORF, True) > model.read_energy(
+            Level.ORF, False
+        )

@@ -1,0 +1,26 @@
+"""Tests for the divergence robustness study."""
+
+from repro.experiments import (
+    format_divergence_study,
+    run_divergence_study,
+)
+
+
+class TestDivergenceStudy:
+    def test_small_run(self):
+        result = run_divergence_study(
+            benchmarks=("mergesort", "histogram"), lanes=4
+        )
+        assert len(result.points) == 2
+        assert result.max_abs_delta() < 0.1
+        for point in result.points:
+            # Divergent warps execute more instructions (lanes split).
+            assert (
+                point.divergent_instructions
+                > point.uniform_instructions
+            )
+
+    def test_format(self):
+        result = run_divergence_study(benchmarks=("histogram",), lanes=4)
+        text = format_divergence_study(result)
+        assert "Divergence robustness" in text

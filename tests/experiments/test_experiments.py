@@ -1,0 +1,231 @@
+"""Integration tests for the experiment drivers (small workload set).
+
+Full-suite numbers live in the benchmark harness; these tests check
+that each driver runs, produces structurally sound results, and
+reproduces the paper's *orderings* on a representative subset.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SuiteData,
+    format_encoding_study,
+    format_fig2,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_limit_study,
+    run_encoding_study,
+    run_fig2,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_limit_study,
+)
+from repro.levels import Level
+from repro.workloads import get_workload
+
+_SUBSET = [
+    "matrixmul",
+    "reduction",
+    "hotspot",
+    "montecarlo",
+    "mergesort",
+    "histogram",
+    "vectoradd",
+    "volumerender",
+]
+_SWEEP = (1, 3, 6)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return SuiteData.build([get_workload(name) for name in _SUBSET])
+
+
+class TestFig2:
+    def test_runs_and_formats(self, data):
+        result = run_fig2(data)
+        text = format_fig2(result)
+        assert "Figure 2(a)" in text and "Figure 2(b)" in text
+
+    def test_fractions_in_range(self, data):
+        result = run_fig2(data)
+        for fraction in result.overall.read_count_fractions().values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_read_once_dominates(self, data):
+        result = run_fig2(data)
+        fractions = result.overall.read_count_fractions()
+        assert fractions["1"] == max(fractions.values())
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return run_fig11(data, sweep=_SWEEP)
+
+    def test_sw_reads_exactly_baseline(self, result):
+        for point in result.sw:
+            assert point.total_reads == pytest.approx(1.0)
+
+    def test_hw_reads_exceed_baseline(self, result):
+        for point in result.hw:
+            assert point.total_reads > 1.0
+
+    def test_larger_orf_fewer_mrf_reads(self, result):
+        mrf = [p.reads[Level.MRF] for p in result.sw]
+        assert mrf[-1] <= mrf[0]
+
+    def test_formats(self, result):
+        assert "Figure 11" in format_fig11(result)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return run_fig12(data, sweep=_SWEEP)
+
+    def test_lrf_captures_reads(self, result):
+        point = result.point("sw", 3)
+        assert point.reads[Level.LRF] > 0.1
+
+    def test_split_lrf_more_lrf_reads(self, result):
+        unified = result.point("sw", 3).reads[Level.LRF]
+        split = result.point("sw_split", 3).reads[Level.LRF]
+        assert split >= unified
+
+    def test_hw_overhead_writes_exceed_sw(self, result):
+        assert (
+            result.point("hw", 3).total_writes
+            > result.point("sw", 3).total_writes
+        )
+
+    def test_formats(self, result):
+        assert "Figure 12" in format_fig12(result)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return run_fig13(data, sweep=_SWEEP)
+
+    def test_paper_ordering_of_schemes(self, result):
+        """SW LRF Split < SW < HW and SW LRF Split < HW LRF at the
+        paper's operating points."""
+        assert (
+            result.curves["SW LRF Split"][3]
+            < result.curves["SW"][3]
+            < result.curves["HW"][3]
+        )
+        assert (
+            result.curves["SW LRF Split"][3]
+            < result.curves["HW LRF"][6]
+        )
+
+    def test_all_schemes_save_energy(self, result):
+        for curve in result.curves.values():
+            for energy in curve.values():
+                assert energy < 1.0
+
+    def test_optimisations_help(self, result):
+        assert (
+            result.curves["SW"][3] < result.curves["SW (no opts)"][3]
+        )
+
+    def test_best_helper(self, result):
+        entries, energy = result.best("SW")
+        assert energy == min(result.curves["SW"].values())
+
+    def test_formats(self, result):
+        text = format_fig13(result)
+        assert "Figure 13" in text and "chip-wide" in text
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return run_fig14(data, sweep=_SWEEP)
+
+    def test_mrf_dominates_remaining_energy(self, result):
+        point = result.point(3)
+        mrf = point.access[Level.MRF] + point.wire[Level.MRF]
+        assert mrf > 0.5 * point.total
+
+    def test_lrf_cost_tiny(self, result):
+        point = result.point(3)
+        assert point.access[Level.LRF] + point.wire[Level.LRF] < 0.1
+
+    def test_total_matches_fig13(self, data, result):
+        fig13 = run_fig13(data, sweep=(3,), include_extras=False)
+        assert result.point(3).total == pytest.approx(
+            fig13.curves["SW LRF Split"][3], rel=1e-6
+        )
+
+    def test_formats(self, result):
+        assert "Figure 14" in format_fig14(result)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return run_fig15(data)
+
+    def test_all_benchmarks_present(self, result):
+        assert set(result.energies) == set(_SUBSET)
+
+    def test_reduction_saves_least(self, result):
+        worst_name, _ = result.worst(1)[0]
+        assert worst_name == "reduction"
+
+    def test_sorted_order(self, result):
+        energies = [e for _, e in result.sorted_by_savings()]
+        assert energies == sorted(energies)
+
+    def test_formats(self, result):
+        assert "Figure 15" in format_fig15(result)
+
+
+class TestLimitStudy:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return run_limit_study(data)
+
+    def test_ideals_beat_realistic(self, result):
+        assert result.ideal_all_lrf < result.realistic
+        assert result.ideal_all_orf5 < result.realistic
+
+    def test_lrf_ideal_beats_orf_ideal(self, result):
+        assert result.ideal_all_lrf < result.ideal_all_orf5
+
+    def test_oracle_no_worse_than_fixed(self, result):
+        assert result.variable_orf <= result.realistic + 1e-9
+
+    def test_resident_rfc_no_worse_than_flushed(self, result):
+        assert result.hw_resident_backward <= result.hw_flush_backward
+
+    def test_bigger_free_orf_helps(self, result):
+        assert result.resched_ideal_8_as_3 <= result.realistic + 1e-9
+
+    def test_formats(self, result):
+        assert "limit study" in format_limit_study(result)
+
+
+class TestEncodingStudy:
+    def test_net_savings_positive(self, data):
+        result = run_encoding_study(data)
+        assert result.optimistic.chip_wide_net_savings > 0
+        assert result.pessimistic.chip_wide_net_savings > 0
+        assert (
+            result.optimistic.chip_wide_net_savings
+            > result.pessimistic.chip_wide_net_savings
+        )
+
+    def test_formats(self, data):
+        assert "encoding" in format_encoding_study(
+            run_encoding_study(data)
+        )

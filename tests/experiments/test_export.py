@@ -1,0 +1,85 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import (
+    SuiteData,
+    run_fig2,
+    run_fig11,
+    run_fig13,
+    run_fig15,
+    run_unroll_study,
+)
+from repro.experiments.export import (
+    export_all,
+    fig2_csv,
+    fig11_csv,
+    fig13_csv,
+    fig15_csv,
+    unroll_csv,
+)
+from repro.workloads import get_workload
+
+_SUBSET = ["vectoradd", "histogram", "mergesort"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return SuiteData.build([get_workload(name) for name in _SUBSET])
+
+
+def _parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestCsvRendering:
+    def test_fig2_csv(self, data):
+        rows = _parse(fig2_csv(run_fig2(data)))
+        assert rows[0] == ["suite", "metric", "bucket", "fraction"]
+        fractions = [float(r[3]) for r in rows[1:]]
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_fig11_csv(self, data):
+        rows = _parse(fig11_csv(run_fig11(data, sweep=(1, 3))))
+        assert rows[0][0] == "series"
+        series = {r[0] for r in rows[1:]}
+        assert series == {"hw", "sw"}
+        # 2 series x 2 entries x 3 levels.
+        assert len(rows) - 1 == 12
+
+    def test_fig13_csv_matches_result(self, data):
+        result = run_fig13(data, sweep=(3,), include_extras=False)
+        rows = _parse(fig13_csv(result))
+        values = {
+            (r[0], int(r[1])): float(r[2]) for r in rows[1:]
+        }
+        assert values[("SW", 3)] == pytest.approx(
+            result.curves["SW"][3], abs=1e-6
+        )
+
+    def test_fig15_csv_sorted(self, data):
+        rows = _parse(fig15_csv(run_fig15(data)))
+        energies = [float(r[1]) for r in rows[1:]]
+        assert energies == sorted(energies)
+        assert len(energies) == len(_SUBSET)
+
+    def test_unroll_csv(self):
+        result = run_unroll_study(benchmarks=("vectoradd",), factor=2)
+        rows = _parse(unroll_csv(result))
+        assert rows[0] == ["benchmark", "variant", "normalized_energy"]
+        assert len(rows) - 1 == 3  # original, unroll2, unroll2+hoist
+
+
+class TestExportAll:
+    def test_writes_artifacts(self, data, tmp_path):
+        written = export_all(data, tmp_path, include_slow=False)
+        names = {path.name for path in written}
+        assert names == {
+            "fig2.csv", "fig11.csv", "fig12.csv", "fig13.csv",
+            "fig14.csv", "fig15.csv",
+        }
+        for path in written:
+            assert path.read_text().count("\n") > 1

@@ -1,0 +1,35 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.experiments import SuiteData, build_report, write_report
+from repro.workloads import get_workload
+
+
+class TestReport:
+    def _data(self):
+        return SuiteData.build(
+            [get_workload(n) for n in ("vectoradd", "histogram")]
+        )
+
+    def test_contains_all_sections(self):
+        text = build_report(self._data())
+        for marker in (
+            "# Reproduction report",
+            "## Headline",
+            "Figure 2",
+            "Figure 13",
+            "limit study",
+            "variable ORF",
+            "Sensitivity",
+        ):
+            assert marker in text
+
+    def test_headline_table_well_formed(self):
+        text = build_report(self._data())
+        headline = text.split("## Headline")[1].split("##")[0]
+        rows = [l for l in headline.splitlines() if l.startswith("|")]
+        assert len(rows) == 2 + 4  # header + separator + 4 schemes
+
+    def test_write_report(self, tmp_path):
+        target = write_report(tmp_path / "REPORT.md", self._data())
+        assert target.exists()
+        assert target.read_text().startswith("# Reproduction report")

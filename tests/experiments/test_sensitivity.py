@@ -1,0 +1,71 @@
+"""Tests for the energy-model sensitivity study."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.experiments import (
+    SuiteData,
+    format_sensitivity,
+    run_sensitivity_study,
+)
+from repro.levels import Level
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def data():
+    return SuiteData.build(
+        [get_workload(n) for n in ("matrixmul", "histogram", "vectoradd")]
+    )
+
+
+class TestModelScaling:
+    def test_scaled_components(self):
+        base = EnergyModel(orf_entries=3)
+        doubled = base.scaled(mrf=2.0)
+        assert doubled.access_energy(Level.MRF, True) == pytest.approx(
+            2 * base.access_energy(Level.MRF, True)
+        )
+        assert doubled.access_energy(Level.ORF, True) == pytest.approx(
+            base.access_energy(Level.ORF, True)
+        )
+
+    def test_orf_scale(self):
+        base = EnergyModel(orf_entries=3)
+        halved = base.scaled(orf=0.5)
+        assert halved.access_energy(Level.ORF, True) == pytest.approx(
+            0.5 * base.access_energy(Level.ORF, True)
+        )
+
+    def test_wire_scale(self):
+        base = EnergyModel(orf_entries=3)
+        assert base.scaled(wire=3.0).wire_energy(
+            Level.MRF, False
+        ) == pytest.approx(3 * base.wire_energy(Level.MRF, False))
+
+    def test_scaling_composes(self):
+        base = EnergyModel(orf_entries=3)
+        twice = base.scaled(orf=2.0).scaled(orf=2.0)
+        assert twice.orf_energy_scale == pytest.approx(4.0)
+
+
+class TestSensitivityStudy:
+    def test_ordering_robust(self, data):
+        result = run_sensitivity_study(data, factors=(0.5, 1.0, 2.0))
+        assert result.all_orderings_hold()
+
+    def test_directions(self, data):
+        """More expensive MRF -> bigger savings; more expensive ORF ->
+        smaller savings (the hierarchy's own costs grow)."""
+        result = run_sensitivity_study(data, factors=(0.5, 2.0))
+        by_component = result.by_component()
+        mrf = sorted(by_component["mrf"], key=lambda p: p.factor)
+        assert mrf[-1].sw_savings > mrf[0].sw_savings
+        orf = sorted(by_component["orf"], key=lambda p: p.factor)
+        assert orf[-1].sw_savings < orf[0].sw_savings
+
+    def test_format(self, data):
+        result = run_sensitivity_study(data, factors=(1.0,))
+        text = format_sensitivity(result)
+        assert "sensitivity" in text.lower()
+        assert "holds at every point" in text

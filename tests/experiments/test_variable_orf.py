@@ -1,0 +1,107 @@
+"""Tests for the variable ORF allocation study (Section 7)."""
+
+import pytest
+
+from repro.alloc.allocator import AllocationConfig
+from repro.energy.model import EnergyModel
+from repro.experiments import SuiteData, run_variable_orf_study
+from repro.experiments.variable_orf import (
+    _request_size,
+    _split_executions,
+    collect_strand_executions,
+    format_variable_orf,
+    oracle_energy,
+    simulate_realistic,
+)
+from repro.workloads import get_workload
+
+_NAMES = ["matrixmul", "reduction", "vectoradd", "histogram"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return SuiteData.build([get_workload(name) for name in _NAMES])
+
+
+@pytest.fixture(scope="module")
+def result(data):
+    return run_variable_orf_study(data)
+
+
+class TestPolicyOrdering:
+    def test_oracle_best(self, result):
+        assert result.oracle <= result.realistic + 1e-9
+        assert result.oracle <= result.fixed + 1e-9
+
+    def test_realistic_between_fixed_and_oracle(self, result):
+        """The realistic scheduler recovers part of the oracle's gain."""
+        assert result.realistic <= result.fixed + 1e-9
+
+    def test_oracle_gain_in_paper_band(self, result):
+        """Paper: ~6 points of further savings from variable sizing."""
+        gain = result.fixed - result.oracle
+        assert 0.0 < gain < 0.15
+
+    def test_starvation_bounded(self, result):
+        assert 0.0 <= result.starved_fraction <= 0.5
+
+    def test_format(self, result):
+        text = format_variable_orf(result)
+        assert "oracle" in text and "realistic" in text
+
+
+class TestMechanics:
+    def test_split_executions_covers_trace(self, data):
+        from repro.alloc.allocator import allocate_kernel
+
+        spec, traces = data.items[0]
+        config = AllocationConfig(orf_entries=3, use_lrf=True)
+        allocation = allocate_kernel(spec.kernel, config)
+        strand_map = allocation.partition.strand_of_position
+        for trace in traces.warp_traces:
+            executions = _split_executions(trace, strand_map)
+            assert sum(len(e) for e in executions) == len(trace)
+            # Each execution stays within one strand.
+            for execution in executions:
+                strands = {
+                    strand_map.get(ev.ref.position)
+                    for ev in execution
+                }
+                assert len(strands) == 1
+
+    def test_request_size_policies(self):
+        header = {1: 10.0, 2: 50.0, 3: 96.0, 4: 100.0, 5: 100.0,
+                  6: 100.0, 7: 100.0, 8: 100.0}
+        assert _request_size(header, tolerance=0.05) == 3
+        assert _request_size(header, tolerance=0.0) == 4
+        unprofitable = {size: -1.0 for size in range(1, 9)}
+        assert _request_size(unprofitable, tolerance=0.05) == 0
+
+    def test_pool_starvation_reduces_savings(self, data):
+        config = AllocationConfig(
+            orf_entries=3, use_lrf=True, split_lrf=True
+        )
+        model = EnergyModel(orf_entries=3, split_lrf=True)
+        per_warp, _ = collect_strand_executions(data.items, config)
+        roomy_pj, roomy_starved = simulate_realistic(
+            per_warp, model, pool_entries=64
+        )
+        tight_pj, tight_starved = simulate_realistic(
+            per_warp, model, pool_entries=4
+        )
+        assert tight_starved >= roomy_starved
+        assert tight_pj >= roomy_pj - 1e-6
+
+    def test_oracle_monotone_in_sizes(self, data):
+        config = AllocationConfig(
+            orf_entries=3, use_lrf=True, split_lrf=True
+        )
+        model = EnergyModel(orf_entries=3, split_lrf=True)
+        per_warp, _ = collect_strand_executions(data.items, config)
+        oracle = oracle_energy(per_warp, model)
+        fixed = sum(
+            execution.energy(3, model)
+            for sequence in per_warp
+            for execution in sequence
+        )
+        assert oracle <= fixed + 1e-6

@@ -1,0 +1,67 @@
+"""Unit tests for access counters."""
+
+from repro.hierarchy.counters import AccessCounters
+from repro.levels import Level
+
+
+class TestAccessCounters:
+    def test_reads_and_writes_separate(self):
+        counters = AccessCounters()
+        counters.add_read(Level.MRF)
+        counters.add_write(Level.MRF)
+        counters.add_read(Level.ORF, count=3)
+        assert counters.reads(Level.MRF) == 1
+        assert counters.writes(Level.MRF) == 1
+        assert counters.reads(Level.ORF) == 3
+        assert counters.writes(Level.ORF) == 0
+
+    def test_shared_flag_tracked_separately(self):
+        counters = AccessCounters()
+        counters.add_read(Level.ORF, shared_unit=False)
+        counters.add_read(Level.ORF, shared_unit=True)
+        assert counters.reads(Level.ORF) == 2
+        assert counters.counts[(Level.ORF, True, True)] == 1
+        assert counters.counts[(Level.ORF, True, False)] == 1
+
+    def test_totals(self):
+        counters = AccessCounters()
+        counters.add_read(Level.MRF, count=2)
+        counters.add_read(Level.LRF, count=3)
+        counters.add_write(Level.ORF, count=4)
+        assert counters.total_reads() == 5
+        assert counters.total_writes() == 4
+
+    def test_merge(self):
+        a = AccessCounters()
+        a.add_read(Level.MRF, count=2)
+        b = AccessCounters()
+        b.add_read(Level.MRF, count=3)
+        b.add_write(Level.LRF)
+        a.merge(b)
+        assert a.reads(Level.MRF) == 5
+        assert a.writes(Level.LRF) == 1
+
+    def test_scaled(self):
+        counters = AccessCounters()
+        counters.add_read(Level.MRF, count=4)
+        scaled = counters.scaled(0.5)
+        assert scaled.reads(Level.MRF) == 2
+        assert counters.reads(Level.MRF) == 4  # original untouched
+
+    def test_breakdowns(self):
+        counters = AccessCounters()
+        counters.add_read(Level.LRF, count=1)
+        counters.add_read(Level.ORF, count=2)
+        counters.add_read(Level.MRF, count=3)
+        breakdown = counters.read_breakdown()
+        assert breakdown[Level.LRF] == 1
+        assert breakdown[Level.ORF] == 2
+        assert breakdown[Level.MRF] == 3
+
+    def test_copy_is_independent(self):
+        counters = AccessCounters()
+        counters.add_read(Level.MRF)
+        copy = counters.copy()
+        copy.add_read(Level.MRF)
+        assert counters.reads(Level.MRF) == 1
+        assert copy.reads(Level.MRF) == 2

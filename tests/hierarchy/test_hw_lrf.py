@@ -1,0 +1,101 @@
+"""Unit tests for the hardware three-level model (LRF + RFC + MRF)."""
+
+import pytest
+
+from repro.hierarchy.counters import AccessCounters
+from repro.hierarchy.hw_lrf import HardwareThreeLevel
+from repro.ir.registers import gpr
+from repro.levels import Level
+
+LIVE_ALL = frozenset(gpr(i) for i in range(16))
+DEAD_ALL = frozenset()
+
+
+def _model(rfc=2, shared_positions=frozenset()):
+    counters = AccessCounters()
+    model = HardwareThreeLevel(
+        rfc, counters, frozenset(shared_positions)
+    )
+    return model, counters
+
+
+class TestWriteChain:
+    def test_result_lands_in_lrf(self):
+        model, counters = _model()
+        assert model.write(gpr(1), False, False, LIVE_ALL, 0) is Level.LRF
+        assert counters.writes(Level.LRF) == 1
+
+    def test_lrf_eviction_moves_to_rfc(self):
+        model, counters = _model()
+        model.write(gpr(1), False, False, LIVE_ALL, 0)
+        model.write(gpr(2), False, False, LIVE_ALL, 1)
+        # gpr(1) evicted from the 1-entry LRF into the RFC.
+        assert counters.reads(Level.LRF) == 1
+        assert counters.writes(Level.ORF) == 1
+        assert model.read(gpr(1), False) is Level.ORF
+
+    def test_dead_lrf_eviction_dropped(self):
+        model, counters = _model()
+        model.write(gpr(1), False, False, DEAD_ALL, 0)
+        model.write(gpr(2), False, False, DEAD_ALL, 1)
+        assert counters.writes(Level.ORF) == 0
+        assert model.read(gpr(1), False) is Level.MRF
+
+    def test_rfc_eviction_reaches_mrf(self):
+        model, counters = _model(rfc=1)
+        model.write(gpr(1), False, False, LIVE_ALL, 0)
+        model.write(gpr(2), False, False, LIVE_ALL, 1)  # 1 -> RFC
+        model.write(gpr(3), False, False, LIVE_ALL, 2)  # 2 -> RFC, 1 -> MRF
+        assert counters.writes(Level.MRF) == 1
+
+    def test_long_latency_bypasses_everything(self):
+        model, counters = _model()
+        assert model.write(gpr(1), True, True, LIVE_ALL, 0) is Level.MRF
+        assert model.resident_registers == frozenset()
+
+    def test_shared_consumed_value_skips_lrf(self):
+        model, counters = _model(shared_positions={5})
+        assert model.write(gpr(1), False, False, LIVE_ALL, 5) is Level.ORF
+        assert model.read(gpr(1), False) is Level.ORF
+
+    def test_shared_produced_value_skips_lrf(self):
+        model, _ = _model()
+        # An SFU result (shared producer) cannot be written to the LRF.
+        assert model.write(gpr(1), True, False, LIVE_ALL, 0) is Level.ORF
+
+
+class TestReadChain:
+    def test_lrf_hit_only_for_private(self):
+        model, _ = _model()
+        model.write(gpr(1), False, False, LIVE_ALL, 0)
+        assert model.read(gpr(1), False) is Level.LRF
+        # The shared datapath cannot see the LRF.
+        assert model.read(gpr(1), True) is Level.MRF
+
+    def test_miss_falls_to_mrf(self):
+        model, counters = _model()
+        assert model.read(gpr(9), False) is Level.MRF
+
+
+class TestFlush:
+    def test_deschedule_flushes_both_levels(self):
+        model, counters = _model(rfc=4)
+        model.write(gpr(1), False, False, LIVE_ALL, 0)
+        model.write(gpr(2), False, False, LIVE_ALL, 1)
+        model.on_deschedule(LIVE_ALL)
+        assert model.resident_registers == frozenset()
+        assert counters.writes(Level.MRF) == 2
+
+    def test_finish_drops_silently(self):
+        model, counters = _model()
+        model.write(gpr(1), False, False, LIVE_ALL, 0)
+        model.finish()
+        assert counters.writes(Level.MRF) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareThreeLevel(0, AccessCounters(), frozenset())
+        with pytest.raises(ValueError):
+            HardwareThreeLevel(
+                2, AccessCounters(), frozenset(), lrf_entries=0
+            )

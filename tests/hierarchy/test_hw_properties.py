@@ -1,0 +1,132 @@
+"""Property tests: the hardware cache models against reference FIFOs.
+
+A simple reference implementation (plain ordered dict with explicit
+FIFO eviction) replays random operation sequences; the production
+models must serve every read from the same level the reference
+predicts, and never exceed capacity.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hierarchy.counters import AccessCounters
+from repro.hierarchy.hw_lrf import HardwareThreeLevel
+from repro.hierarchy.rfc import RegisterFileCache
+from repro.ir.registers import gpr
+from repro.levels import Level
+
+LIVE_ALL = frozenset(gpr(i) for i in range(8))
+
+#: op = ("read" | "write" | "write_ll" | "flush", reg index)
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "write_ll", "flush"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_OPS, capacity=st.integers(min_value=1, max_value=4))
+def test_rfc_matches_reference_fifo(ops, capacity):
+    counters = AccessCounters()
+    cache = RegisterFileCache(capacity, counters)
+    reference: "OrderedDict" = OrderedDict()
+
+    for op, index in ops:
+        reg = gpr(index)
+        if op == "read":
+            expected = Level.ORF if reg in reference else Level.MRF
+            assert cache.read(reg, False) is expected
+        elif op == "write":
+            level = cache.write(reg, False, False, LIVE_ALL)
+            assert level is Level.ORF
+            if reg not in reference:
+                while len(reference) >= capacity:
+                    reference.popitem(last=False)
+                reference[reg] = None
+        elif op == "write_ll":
+            level = cache.write(reg, False, True, LIVE_ALL)
+            assert level is Level.MRF
+            reference.pop(reg, None)
+        else:
+            cache.on_deschedule(LIVE_ALL)
+            reference.clear()
+        assert cache.resident_registers == frozenset(reference)
+        assert len(cache.resident_registers) <= capacity
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_OPS, capacity=st.integers(min_value=1, max_value=3))
+def test_hw_three_level_matches_reference(ops, capacity):
+    counters = AccessCounters()
+    model = HardwareThreeLevel(capacity, counters, frozenset())
+    lrf: "OrderedDict" = OrderedDict()
+    rfc: "OrderedDict" = OrderedDict()
+
+    def evict_lrf():
+        reg, _ = lrf.popitem(last=False)
+        # Live eviction moves into the RFC.
+        rfc.pop(reg, None)
+        while len(rfc) >= capacity:
+            rfc.popitem(last=False)
+        rfc[reg] = None
+
+    for op, index in ops:
+        reg = gpr(index)
+        if op == "read":
+            if reg in lrf:
+                expected = Level.LRF
+            elif reg in rfc:
+                expected = Level.ORF
+            else:
+                expected = Level.MRF
+            assert model.read(reg, False) is expected
+        elif op == "write":
+            model.write(reg, False, False, LIVE_ALL, 0)
+            rfc.pop(reg, None)
+            if reg not in lrf:
+                while len(lrf) >= 1:
+                    evict_lrf()
+                lrf[reg] = None
+        elif op == "write_ll":
+            model.write(reg, False, True, LIVE_ALL, 0)
+            lrf.pop(reg, None)
+            rfc.pop(reg, None)
+        else:
+            model.on_deschedule(LIVE_ALL)
+            lrf.clear()
+            rfc.clear()
+        assert model.resident_registers == (
+            frozenset(lrf) | frozenset(rfc)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_rfc_read_conservation(ops):
+    """Every read is serviced by exactly one level: ORF + MRF read
+    counts equal the number of read operations (plus write-backs,
+    which only add ORF reads paired with MRF writes)."""
+    counters = AccessCounters()
+    cache = RegisterFileCache(2, counters)
+    reads_issued = 0
+    long_latency_writes = 0
+    for op, index in ops:
+        reg = gpr(index)
+        if op == "read":
+            cache.read(reg, False)
+            reads_issued += 1
+        elif op == "write":
+            cache.write(reg, False, False, LIVE_ALL)
+        elif op == "write_ll":
+            cache.write(reg, False, True, LIVE_ALL)
+            long_latency_writes += 1
+        else:
+            cache.on_deschedule(LIVE_ALL)
+    # MRF writes = long-latency results (direct) + write-backs; each
+    # write-back also reads the RFC once.
+    writeback_reads = counters.writes(Level.MRF) - long_latency_writes
+    assert counters.total_reads() == reads_issued + writeback_reads

@@ -1,0 +1,121 @@
+"""Unit tests for the hardware register file cache (prior-work
+baseline, Section 2.2)."""
+
+import pytest
+
+from repro.hierarchy.counters import AccessCounters
+from repro.hierarchy.rfc import RegisterFileCache
+from repro.ir.registers import gpr
+from repro.levels import Level
+
+LIVE_ALL = frozenset(gpr(i) for i in range(16))
+DEAD_ALL = frozenset()
+
+
+def _rfc(entries=2, flush_on_backward_branch=False):
+    counters = AccessCounters()
+    cache = RegisterFileCache(
+        entries, counters,
+        flush_on_backward_branch=flush_on_backward_branch,
+    )
+    return cache, counters
+
+
+class TestReadPath:
+    def test_miss_goes_to_mrf(self):
+        cache, counters = _rfc()
+        assert cache.read(gpr(1), False) is Level.MRF
+        assert counters.reads(Level.MRF) == 1
+
+    def test_hit_after_write(self):
+        cache, counters = _rfc()
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        assert cache.read(gpr(1), False) is Level.ORF
+        assert counters.reads(Level.ORF) == 1
+        assert counters.reads(Level.MRF) == 0
+
+    def test_wide_register_counts_words(self):
+        cache, counters = _rfc()
+        cache.write(gpr(1, 64), False, False, LIVE_ALL)
+        cache.read(gpr(1, 64), False)
+        assert counters.reads(Level.ORF) == 2
+        assert counters.writes(Level.ORF) == 2
+
+
+class TestWritePath:
+    def test_long_latency_bypasses_rfc(self):
+        cache, counters = _rfc()
+        level = cache.write(gpr(1), True, True, LIVE_ALL)
+        assert level is Level.MRF
+        assert gpr(1) not in cache.resident_registers
+
+    def test_fifo_eviction_order(self):
+        cache, _ = _rfc(entries=2)
+        cache.write(gpr(1), False, False, DEAD_ALL)
+        cache.write(gpr(2), False, False, DEAD_ALL)
+        cache.write(gpr(3), False, False, DEAD_ALL)
+        assert cache.resident_registers == {gpr(2), gpr(3)}
+
+    def test_live_eviction_writes_back(self):
+        cache, counters = _rfc(entries=1)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        cache.write(gpr(2), False, False, LIVE_ALL)
+        # Eviction of live gpr(1): RFC read + MRF write.
+        assert counters.reads(Level.ORF) == 1
+        assert counters.writes(Level.MRF) == 1
+
+    def test_dead_eviction_elided(self):
+        cache, counters = _rfc(entries=1)
+        cache.write(gpr(1), False, False, DEAD_ALL)
+        cache.write(gpr(2), False, False, DEAD_ALL)
+        assert counters.reads(Level.ORF) == 0
+        assert counters.writes(Level.MRF) == 0
+
+    def test_overwrite_in_place_no_eviction(self):
+        cache, counters = _rfc(entries=1)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        assert counters.writes(Level.MRF) == 0
+        assert counters.writes(Level.ORF) == 2
+
+
+class TestFlush:
+    def test_deschedule_flushes_live_values(self):
+        cache, counters = _rfc(entries=4)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        cache.write(gpr(2), False, False, LIVE_ALL)
+        cache.on_deschedule(LIVE_ALL)
+        assert cache.resident_registers == frozenset()
+        assert counters.writes(Level.MRF) == 2
+        assert counters.reads(Level.ORF) == 2
+
+    def test_deschedule_elides_dead_values(self):
+        cache, counters = _rfc(entries=4)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        cache.write(gpr(2), False, False, LIVE_ALL)
+        cache.on_deschedule(frozenset({gpr(1)}))
+        assert counters.writes(Level.MRF) == 1
+
+    def test_backward_branch_flush_configurable(self):
+        cache, counters = _rfc(entries=4, flush_on_backward_branch=True)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        cache.on_backward_branch(LIVE_ALL)
+        assert cache.resident_registers == frozenset()
+
+        cache2, _ = _rfc(entries=4, flush_on_backward_branch=False)
+        cache2.write(gpr(1), False, False, LIVE_ALL)
+        cache2.on_backward_branch(LIVE_ALL)
+        assert cache2.resident_registers == {gpr(1)}
+
+    def test_finish_drops_without_writeback(self):
+        cache, counters = _rfc(entries=4)
+        cache.write(gpr(1), False, False, LIVE_ALL)
+        cache.finish()
+        assert cache.resident_registers == frozenset()
+        assert counters.writes(Level.MRF) == 0
+
+
+class TestValidation:
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFileCache(0, AccessCounters())

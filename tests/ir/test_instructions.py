@@ -1,0 +1,155 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.ir.instructions import (
+    DestAnnotation,
+    FunctionalUnit,
+    Immediate,
+    Instruction,
+    LatencyClass,
+    Opcode,
+    SourceAnnotation,
+)
+from repro.ir.registers import gpr, pred
+from repro.levels import Level
+
+
+class TestOpcodeMetadata:
+    def test_alu_opcodes_private(self):
+        for opcode in (Opcode.IADD, Opcode.FFMA, Opcode.MOV, Opcode.SETP):
+            assert opcode.unit is FunctionalUnit.ALU
+            assert not opcode.unit.is_shared
+
+    def test_shared_units(self):
+        assert Opcode.SIN.unit is FunctionalUnit.SFU
+        assert Opcode.LDG.unit is FunctionalUnit.MEM
+        assert Opcode.TEX.unit is FunctionalUnit.TEX
+        for opcode in (Opcode.SIN, Opcode.LDG, Opcode.TEX):
+            assert opcode.unit.is_shared
+
+    def test_long_latency_classification(self):
+        assert Opcode.LDG.is_long_latency
+        assert Opcode.TEX.is_long_latency
+        assert not Opcode.LDS.is_long_latency
+        assert not Opcode.SIN.is_long_latency
+        assert not Opcode.STG.is_long_latency
+
+    def test_latency_classes(self):
+        assert Opcode.IADD.latency_class is LatencyClass.ALU
+        assert Opcode.RCP.latency_class is LatencyClass.SFU
+        assert Opcode.LDS.latency_class is LatencyClass.SHARED_MEM
+        assert Opcode.LDG.latency_class is LatencyClass.DRAM
+        assert Opcode.TEX.latency_class is LatencyClass.TEXTURE
+
+    def test_branch_and_exit_flags(self):
+        assert Opcode.BRA.is_branch and not Opcode.BRA.is_exit
+        assert Opcode.EXIT.is_exit and not Opcode.EXIT.is_branch
+
+
+class TestValidation:
+    def test_missing_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IADD, None, (gpr(1), gpr(2)))
+
+    def test_unwanted_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STG, gpr(0), (gpr(1), gpr(2)))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IADD, gpr(0), (gpr(1),))
+
+    def test_bra_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRA, None, ())
+
+    def test_non_branch_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.IADD, gpr(0), (gpr(1), gpr(2)), target="x"
+            )
+
+    def test_setp_must_write_pred(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.SETP, gpr(0), (gpr(1), gpr(2)))
+        Instruction(Opcode.SETP, pred(0), (gpr(1), gpr(2)))
+
+    def test_alu_cannot_write_pred(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IADD, pred(0), (gpr(1), gpr(2)))
+
+
+class TestOperandQueries:
+    def test_gpr_reads_excludes_immediates_and_preds(self):
+        inst = Instruction(
+            Opcode.SELP, gpr(0), (gpr(1), Immediate(4), pred(0))
+        )
+        assert inst.gpr_reads() == ((0, gpr(1)),)
+
+    def test_gpr_reads_preserves_slots(self):
+        inst = Instruction(
+            Opcode.FFMA, gpr(0), (gpr(1), gpr(2), gpr(3))
+        )
+        assert inst.gpr_reads() == (
+            (0, gpr(1)),
+            (1, gpr(2)),
+            (2, gpr(3)),
+        )
+
+    def test_gpr_write_excludes_pred(self):
+        setp = Instruction(Opcode.SETP, pred(0), (gpr(1), gpr(2)))
+        assert setp.gpr_write() is None
+        add = Instruction(Opcode.IADD, gpr(0), (gpr(1), gpr(2)))
+        assert add.gpr_write() == gpr(0)
+
+    def test_store_has_no_write(self):
+        stg = Instruction(Opcode.STG, None, (gpr(0), gpr(1)))
+        assert stg.gpr_write() is None
+        assert len(stg.gpr_reads()) == 2
+
+
+class TestAnnotations:
+    def test_defaults_are_mrf(self):
+        inst = Instruction(Opcode.IADD, gpr(0), (gpr(1), gpr(2)))
+        inst.ensure_default_annotations()
+        assert inst.dst_ann.levels == (Level.MRF,)
+        assert all(a.level is Level.MRF for a in inst.src_anns)
+
+    def test_clear_annotations(self):
+        inst = Instruction(Opcode.IADD, gpr(0), (gpr(1), gpr(2)))
+        inst.ensure_default_annotations()
+        inst.ends_strand = True
+        inst.clear_annotations()
+        assert inst.dst_ann is None
+        assert inst.src_anns is None
+        assert not inst.ends_strand
+
+    def test_dest_annotation_writes(self):
+        ann = DestAnnotation(levels=(Level.ORF, Level.MRF), orf_entry=1)
+        assert ann.writes(Level.ORF)
+        assert ann.writes(Level.MRF)
+        assert not ann.writes(Level.LRF)
+
+    def test_source_annotation_defaults(self):
+        ann = SourceAnnotation()
+        assert ann.level is Level.MRF
+        assert ann.orf_write_entry is None
+
+
+class TestFormatting:
+    def test_str_plain(self):
+        inst = Instruction(Opcode.IADD, gpr(0), (gpr(1), Immediate(4)))
+        assert str(inst) == "iadd R0, R1, 4"
+
+    def test_str_guard(self):
+        inst = Instruction(
+            Opcode.BRA, None, (), guard=pred(0), guard_sense=False,
+            target="loop",
+        )
+        assert str(inst) == "@!P0 bra loop"
+
+    def test_str_ends_strand(self):
+        inst = Instruction(Opcode.EXIT, None, ())
+        inst.ends_strand = True
+        assert "end-strand" in str(inst)

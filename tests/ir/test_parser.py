@@ -1,0 +1,133 @@
+"""Unit tests for the assembly parser and pretty printer."""
+
+import pytest
+
+from repro.ir import (
+    AsmSyntaxError,
+    Immediate,
+    Opcode,
+    format_kernel,
+    parse_kernel,
+    parse_kernels,
+)
+from repro.ir.registers import gpr, pred
+
+
+class TestParsing:
+    def test_basic_kernel(self, straight_kernel):
+        assert straight_kernel.name == "straight"
+        assert straight_kernel.live_in == (gpr(0), gpr(1), gpr(2))
+        assert straight_kernel.num_instructions == 8
+
+    def test_guard_parsing(self):
+        kernel = parse_kernel(
+            """
+            .kernel g
+            entry:
+                setp P1, R0, 4
+                @!P1 bra entry
+            done:
+                exit
+            """
+        )
+        bra = kernel.blocks[0].instructions[1]
+        assert bra.guard == pred(1)
+        assert bra.guard_sense is False
+
+    def test_brackets_are_decorative(self):
+        kernel = parse_kernel(
+            ".kernel k\nentry:\n ldg R1, [R0]\n stg [R1], R1\n exit\n"
+        )
+        ldg = kernel.blocks[0].instructions[0]
+        assert ldg.srcs == (gpr(0),)
+
+    def test_comments_stripped(self):
+        kernel = parse_kernel(
+            ".kernel k  ; trailing\nentry:\n"
+            "  mov R1, 4   # comment\n  exit ; done\n"
+        )
+        assert kernel.blocks[0].instructions[0].srcs == (Immediate(4),)
+
+    def test_immediate_formats(self):
+        kernel = parse_kernel(
+            ".kernel k\nentry:\n mov R1, 0x10\n fmul R2, R1, 2.5\n exit\n"
+        )
+        assert kernel.blocks[0].instructions[0].srcs[0] == Immediate(16)
+        assert kernel.blocks[0].instructions[1].srcs[1] == Immediate(2.5)
+
+    def test_negative_immediate(self):
+        kernel = parse_kernel(".kernel k\nentry:\n mov R1, -3\n exit\n")
+        assert kernel.blocks[0].instructions[0].srcs[0] == Immediate(-3)
+
+    def test_multiple_kernels(self):
+        kernels = parse_kernels(
+            ".kernel a\nentry:\n exit\n.kernel b\nentry:\n exit\n"
+        )
+        assert [k.name for k in kernels] == ["a", "b"]
+
+    def test_livein_comma_separated(self):
+        kernel = parse_kernel(
+            ".kernel k\n.livein R0, R1\nentry:\n exit\n"
+        )
+        assert kernel.live_in == (gpr(0), gpr(1))
+
+    def test_wide_register(self):
+        kernel = parse_kernel(
+            ".kernel k\n.livein RD0\nentry:\n mov RD2, RD0\n exit\n"
+        )
+        mov = kernel.blocks[0].instructions[0]
+        assert mov.dst == gpr(2, 64)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "entry:\n exit\n",                      # before .kernel
+            ".kernel\nentry:\n exit\n",             # missing name
+            ".kernel k\nentry:\n frob R1, R2\n",    # unknown opcode
+            ".kernel k\nentry:\n iadd R1\n exit\n",  # arity
+            ".kernel k\nentry:\n iadd 4, R1, R2\n",  # dst immediate
+            ".kernel k\nentry:\n bra a, b\n",        # bra arity
+            ".kernel k\nentry:\n @P0\n exit\n",      # guard alone
+            ".kernel k\nentry:\n @R0 bra entry\n",   # non-pred guard
+            ".kernel k\nentry:\n mov R1, ???\n",     # bad operand
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(AsmSyntaxError):
+            parse_kernels(text)
+
+    def test_parse_kernel_rejects_multiple(self):
+        with pytest.raises(ValueError):
+            parse_kernel(
+                ".kernel a\nentry:\n exit\n.kernel b\nentry:\n exit\n"
+            )
+
+
+class TestRoundTrip:
+    def test_format_reparse(self, loop_kernel, hammock_kernel):
+        for kernel in (loop_kernel, hammock_kernel):
+            text = format_kernel(kernel)
+            reparsed = parse_kernel(text)
+            assert reparsed.name == kernel.name
+            assert reparsed.num_instructions == kernel.num_instructions
+            for (_, a), (_, b) in zip(
+                kernel.instructions(), reparsed.instructions()
+            ):
+                assert a.opcode is b.opcode
+                assert a.dst == b.dst
+                assert a.srcs == b.srcs
+                assert a.target == b.target
+                assert a.guard == b.guard
+
+
+class TestAnnotatedPrinting:
+    def test_annotations_shown(self, loop_kernel):
+        from repro.alloc import AllocationConfig, allocate_kernel
+        from repro.ir import format_allocated_kernel
+
+        allocate_kernel(loop_kernel, AllocationConfig.best_paper_config())
+        text = format_allocated_kernel(loop_kernel)
+        assert "end-strand" in text
+        assert "ORF[" in text or "LRF[" in text

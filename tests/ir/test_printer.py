@@ -1,0 +1,83 @@
+"""Focused tests for the annotated disassembly printer."""
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.ir import (
+    format_allocated_kernel,
+    format_kernel,
+    parse_kernel,
+)
+from repro.ir.instructions import (
+    DestAnnotation,
+    Instruction,
+    Opcode,
+    SourceAnnotation,
+)
+from repro.ir.registers import gpr
+from repro.levels import Level
+
+
+class TestPlainFormatting:
+    def test_livein_line(self, straight_kernel):
+        text = format_kernel(straight_kernel)
+        assert ".livein R0 R1 R2" in text
+
+    def test_block_labels_present(self, loop_kernel):
+        text = format_kernel(loop_kernel)
+        for label in ("entry:", "loop:", "done:"):
+            assert label in text
+
+    def test_no_annotations_in_plain_output(self, loop_kernel):
+        allocate_kernel(loop_kernel, AllocationConfig.best_paper_config())
+        text = format_kernel(loop_kernel)
+        assert "ORF[" not in text
+        assert ";" not in text
+
+
+class TestAnnotatedFormatting:
+    def _kernel(self):
+        kernel = parse_kernel(
+            ".kernel k\n.livein R0 R1\nentry:\n"
+            " iadd R2, R0, 1\n iadd R3, R2, R0\n stg [R1], R3\n exit\n"
+        )
+        return kernel
+
+    def test_dual_write_rendering(self):
+        kernel = self._kernel()
+        inst = kernel.blocks[0].instructions[0]
+        inst.ensure_default_annotations()
+        inst.dst_ann = DestAnnotation(
+            levels=(Level.ORF, Level.MRF), orf_entry=2
+        )
+        text = format_allocated_kernel(kernel)
+        assert "R2->ORF[2]+MRF" in text
+
+    def test_lrf_bank_rendering(self):
+        kernel = self._kernel()
+        inst = kernel.blocks[0].instructions[0]
+        inst.ensure_default_annotations()
+        inst.dst_ann = DestAnnotation(levels=(Level.LRF,), lrf_bank=1)
+        text = format_allocated_kernel(kernel)
+        assert "R2->LRF[1]" in text
+
+    def test_read_operand_fill_rendering(self):
+        kernel = self._kernel()
+        inst = kernel.blocks[0].instructions[1]
+        inst.ensure_default_annotations()
+        anns = list(inst.src_anns)
+        anns[1] = SourceAnnotation(level=Level.MRF, orf_write_entry=0)
+        inst.src_anns = tuple(anns)
+        text = format_allocated_kernel(kernel)
+        assert "R0<-MRF(+ORF[0])" in text
+
+    def test_end_strand_marker(self):
+        kernel = self._kernel()
+        kernel.blocks[0].instructions[2].ends_strand = True
+        text = format_allocated_kernel(kernel)
+        assert "end-strand" in text
+
+    def test_alignment_column(self):
+        kernel = self._kernel()
+        allocate_kernel(kernel, AllocationConfig(orf_entries=3))
+        for line in format_allocated_kernel(kernel).splitlines():
+            if ";" in line:
+                assert line.index(";") >= 30  # annotations aligned

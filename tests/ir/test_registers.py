@@ -1,0 +1,94 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.ir.registers import (
+    RegClass,
+    Register,
+    gpr,
+    parse_register,
+    pred,
+)
+
+
+class TestConstruction:
+    def test_gpr_defaults(self):
+        reg = gpr(3)
+        assert reg.index == 3
+        assert reg.reg_class is RegClass.GPR
+        assert reg.width == 32
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            gpr(-1)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Register(0, RegClass.GPR, width=48)
+
+    @pytest.mark.parametrize("width", [32, 64, 128])
+    def test_valid_widths(self, width):
+        assert gpr(0, width).width == width
+
+    def test_pred_width_canonicalised(self):
+        assert pred(0).width == 32
+
+
+class TestProperties:
+    @pytest.mark.parametrize(
+        "width,words", [(32, 1), (64, 2), (128, 4)]
+    )
+    def test_num_words(self, width, words):
+        assert gpr(1, width).num_words == words
+
+    def test_is_gpr_and_is_pred(self):
+        assert gpr(0).is_gpr and not gpr(0).is_pred
+        assert pred(0).is_pred and not pred(0).is_gpr
+
+    @pytest.mark.parametrize(
+        "reg,name",
+        [
+            (gpr(5), "R5"),
+            (gpr(5, 64), "RD5"),
+            (gpr(5, 128), "RQ5"),
+            (pred(2), "P2"),
+        ],
+    )
+    def test_names(self, reg, name):
+        assert reg.name == name
+        assert str(reg) == name
+
+    def test_hashable_and_equal(self):
+        assert gpr(3) == gpr(3)
+        assert gpr(3) != gpr(3, 64)
+        assert len({gpr(3), gpr(3), pred(3)}) == 2
+
+    def test_ordering(self):
+        assert sorted([gpr(5), gpr(2)])[0] == gpr(2)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("R0", gpr(0)),
+            ("r17", gpr(17)),
+            ("RD2", gpr(2, 64)),
+            ("RQ1", gpr(1, 128)),
+            ("P3", pred(3)),
+            ("  R4  ", gpr(4)),
+        ],
+    )
+    def test_parse_valid(self, text, expected):
+        assert parse_register(text) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["", "X1", "R", "R-1", "Rx", "1R", "RD", "P"]
+    )
+    def test_parse_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_register(text)
+
+    def test_round_trip(self):
+        for reg in [gpr(0), gpr(9, 64), gpr(2, 128), pred(7)]:
+            assert parse_register(reg.name) == reg

@@ -1,0 +1,188 @@
+"""Unit tests for trace-driven access accounting."""
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.hierarchy.counters import AccessCounters
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.levels import Level
+from repro.sim import (
+    Scheme,
+    SchemeKind,
+    WarpInput,
+    build_traces,
+    evaluate_traces,
+)
+from repro.sim.accounting import (
+    BaselineAccounting,
+    SoftwareAccounting,
+    account_trace,
+    shared_consumed_positions,
+)
+
+
+class TestBaselineAccounting:
+    def test_counts_match_operands(self, straight_kernel, straight_inputs):
+        traces = build_traces(straight_kernel, straight_inputs)
+        counters = AccessCounters()
+        for trace in traces.warp_traces:
+            account_trace(BaselineAccounting(counters), trace)
+        expected_reads = sum(
+            len(event.instruction.gpr_reads())
+            for trace in traces.warp_traces
+            for event in trace
+        )
+        expected_writes = sum(
+            1
+            for trace in traces.warp_traces
+            for event in trace
+            if event.instruction.gpr_write() is not None
+            and event.guard_passed
+        )
+        assert counters.total_reads() == expected_reads
+        assert counters.total_writes() == expected_writes
+        assert counters.reads(Level.ORF) == 0
+        assert counters.reads(Level.LRF) == 0
+
+
+class TestSoftwareAccounting:
+    def test_unannotated_kernel_is_all_mrf(
+        self, straight_kernel, straight_inputs
+    ):
+        straight_kernel.reset_annotations()
+        traces = build_traces(straight_kernel, straight_inputs)
+        counters = AccessCounters()
+        for trace in traces.warp_traces:
+            account_trace(SoftwareAccounting(counters), trace)
+        assert counters.reads(Level.ORF) == 0
+        assert counters.reads(Level.MRF) == counters.total_reads()
+
+    def test_reads_conserved_under_allocation(
+        self, loop_kernel, loop_inputs
+    ):
+        """Total SW reads equal baseline reads: every operand is read
+        exactly once, from exactly one level."""
+        traces = build_traces(loop_kernel, loop_inputs)
+        baseline_eval = evaluate_traces(
+            traces, Scheme(SchemeKind.BASELINE)
+        )
+        sw_eval = evaluate_traces(
+            traces, Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True)
+        )
+        assert sw_eval.counters.total_reads() == pytest.approx(
+            baseline_eval.counters.total_reads()
+        )
+
+    def test_read_operand_fill_counted_as_orf_write(self):
+        kernel = parse_kernel(
+            """
+            .kernel ro
+            .livein R0 R1
+            entry:
+                iadd R2, R0, 1
+                iadd R3, R0, 2
+                iadd R4, R0, 3
+                stg [R1], R4
+                exit
+            """
+        )
+        allocate_kernel(kernel, AllocationConfig(orf_entries=3))
+        traces = build_traces(
+            kernel, [WarpInput({gpr(0): 0, gpr(1): 100})]
+        )
+        counters = AccessCounters()
+        account_trace(SoftwareAccounting(counters), traces.warp_traces[0])
+        # The R0 group: 1 MRF read + fill, 2 ORF reads.
+        assert counters.reads(Level.ORF) >= 2
+        assert counters.writes(Level.ORF) >= 1
+
+
+class TestHardwareAccounting:
+    def test_deschedule_on_pending_read(
+        self, straight_kernel, straight_inputs
+    ):
+        traces = build_traces(straight_kernel, straight_inputs)
+        hw = evaluate_traces(traces, Scheme(SchemeKind.HW_TWO_LEVEL, 4))
+        # The flush at the ldg consumer writes live values back: MRF
+        # writes exceed the SW count for the same trace.
+        baseline = evaluate_traces(traces, Scheme(SchemeKind.BASELINE))
+        assert (
+            hw.counters.total_writes()
+            > baseline.counters.total_writes()
+        )
+
+    def test_hw_reads_exceed_baseline(self, loop_kernel, loop_inputs):
+        """Write-back reads make total HW reads > baseline reads."""
+        traces = build_traces(loop_kernel, loop_inputs)
+        hw = evaluate_traces(traces, Scheme(SchemeKind.HW_TWO_LEVEL, 3))
+        baseline = evaluate_traces(traces, Scheme(SchemeKind.BASELINE))
+        assert hw.counters.total_reads() > baseline.counters.total_reads()
+
+    def test_three_level_uses_lrf(self, loop_kernel, loop_inputs):
+        traces = build_traces(loop_kernel, loop_inputs)
+        hw3 = evaluate_traces(traces, Scheme(SchemeKind.HW_THREE_LEVEL, 3))
+        assert hw3.counters.reads(Level.LRF) > 0
+
+    def test_shared_consumed_positions(self, loop_kernel):
+        positions = shared_consumed_positions(loop_kernel)
+        # R7 (position 4 feeds stg) is produced at position 3.
+        producing = {
+            ref.position
+            for ref, inst in loop_kernel.instructions()
+            if inst.gpr_write() is not None
+        }
+        assert positions <= producing
+        assert positions  # the stg data producer must be in there
+
+
+class TestSchemeValidation:
+    def test_entries_bounds(self):
+        with pytest.raises(ValueError):
+            Scheme(SchemeKind.SW_TWO_LEVEL, 0)
+        with pytest.raises(ValueError):
+            Scheme(SchemeKind.SW_TWO_LEVEL, 9)
+
+    def test_baseline_has_no_allocator(self):
+        with pytest.raises(ValueError):
+            Scheme(SchemeKind.BASELINE).allocation_config()
+
+    def test_scheme_names(self):
+        assert Scheme(SchemeKind.BASELINE).name == "baseline"
+        assert Scheme(SchemeKind.HW_TWO_LEVEL, 3).name == "hw_3"
+        assert (
+            Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True).name
+            == "sw_lrf_split_3"
+        )
+
+    def test_with_entries(self):
+        scheme = Scheme(SchemeKind.SW_TWO_LEVEL, 3)
+        assert scheme.with_entries(5).entries_per_thread == 5
+        assert scheme.entries_per_thread == 3
+
+
+class TestBackwardBranchFlushVariant:
+    def test_flush_variant_costs_more(self, loop_kernel, loop_inputs):
+        """The Section 7 HW variant that flushes the RFC at backward
+        branches loses the cross-iteration residency benefit."""
+        from repro.sim import build_traces
+
+        traces = build_traces(loop_kernel, loop_inputs)
+        resident = evaluate_traces(
+            traces, Scheme(SchemeKind.HW_TWO_LEVEL, 3)
+        )
+        flushed = evaluate_traces(
+            traces,
+            Scheme(
+                SchemeKind.HW_TWO_LEVEL, 3,
+                flush_on_backward_branch=True,
+            ),
+        )
+        assert (
+            flushed.counters.reads(Level.MRF)
+            >= resident.counters.reads(Level.MRF)
+        )
+        assert (
+            flushed.counters.writes(Level.MRF)
+            >= resident.counters.writes(Level.MRF)
+        )

@@ -1,0 +1,315 @@
+"""Tests for SIMT divergent execution with reconvergence."""
+
+import pytest
+
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.sim import (
+    DivergentWarpInput,
+    WarpExecutor,
+    WarpInput,
+    full_mask,
+    run_divergent_warp,
+)
+from repro.sim.divergence import DivergentWarpExecutor
+from repro.sim.memory import Memory
+
+DIVERGENT_HAMMOCK = """
+.kernel dh
+.livein R0 R1
+entry:
+    setp P0, R0, 50
+    @P0 bra small
+big:
+    imul R2, R0, 3
+    bra merge
+small:
+    iadd R2, R0, 100
+merge:
+    stg [R1], R2
+    exit
+"""
+
+DIVERGENT_LOOP = """
+.kernel dl
+.livein R0 R1 R2
+entry:
+    mov R5, 0
+loop:
+    ffma R5, R0, 3, R5
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    stg [R1], R5
+    exit
+"""
+
+
+def _reference(kernel, thread_values, seed=5):
+    """Per-thread scalar execution results (lane isolation contract)."""
+    results = []
+    for values in thread_values:
+        executor = WarpExecutor(
+            kernel, WarpInput(dict(values), memory=Memory(seed=seed))
+        )
+        list(executor.run())
+        results.append(dict(executor.registers))
+    return results
+
+
+def _simt(kernel, thread_values, seed=5):
+    executor = DivergentWarpExecutor(
+        kernel,
+        DivergentWarpInput(
+            [dict(v) for v in thread_values], memory=Memory(seed=seed)
+        ),
+    )
+    events = list(executor.run())
+    return executor, events
+
+
+class TestFunctionalEquivalence:
+    def test_hammock_matches_reference(self):
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        threads = [
+            {gpr(0): 10 * t, gpr(1): 900 + t} for t in range(8)
+        ]
+        executor, _ = _simt(kernel, threads)
+        reference = _reference(kernel, threads)
+        for lane in range(8):
+            assert (
+                executor.registers[lane][gpr(2)]
+                == reference[lane][gpr(2)]
+            )
+
+    def test_divergent_trip_counts_match_reference(self):
+        kernel = parse_kernel(DIVERGENT_LOOP)
+        threads = [
+            {gpr(0): t, gpr(1): 900 + t, gpr(2): 1 + t % 4}
+            for t in range(6)
+        ]
+        executor, _ = _simt(kernel, threads)
+        reference = _reference(kernel, threads)
+        for lane in range(6):
+            assert (
+                executor.registers[lane][gpr(5)]
+                == reference[lane][gpr(5)]
+            )
+
+    def test_uniform_warp_degenerates_to_scalar(self):
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        threads = [{gpr(0): 7, gpr(1): 900}] * 4
+        executor, events = _simt(kernel, threads)
+        # No divergence: every event runs with the full mask.
+        assert all(e.active_mask == full_mask(4) for e in events)
+
+
+class TestMasks:
+    def test_hammock_masks_partition_the_warp(self):
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        threads = [
+            {gpr(0): 10 * t, gpr(1): 900 + t} for t in range(8)
+        ]
+        _, events = _simt(kernel, threads)
+        big = kernel.block_index("big")
+        small = kernel.block_index("small")
+        merge = kernel.block_index("merge")
+        masks = {}
+        for event in events:
+            masks.setdefault(event.ref.block_index, event.active_mask)
+        assert masks[big] | masks[small] == full_mask(8)
+        assert masks[big] & masks[small] == 0
+        assert masks[merge] == full_mask(8)  # reconverged
+
+    def test_loop_lanes_retire_progressively(self):
+        kernel = parse_kernel(DIVERGENT_LOOP)
+        threads = [
+            {gpr(0): t, gpr(1): 900, gpr(2): 1 + t} for t in range(4)
+        ]
+        _, events = _simt(kernel, threads)
+        loop = kernel.block_index("loop")
+        loop_masks = [
+            e.active_mask for e in events
+            if e.ref.block_index == loop
+            and e.instruction.opcode.value == "ffma"
+        ]
+        populations = [bin(m).count("1") for m in loop_masks]
+        # 4 lanes on iteration 1, then 3, 2, 1.
+        assert populations == [4, 3, 2, 1]
+        done = kernel.block_index("done")
+        done_masks = {
+            e.active_mask for e in events if e.ref.block_index == done
+        }
+        assert done_masks == {full_mask(4)}  # all reconverge at exit
+
+
+class TestAccountingCompatibility:
+    def test_divergent_trace_feeds_accounting(self):
+        from repro.alloc import AllocationConfig, allocate_kernel
+        from repro.hierarchy.counters import AccessCounters
+        from repro.sim.accounting import SoftwareAccounting, account_trace
+
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        allocate_kernel(kernel, AllocationConfig.best_paper_config())
+        threads = [{gpr(0): 10 * t, gpr(1): 900} for t in range(8)]
+        events = run_divergent_warp(
+            kernel, DivergentWarpInput(threads)
+        )
+        counters = AccessCounters()
+        account_trace(SoftwareAccounting(counters), events)
+        assert counters.total_reads() > 0
+
+
+class TestValidation:
+    def test_empty_warp_rejected(self):
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        with pytest.raises(ValueError):
+            DivergentWarpExecutor(kernel, DivergentWarpInput([]))
+
+    def test_runaway_capped(self):
+        kernel = parse_kernel(
+            ".kernel r\n.livein R0\nentry:\n iadd R0, R0, 1\n bra entry\n"
+        )
+        from repro.sim.executor import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_divergent_warp(
+                kernel,
+                DivergentWarpInput(
+                    [{gpr(0): 0}], max_instructions=50
+                ),
+            )
+
+
+class TestDivergentEvaluation:
+    def test_schemes_evaluate_on_divergent_traces(self):
+        """Energy accounting is robust to divergence: all schemes run,
+        SW conserves reads, and nobody exceeds the baseline."""
+        from repro.energy import normalized_energy
+        from repro.sim import (
+            Scheme,
+            SchemeKind,
+            build_divergent_traces,
+            evaluate_traces,
+        )
+
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        warp_inputs = [
+            DivergentWarpInput(
+                [{gpr(0): 10 * t + 3 * w, gpr(1): 900 + t}
+                 for t in range(8)]
+            )
+            for w in range(2)
+        ]
+        traces = build_divergent_traces(kernel, warp_inputs)
+        baseline = evaluate_traces(traces, Scheme(SchemeKind.BASELINE))
+        for kind in (
+            SchemeKind.HW_TWO_LEVEL,
+            SchemeKind.SW_TWO_LEVEL,
+            SchemeKind.SW_THREE_LEVEL,
+        ):
+            scheme = Scheme(kind, 3)
+            evaluation = evaluate_traces(traces, scheme)
+            energy = normalized_energy(
+                evaluation.counters,
+                evaluation.baseline,
+                scheme.energy_model(),
+            )
+            assert 0.0 < energy <= 1.25
+            if kind.is_software:
+                assert evaluation.counters.total_reads() == (
+                    baseline.counters.total_reads()
+                )
+
+
+class TestDivergentVerification:
+    """Per-lane shadow verification: the allocation stays correct for
+    every lane under divergence (the Figure 10c argument)."""
+
+    def _verify(self, kernel, thread_sets, config):
+        from repro.alloc import allocate_kernel
+        from repro.sim.verify_divergent import verify_divergent_trace
+
+        result = allocate_kernel(kernel, config)
+        for threads in thread_sets:
+            events = run_divergent_warp(
+                kernel, DivergentWarpInput([dict(t) for t in threads])
+            )
+            stats = verify_divergent_trace(
+                kernel, result.partition, events, len(threads)
+            )
+        return stats
+
+    def test_divergent_hammock_verifies(self):
+        from repro.alloc import AllocationConfig
+
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        threads = [{gpr(0): 10 * t, gpr(1): 900 + t} for t in range(8)]
+        stats = self._verify(
+            kernel, [threads], AllocationConfig.best_paper_config()
+        )
+        assert stats.lane_reads_checked > 0
+
+    def test_divergent_loop_verifies(self):
+        from repro.alloc import AllocationConfig
+
+        kernel = parse_kernel(DIVERGENT_LOOP)
+        threads = [
+            {gpr(0): t, gpr(1): 900, gpr(2): 1 + t % 3}
+            for t in range(6)
+        ]
+        for config in (
+            AllocationConfig.best_paper_config(),
+            AllocationConfig(orf_entries=1, use_lrf=True),
+            AllocationConfig(orf_entries=3),
+        ):
+            self._verify(kernel, [threads], config)
+
+    def test_benchmark_workloads_verify_divergently(self):
+        """Every hammock-bearing benchmark verifies per lane with
+        per-thread inputs that force both arms to execute."""
+        from repro.alloc import AllocationConfig
+        from repro.workloads import get_workload
+        from repro.workloads.shapes import LIVE_INS
+
+        for name in ("mergesort", "eigenvalues", "needle"):
+            spec = get_workload(name)
+            threads = [
+                {
+                    LIVE_INS[0]: 512 * t,
+                    LIVE_INS[1]: 10_000 + 64 * t,
+                    LIVE_INS[2]: 3 + t % 3,
+                    LIVE_INS[3]: 3 + t,
+                    LIVE_INS[4]: 7,
+                }
+                for t in range(8)
+            ]
+            self._verify(
+                spec.kernel, [threads],
+                AllocationConfig.best_paper_config(),
+            )
+
+    def test_corrupted_annotation_detected_per_lane(self):
+        from repro.alloc import AllocationConfig, allocate_kernel
+        from repro.ir.instructions import SourceAnnotation
+        from repro.levels import Level
+        from repro.sim.verify import AllocationVerificationError
+        from repro.sim.verify_divergent import verify_divergent_trace
+
+        kernel = parse_kernel(DIVERGENT_HAMMOCK)
+        result = allocate_kernel(
+            kernel, AllocationConfig.best_paper_config()
+        )
+        # Annotate the merge-point read of R2 as LRF bank 0 without a
+        # matching write: every lane must observe the mismatch.
+        merge_store = kernel.block("merge").instructions[0]
+        anns = list(merge_store.src_anns)
+        anns[1] = SourceAnnotation(level=Level.LRF, lrf_bank=0)
+        merge_store.src_anns = tuple(anns)
+        threads = [{gpr(0): 10 * t, gpr(1): 900} for t in range(4)]
+        events = run_divergent_warp(
+            kernel, DivergentWarpInput(threads)
+        )
+        with pytest.raises(AllocationVerificationError):
+            verify_divergent_trace(kernel, result.partition, events, 4)

@@ -1,0 +1,205 @@
+"""Unit tests for the functional warp executor."""
+
+import pytest
+
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.sim.executor import (
+    ExecutionError,
+    WarpExecutor,
+    WarpInput,
+    run_warp,
+)
+from repro.sim.memory import Memory
+
+
+def _run(asm, values, memory=None, max_instructions=10_000):
+    kernel = parse_kernel(asm)
+    warp_input = WarpInput(
+        live_in_values=values,
+        memory=memory,
+        max_instructions=max_instructions,
+    )
+    executor = WarpExecutor(kernel, warp_input)
+    events = list(executor.run())
+    return kernel, executor, events
+
+
+class TestArithmetic:
+    def test_alu_semantics(self):
+        _, executor, _ = _run(
+            """
+            .kernel k
+            .livein R0 R1
+            entry:
+                iadd R2, R0, R1
+                isub R3, R0, R1
+                imul R4, R0, R1
+                imad R5, R0, R1, 100
+                imin R6, R0, R1
+                imax R7, R0, R1
+                and R8, R0, R1
+                or R9, R0, R1
+                xor R10, R0, R1
+                shl R11, R0, 2
+                shr R12, R0, 1
+                exit
+            """,
+            {gpr(0): 12, gpr(1): 5},
+        )
+        regs = executor.registers
+        assert regs[gpr(2)] == 17
+        assert regs[gpr(3)] == 7
+        assert regs[gpr(4)] == 60
+        assert regs[gpr(5)] == 160
+        assert regs[gpr(6)] == 5
+        assert regs[gpr(7)] == 12
+        assert regs[gpr(8)] == 12 & 5
+        assert regs[gpr(9)] == 12 | 5
+        assert regs[gpr(10)] == 12 ^ 5
+        assert regs[gpr(11)] == 48
+        assert regs[gpr(12)] == 6
+
+    def test_selp_and_setp(self):
+        _, executor, _ = _run(
+            """
+            .kernel k
+            .livein R0 R1
+            entry:
+                setp P0, R0, R1
+                selp R2, R0, R1, P0
+                exit
+            """,
+            {gpr(0): 3, gpr(1): 9},
+        )
+        # P0 = (3 < 9) = true -> selp picks first source.
+        assert executor.registers[gpr(2)] == 3
+
+    def test_sfu_safe_math(self):
+        _, executor, _ = _run(
+            """
+            .kernel k
+            .livein R0
+            entry:
+                rcp R1, R0
+                sqrt R2, R0
+                lg2 R3, R0
+                exit
+            """,
+            {gpr(0): 0},
+        )
+        # Division by zero and log of zero are safe.
+        assert executor.registers[gpr(1)] > 0
+        assert executor.registers[gpr(3)] == 0.0
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        memory = Memory()
+        _, executor, _ = _run(
+            """
+            .kernel k
+            .livein R0 R1
+            entry:
+                stg [R0], R1
+                ldg R2, [R0]
+                exit
+            """,
+            {gpr(0): 100, gpr(1): 77},
+            memory=memory,
+        )
+        assert executor.registers[gpr(2)] == 77
+        assert memory.global_mem[100] == 77
+
+    def test_unwritten_load_deterministic(self):
+        values = []
+        for _ in range(2):
+            _, executor, _ = _run(
+                ".kernel k\n.livein R0\nentry:\n ldg R1, [R0]\n exit\n",
+                {gpr(0): 4},
+                memory=Memory(seed=9),
+            )
+            values.append(executor.registers[gpr(1)])
+        assert values[0] == values[1]
+
+    def test_shared_and_global_disjoint(self):
+        memory = Memory()
+        memory.store_global(8, 1)
+        memory.store_shared(8, 2)
+        assert memory.load_global(8) == 1
+        assert memory.load_shared(8) == 2
+
+    def test_texture_deterministic(self):
+        memory = Memory(seed=3)
+        assert memory.texture_fetch(5) == memory.texture_fetch(5)
+
+
+class TestControlFlow:
+    def test_loop_trip_count(self, loop_kernel, loop_inputs):
+        events = run_warp(loop_kernel, loop_inputs[0])
+        ffma_count = sum(
+            1 for e in events if e.instruction.opcode.value == "ffma"
+        )
+        assert ffma_count == 5  # R2 = 5 iterations
+
+    def test_branch_taken_flag(self, loop_kernel, loop_inputs):
+        events = run_warp(loop_kernel, loop_inputs[0])
+        branches = [e for e in events if e.instruction.opcode.is_branch]
+        assert sum(1 for b in branches if b.branch_taken) == 4
+        assert sum(1 for b in branches if not b.branch_taken) == 1
+
+    def test_hammock_both_paths_reachable(self, hammock_kernel):
+        memory = Memory(seed=0)
+        taken_paths = set()
+        for base in range(6):
+            events = run_warp(
+                hammock_kernel,
+                WarpInput({gpr(0): base, gpr(1): 500},
+                          memory=Memory(seed=base)),
+            )
+            labels = {
+                hammock_kernel.blocks[e.ref.block_index].label
+                for e in events
+            }
+            taken_paths.add("big" in labels)
+        assert taken_paths == {True, False}
+
+    def test_guard_failed_write_suppressed(self):
+        _, executor, events = _run(
+            """
+            .kernel k
+            .livein R0 R1
+            entry:
+                setp P0, R1, R0
+                @P0 iadd R2, R0, 1
+                @!P0 iadd R2, R0, 2
+                exit
+            """,
+            {gpr(0): 1, gpr(1): 5},
+        )
+        # P0 = (5 < 1) = false: first add squashed, second executes.
+        assert executor.registers[gpr(2)] == 3
+        squashed = [e for e in events if not e.guard_passed]
+        assert len(squashed) == 1
+
+
+class TestErrors:
+    def test_uninitialised_read(self):
+        with pytest.raises(ExecutionError):
+            _run(
+                ".kernel k\nentry:\n iadd R1, R9, 1\n exit\n", {}
+            )
+
+    def test_runaway_loop_capped(self):
+        with pytest.raises(ExecutionError):
+            _run(
+                """
+                .kernel k
+                .livein R0
+                entry:
+                    iadd R0, R0, 1
+                    bra entry
+                """,
+                {gpr(0): 0},
+                max_instructions=100,
+            )

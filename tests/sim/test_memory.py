@@ -1,0 +1,47 @@
+"""Unit tests for the functional memory model."""
+
+from repro.sim.memory import Memory
+
+
+class TestDeterminism:
+    def test_same_seed_same_defaults(self):
+        assert Memory(seed=5).load_global(40) == Memory(seed=5).load_global(40)
+
+    def test_different_seeds_differ_somewhere(self):
+        a = Memory(seed=1)
+        b = Memory(seed=2)
+        assert any(
+            a.load_global(addr) != b.load_global(addr)
+            for addr in range(0, 400, 4)
+        )
+
+    def test_defaults_are_small_nonnegative(self):
+        memory = Memory(seed=9)
+        for addr in range(0, 200, 4):
+            value = memory.load_global(addr)
+            assert 0 <= value < 251
+
+
+class TestSpaces:
+    def test_global_and_shared_independent(self):
+        memory = Memory()
+        memory.store_global(16, 111)
+        memory.store_shared(16, 222)
+        assert memory.load_global(16) == 111
+        assert memory.load_shared(16) == 222
+
+    def test_store_overwrites_default(self):
+        memory = Memory(seed=3)
+        default = memory.load_global(8)
+        memory.store_global(8, default + 1)
+        assert memory.load_global(8) == default + 1
+
+    def test_texture_independent_of_global(self):
+        memory = Memory(seed=3)
+        memory.store_global(5, 0)
+        assert memory.texture_fetch(5) == Memory(seed=3).texture_fetch(5)
+
+    def test_float_addresses_truncate(self):
+        memory = Memory()
+        memory.store_global(12.0, 7)
+        assert memory.load_global(12) == 7

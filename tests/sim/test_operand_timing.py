@@ -1,0 +1,117 @@
+"""Tests for the operand-delivery timing model."""
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.experiments import run_timing_study
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.levels import Level
+from repro.sim import WarpInput, run_warp
+from repro.sim.operand_timing import (
+    OperandCollector,
+    OperandTimingParams,
+    operand_fetch_delay,
+    simulate_with_operand_timing,
+)
+from repro.workloads import get_workload
+
+
+class TestOperandCollector:
+    def test_distinct_groups_no_conflict(self):
+        collector = OperandCollector(OperandTimingParams(bank_groups=4))
+        assert collector.reserve(0, 10) == 10
+        assert collector.reserve(1, 10) == 10
+        assert collector.conflicts == 0
+
+    def test_same_group_serialises(self):
+        collector = OperandCollector(OperandTimingParams(bank_groups=4))
+        assert collector.reserve(2, 10) == 10
+        assert collector.reserve(2, 10) == 11
+        assert collector.conflicts == 1
+
+    def test_drain_frees_old_reservations(self):
+        collector = OperandCollector(OperandTimingParams())
+        collector.reserve(0, 5)
+        collector.drain_before(100)
+        assert collector.reserve(0, 5) == 5
+
+
+class TestFetchDelay:
+    def _event(self, kernel, position):
+        events = run_warp(
+            kernel, WarpInput({gpr(0): 1, gpr(1): 2, gpr(2): 3})
+        )
+        return next(e for e in events if e.ref.position == position)
+
+    def test_mrf_operands_pay_base_latency(self):
+        kernel = parse_kernel(
+            ".kernel k\n.livein R0 R1 R2\nentry:\n"
+            " iadd R3, R0, R1\n stg [R2], R3\n exit\n"
+        )
+        for _, inst in kernel.instructions():
+            inst.ensure_default_annotations()
+        event = self._event(kernel, 0)
+        collector = OperandCollector(OperandTimingParams())
+        delay = operand_fetch_delay(event, 0, collector)
+        assert delay >= OperandTimingParams().base_fetch_cycles
+
+    def test_orf_operands_skip_collector(self):
+        kernel = parse_kernel(
+            ".kernel k\n.livein R0 R1 R2\nentry:\n"
+            " iadd R3, R0, R1\n iadd R4, R3, R3\n stg [R2], R4\n exit\n"
+        )
+        allocate_kernel(kernel, AllocationConfig(orf_entries=3))
+        # Find the instruction whose reads are all ORF/LRF.
+        events = run_warp(
+            kernel, WarpInput({gpr(0): 1, gpr(1): 2, gpr(2): 3})
+        )
+        collector = OperandCollector(OperandTimingParams())
+        for event in events:
+            anns = event.instruction.src_anns
+            reads = event.instruction.gpr_reads()
+            if reads and anns and all(
+                anns[slot].level is not Level.MRF for slot, _ in reads
+            ):
+                assert operand_fetch_delay(event, 0, collector) == 0
+                break
+        else:
+            pytest.skip("no fully-ORF instruction in this allocation")
+
+    def test_no_reads_no_delay(self):
+        kernel = parse_kernel(
+            ".kernel k\nentry:\n mov R1, 4\n stg [R1], R1\n exit\n"
+        )
+        event = self._event(kernel, 0)
+        collector = OperandCollector(OperandTimingParams())
+        assert operand_fetch_delay(event, 0, collector) == 0
+
+
+class TestTimingStudy:
+    def test_hierarchy_never_slower(self):
+        specs = [get_workload("matrixmul"), get_workload("vectoradd")]
+        result = run_timing_study(specs, num_warps=8)
+        for point in result.points:
+            assert point.ipc_ratio >= 0.97
+        assert result.geomean_ratio() >= 0.99
+
+    def test_hierarchy_sheds_bank_conflicts(self):
+        specs = [get_workload("hotspot")]
+        result = run_timing_study(specs, num_warps=16)
+        (point,) = result.points
+        assert (
+            point.hierarchy.bank_conflicts
+            <= point.baseline.bank_conflicts
+        )
+
+    def test_all_instructions_issue(self):
+        spec = get_workload("vectoradd")
+        spec.kernel.reset_annotations()
+        for _, inst in spec.kernel.instructions():
+            inst.ensure_default_annotations()
+        traces = [
+            run_warp(spec.kernel, warp_input)
+            for warp_input in spec.warp_inputs
+        ]
+        outcome = simulate_with_operand_timing(traces, 4)
+        assert outcome.instructions == sum(len(t) for t in traces)

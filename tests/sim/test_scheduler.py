@@ -1,0 +1,130 @@
+"""Unit tests for the two-level warp scheduler timing model."""
+
+import pytest
+
+from repro.ir import parse_kernel
+from repro.ir.registers import gpr
+from repro.sim.executor import WarpInput, run_warp
+from repro.sim.params import DEFAULT_PARAMS, SimParams
+from repro.sim.scheduler import active_warp_sweep, simulate_schedule
+
+
+def _traces(asm, num_warps, trip=6):
+    kernel = parse_kernel(asm)
+    return [
+        run_warp(
+            kernel,
+            WarpInput({gpr(0): 4096 * w, gpr(1): 900_000 + 4096 * w,
+                       gpr(2): trip + (w % 3)}),
+        )
+        for w in range(num_warps)
+    ]
+
+
+LOAD_LOOP = """
+.kernel ll
+.livein R0 R1 R2
+entry:
+    mov R5, 0
+loop:
+    ldg R3, [R0]
+    ffma R5, R3, R2, R5
+    iadd R0, R0, 4
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    stg [R1], R5
+    exit
+"""
+
+ALU_ONLY = """
+.kernel alu
+.livein R0 R1 R2
+entry:
+    mov R5, 0
+loop:
+    iadd R3, R0, 1
+    imul R4, R3, R3
+    iadd R5, R5, R4
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    stg [R1], R5
+    exit
+"""
+
+
+class TestBasicProperties:
+    def test_single_warp_bounded_ipc(self):
+        traces = _traces(ALU_ONLY, 1)
+        result = simulate_schedule(traces, 1)
+        assert 0 < result.ipc <= 1.0
+        assert result.instructions == len(traces[0])
+
+    def test_all_instructions_issue(self):
+        traces = _traces(LOAD_LOOP, 4)
+        result = simulate_schedule(traces, 4)
+        assert result.instructions == sum(len(t) for t in traces)
+
+    def test_more_warps_hide_latency(self):
+        one = simulate_schedule(_traces(LOAD_LOOP, 1), 1)
+        many = simulate_schedule(_traces(LOAD_LOOP, 8), 8)
+        assert many.ipc > one.ipc
+
+    def test_ipc_monotone_with_active_set(self):
+        traces = _traces(LOAD_LOOP, 16)
+        sweep = active_warp_sweep(traces, (1, 2, 4, 8, 16))
+        ipcs = [sweep[a].ipc for a in (1, 2, 4, 8, 16)]
+        for smaller, larger in zip(ipcs, ipcs[1:]):
+            assert larger >= smaller * 0.95  # allow scheduling noise
+
+    def test_paper_claim_eight_active_enough(self):
+        """With 8 active warps (of 16 here) the two-level scheduler
+        reaches all-active performance."""
+        traces = _traces(LOAD_LOOP, 16, trip=8)
+        eight = simulate_schedule(traces, 8)
+        every = simulate_schedule(traces, 16)
+        assert eight.ipc >= 0.9 * every.ipc
+
+    def test_alu_bound_kernel_saturates_at_eight(self):
+        """The 8-cycle ALU latency on dependence chains needs ~8 warps
+        to hide — the basis of the paper's 8-active-warp choice."""
+        traces = _traces(ALU_ONLY, 8)
+        four = simulate_schedule(traces, 4)
+        eight = simulate_schedule(traces, 8)
+        assert eight.ipc > four.ipc          # still latency-bound at 4
+        assert eight.ipc >= 0.9              # saturated at 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_schedule([], 0)
+
+    def test_custom_params(self):
+        params = SimParams(dram_latency=10)
+        traces = _traces(LOAD_LOOP, 2)
+        fast = simulate_schedule(traces, 2, params)
+        slow = simulate_schedule(traces, 2, DEFAULT_PARAMS)
+        assert fast.cycles < slow.cycles
+
+    def test_shared_unit_throughput_limits(self):
+        """MEM-bound kernels are limited by the 4-cycle shared unit
+        occupancy, not by warp count."""
+        mem_heavy = """
+        .kernel mem
+        .livein R0 R1 R2
+        loop:
+            lds R3, [R0]
+            lds R4, [R1]
+            iadd R2, R2, -1
+            setp P0, 0, R2
+            @P0 bra loop
+        done:
+            exit
+        """
+        traces = _traces(mem_heavy, 16, trip=8)
+        result = simulate_schedule(traces, 16)
+        # 2 of 5 loop instructions occupy MEM for 4 cycles each: IPC
+        # cannot exceed 5 instructions / 8 cycles.
+        assert result.ipc <= 5 / 8 + 0.05

@@ -1,0 +1,129 @@
+"""Unit tests for the dynamic allocation verifier.
+
+The verifier must (a) accept every allocation the allocator produces
+(covered extensively elsewhere) and (b) *reject* deliberately corrupted
+annotations — these tests check the rejection side.
+"""
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.ir.instructions import DestAnnotation, SourceAnnotation
+from repro.ir.registers import gpr
+from repro.levels import Level
+from repro.sim import WarpInput, build_traces
+from repro.sim.verify import (
+    AllocationVerificationError,
+    verify_trace,
+)
+
+
+@pytest.fixture
+def allocated(loop_kernel, loop_inputs):
+    result = allocate_kernel(
+        loop_kernel, AllocationConfig.best_paper_config()
+    )
+    traces = build_traces(loop_kernel, loop_inputs)
+    return loop_kernel, result, traces
+
+
+class TestAcceptance:
+    def test_valid_allocation_passes(self, allocated):
+        kernel, result, traces = allocated
+        for trace in traces.warp_traces:
+            stats = verify_trace(kernel, result.partition, trace)
+        assert stats.reads_checked > 0
+        assert stats.invalidations > 0
+
+    def test_unallocated_kernel_passes(self, loop_kernel, loop_inputs):
+        from repro.strands import partition_strands
+
+        loop_kernel.reset_annotations()
+        partition = partition_strands(loop_kernel)
+        traces = build_traces(loop_kernel, loop_inputs)
+        for trace in traces.warp_traces:
+            verify_trace(loop_kernel, partition, trace)
+
+
+class TestRejection:
+    def _first_orf_read(self, kernel):
+        for ref, inst in kernel.instructions():
+            if not inst.src_anns:
+                continue
+            for slot, _ in inst.gpr_reads():
+                if inst.src_anns[slot].level is Level.ORF:
+                    return inst, slot
+        raise AssertionError("no ORF read found")
+
+    def test_wrong_orf_entry_detected(self, allocated):
+        kernel, result, traces = allocated
+        inst, slot = self._first_orf_read(kernel)
+        anns = list(inst.src_anns)
+        wrong = (anns[slot].orf_entry + 1) % 3
+        anns[slot] = SourceAnnotation(level=Level.ORF, orf_entry=wrong)
+        inst.src_anns = tuple(anns)
+        with pytest.raises(AllocationVerificationError):
+            for trace in traces.warp_traces:
+                verify_trace(kernel, result.partition, trace)
+
+    def test_missing_mrf_write_detected(self, allocated):
+        """Redirect a live-out value's write away from the MRF: a later
+        MRF read must observe the stale value."""
+        kernel, result, traces = allocated
+        victim = None
+        for ref, inst in kernel.instructions():
+            ann = inst.dst_ann
+            if ann and Level.MRF in ann.levels and len(ann.levels) > 1:
+                victim = inst
+                break
+        if victim is None:
+            pytest.skip("no dual-write value in this allocation")
+        victim.dst_ann = DestAnnotation(
+            levels=tuple(l for l in victim.dst_ann.levels
+                         if l is not Level.MRF),
+            orf_entry=victim.dst_ann.orf_entry,
+            lrf_bank=victim.dst_ann.lrf_bank,
+        )
+        with pytest.raises(AllocationVerificationError):
+            for trace in traces.warp_traces:
+                verify_trace(kernel, result.partition, trace)
+
+    def test_cross_strand_orf_read_detected(self, loop_kernel, loop_inputs):
+        """Annotating a loop-carried read as an ORF hit must fail: the
+        ORF does not survive the strand boundary."""
+        result = allocate_kernel(
+            loop_kernel, AllocationConfig(orf_entries=3)
+        )
+        # `ffma R5, R3, R2, R5`: the R5 source arrives from the
+        # previous strand/iteration.
+        ffma = next(
+            inst
+            for _, inst in loop_kernel.instructions()
+            if inst.opcode.value == "ffma"
+        )
+        anns = list(ffma.src_anns)
+        anns[2] = SourceAnnotation(level=Level.ORF, orf_entry=0)
+        ffma.src_anns = tuple(anns)
+        traces = build_traces(loop_kernel, loop_inputs)
+        with pytest.raises(AllocationVerificationError):
+            for trace in traces.warp_traces:
+                verify_trace(loop_kernel, result.partition, trace)
+
+    def test_never_written_register_detected(
+        self, straight_kernel, straight_inputs
+    ):
+        from repro.strands import partition_strands
+
+        straight_kernel.reset_annotations()
+        partition = partition_strands(straight_kernel)
+        # Corrupt the trace: read a register nothing ever wrote.
+        traces = build_traces(straight_kernel, straight_inputs)
+        from repro.ir.instructions import Instruction, Opcode
+        from repro.sim.executor import TraceEvent
+
+        rogue = Instruction(Opcode.IADD, gpr(20), (gpr(19), gpr(19)))
+        events = list(traces.warp_traces[0])
+        ref = events[0].ref
+        events.insert(0, TraceEvent(ref, rogue, True))
+        with pytest.raises(AllocationVerificationError):
+            verify_trace(straight_kernel, partition, events)

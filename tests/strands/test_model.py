@@ -1,0 +1,64 @@
+"""Unit tests for the strand data model and sim parameters."""
+
+import pytest
+
+from repro.ir.instructions import LatencyClass
+from repro.sim.params import DEFAULT_PARAMS, SimParams
+from repro.strands import EndpointKind, partition_strands
+from repro.strands.model import Strand
+
+
+class TestEndpointKind:
+    def test_wait_semantics(self):
+        assert EndpointKind.LONG_LATENCY.waits_for_pending
+        assert EndpointKind.UNCERTAINTY.waits_for_pending
+        assert not EndpointKind.BACKWARD_BRANCH.waits_for_pending
+        assert not EndpointKind.BACKWARD_TARGET.waits_for_pending
+        assert not EndpointKind.MERGE.waits_for_pending
+
+
+class TestStrand:
+    def test_positions_and_bounds(self, straight_kernel):
+        partition = partition_strands(straight_kernel)
+        strand = partition.strands[0]
+        assert strand.first_position == min(strand.positions)
+        assert strand.last_position == max(strand.positions)
+        assert len(strand) == len(strand.refs)
+
+    def test_strand_of_lookup(self, straight_kernel):
+        partition = partition_strands(straight_kernel)
+        for ref, _ in straight_kernel.instructions():
+            strand = partition.strand_of(ref)
+            assert ref.position in strand.positions
+
+    def test_num_strands(self, loop_kernel):
+        partition = partition_strands(loop_kernel)
+        assert partition.num_strands == len(partition.strands)
+
+
+class TestSimParams:
+    def test_table2_defaults(self):
+        params = DEFAULT_PARAMS
+        assert params.alu_latency == 8
+        assert params.sfu_latency == 20
+        assert params.shared_memory_latency == 20
+        assert params.dram_latency == 400
+        assert params.texture_latency == 400
+        assert params.num_warps == 32
+        assert params.register_file_kb == 128
+
+    def test_latency_of_every_class(self):
+        params = DEFAULT_PARAMS
+        assert params.latency_of(LatencyClass.ALU) == 8
+        assert params.latency_of(LatencyClass.SFU) == 20
+        assert params.latency_of(LatencyClass.SHARED_MEM) == 20
+        assert params.latency_of(LatencyClass.DRAM) == 400
+        assert params.latency_of(LatencyClass.TEXTURE) == 400
+
+    def test_shared_unit_occupancy(self):
+        # 32 threads over 8 shared units (one per 4-lane cluster).
+        assert DEFAULT_PARAMS.shared_unit_issue_cycles == 4
+
+    def test_custom_params(self):
+        params = SimParams(alu_latency=1)
+        assert params.latency_of(LatencyClass.ALU) == 1

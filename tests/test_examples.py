@@ -1,0 +1,52 @@
+"""The example scripts must stay runnable (they are documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: Fast examples run in CI-style tests; the heavier design-space and
+#: scheduler explorations are exercised via their underlying APIs in
+#: the experiment tests instead.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_kernel.py",
+    "compiler_pipeline.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_savings():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "savings" in result.stdout
+    assert "the paper's design" in result.stdout
+
+
+def test_custom_kernel_verifies():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "custom_kernel.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "verified" in result.stdout
+    assert "ORF[" in result.stdout

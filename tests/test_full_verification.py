@@ -1,0 +1,52 @@
+"""Exhaustive dynamic verification across the whole benchmark suite.
+
+Every Table 1 workload, under uniform and divergent execution, across
+the main allocator configurations: every annotated read must observe
+the architecturally correct value.  This is the repository's broadest
+single safety net for the allocator.
+"""
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.sim import build_traces
+from repro.sim.divergence import DivergentWarpInput, run_divergent_warp
+from repro.sim.verify import verify_trace
+from repro.sim.verify_divergent import verify_divergent_trace
+from repro.workloads import BENCHMARK_NAMES, get_workload
+
+_CONFIGS = {
+    "best": AllocationConfig.best_paper_config(),
+    "two_level": AllocationConfig(orf_entries=3),
+    "tiny": AllocationConfig(orf_entries=1, use_lrf=True),
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_uniform_verification(name):
+    spec = get_workload(name)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    for config in _CONFIGS.values():
+        result = allocate_kernel(spec.kernel, config)
+        for trace in traces.warp_traces:
+            verify_trace(spec.kernel, result.partition, trace)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_divergent_verification(name):
+    """Per-lane verification with per-thread trip counts and data."""
+    spec = get_workload(name)
+    base = spec.warp_inputs[0].live_in_values
+    threads = []
+    for lane in range(4):
+        values = dict(base)
+        for index, reg in enumerate(sorted(values, key=lambda r: r.index)):
+            if index >= 1:
+                values[reg] = values[reg] + lane * (7 + index)
+        threads.append(values)
+    result = allocate_kernel(spec.kernel, _CONFIGS["best"])
+    events = run_divergent_warp(
+        spec.kernel,
+        DivergentWarpInput(threads, max_instructions=100_000),
+    )
+    verify_divergent_trace(spec.kernel, result.partition, events, 4)

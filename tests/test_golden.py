@@ -1,0 +1,67 @@
+"""Golden regression values for the calibrated reproduction.
+
+Workloads, allocation, and accounting are fully deterministic, so the
+normalized energies of a fixed workload subset are exact regression
+anchors.  Bands of ±0.02 absolute allow small intentional re-tunings
+(update the GOLDEN table when recalibrating); anything larger means a
+behavioural change in the allocator, the hardware models, or the
+workload generators and deserves scrutiny against EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import SuiteData
+from repro.sim import Scheme, SchemeKind
+from repro.workloads import get_workload
+
+_NAMES = [
+    "matrixmul", "reduction", "scalarprod", "hotspot", "montecarlo",
+    "mergesort", "histogram", "vectoradd", "nbody",
+    "convolutionseparable", "lu", "sad",
+]
+
+#: scheme label -> (Scheme, golden normalized energy).
+GOLDEN = {
+    "hw_rfc_3": (Scheme(SchemeKind.HW_TWO_LEVEL, 3), 0.6364),
+    "hw_lrf_6": (Scheme(SchemeKind.HW_THREE_LEVEL, 6), 0.5779),
+    "sw_orf_3": (Scheme(SchemeKind.SW_TWO_LEVEL, 3), 0.5528),
+    "sw_split_3": (
+        Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True),
+        0.4710,
+    ),
+    "sw_unified_3": (Scheme(SchemeKind.SW_THREE_LEVEL, 3), 0.4902),
+}
+
+_TOLERANCE = 0.02
+
+
+@pytest.fixture(scope="module")
+def data():
+    return SuiteData.build([get_workload(name) for name in _NAMES])
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN))
+def test_golden_energy(data, label):
+    scheme, expected = GOLDEN[label]
+    measured = data.normalized_energy(scheme)
+    assert measured == pytest.approx(expected, abs=_TOLERANCE), (
+        f"{label}: measured {measured:.4f}, golden {expected:.4f} "
+        f"(±{_TOLERANCE}) — recalibrate GOLDEN only if the change is "
+        "intentional"
+    )
+
+
+def test_golden_ordering(data):
+    """The paper's scheme ordering is a hard invariant regardless of
+    calibration drift."""
+    energies = {
+        label: data.normalized_energy(scheme)
+        for label, (scheme, _) in GOLDEN.items()
+    }
+    assert (
+        energies["sw_split_3"]
+        < energies["sw_unified_3"]
+        < energies["sw_orf_3"]
+        < energies["hw_rfc_3"]
+    )
+    assert energies["hw_lrf_6"] < energies["hw_rfc_3"]

@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the paper's headline claims hold on
+representative workloads, and the CLI works."""
+
+import pytest
+
+from repro.cli import main
+from repro.energy import normalized_energy
+from repro.experiments import SuiteData
+from repro.hierarchy.counters import AccessCounters
+from repro.sim import (
+    BEST_HW_THREE_LEVEL,
+    BEST_HW_TWO_LEVEL,
+    BEST_SCHEME,
+    BEST_SW_TWO_LEVEL,
+    Scheme,
+    SchemeKind,
+    evaluate_traces,
+)
+from repro.workloads import get_workload
+
+_NAMES = [
+    "matrixmul", "hotspot", "reduction", "montecarlo",
+    "mergesort", "histogram", "nbody", "sad",
+]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return SuiteData.build([get_workload(name) for name in _NAMES])
+
+
+class TestHeadlineClaims:
+    def test_scheme_ordering(self, data):
+        """Paper Section 6.4: HW (34%) < HW LRF (41%) < SW (45%) <
+        SW LRF split (54%) — the ordering must reproduce."""
+        energies = {
+            "hw": data.normalized_energy(BEST_HW_TWO_LEVEL),
+            "hw_lrf": data.normalized_energy(BEST_HW_THREE_LEVEL),
+            "sw": data.normalized_energy(BEST_SW_TWO_LEVEL),
+            "sw_lrf": data.normalized_energy(BEST_SCHEME),
+        }
+        assert energies["sw_lrf"] < energies["sw"] < energies["hw"]
+        assert energies["hw_lrf"] < energies["hw"]
+        assert energies["sw_lrf"] < energies["hw_lrf"]
+
+    def test_best_scheme_saves_roughly_half(self, data):
+        energy = data.normalized_energy(BEST_SCHEME)
+        assert 0.35 <= energy <= 0.60  # paper: 0.46
+
+    def test_sw_cuts_mrf_reads_vs_hw(self, data):
+        """Paper Section 1: compiler allocation reduces MRF reads by
+        ~25% compared to the RFC."""
+        from repro.levels import Level
+
+        hw, _ = data.aggregate(BEST_HW_TWO_LEVEL)
+        sw, _ = data.aggregate(BEST_SW_TWO_LEVEL)
+        assert sw.reads(Level.MRF) < 0.95 * hw.reads(Level.MRF)
+
+    def test_reduction_is_worst_case(self, data):
+        per_bench = data.per_benchmark_energy(BEST_SCHEME)
+        assert per_bench["reduction"] == max(per_bench.values())
+
+    def test_three_entry_orf_is_best_for_sw(self, data):
+        """Paper: the SW schemes are most efficient at 3 entries."""
+        curve = {
+            entries: data.normalized_energy(
+                BEST_SCHEME.with_entries(entries)
+            )
+            for entries in (1, 2, 3, 4, 5, 8)
+        }
+        best = min(curve, key=curve.get)
+        # The optimum is a shallow bowl in the middle of the sweep (the
+        # full suite lands on 3); on this subset allow 2-5 but require
+        # 3 entries to be within 2% of the optimum and the extremes to
+        # lose clearly.
+        assert best in (2, 3, 4, 5)
+        assert curve[3] <= curve[best] * 1.03
+        assert curve[1] > curve[3]
+        assert curve[8] > curve[3]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "matrixmul" in out and "cuda_sdk" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "vectoradd"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel vectoradd" in out
+        assert "strands" in out
+
+    def test_scheduler_command(self, capsys):
+        assert main(
+            ["scheduler", "--benchmarks", "vectoradd", "--warps", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_bad_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["show", "nosuchbench"])

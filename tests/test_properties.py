@@ -1,0 +1,398 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central property is the paper's implicit correctness contract: for
+*any* valid kernel and *any* allocator configuration, every annotated
+read observes the architecturally correct value — checked by the
+shadow-executing verifier over random structured kernels.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.alloc.intervals import EntryFile
+from repro.ir import format_kernel, parse_kernel
+from repro.sim import Scheme, SchemeKind, build_traces, evaluate_traces
+from repro.sim.verify import verify_trace
+from repro.workloads import GeneratorConfig, generate_workload
+
+_SEEDS = st.integers(min_value=0, max_value=10_000)
+
+_CONFIGS = st.builds(
+    AllocationConfig,
+    orf_entries=st.integers(min_value=1, max_value=8),
+    use_lrf=st.booleans(),
+    split_lrf=st.booleans(),
+    enable_partial_ranges=st.booleans(),
+    enable_read_operands=st.booleans(),
+    allow_forward_branches=st.booleans(),
+)
+
+_GEN_CONFIGS = st.builds(
+    GeneratorConfig,
+    num_segments=st.integers(min_value=1, max_value=6),
+    ops_per_segment=st.integers(min_value=3, max_value=10),
+    loop_probability=st.floats(min_value=0.0, max_value=0.6),
+    hammock_probability=st.floats(min_value=0.0, max_value=0.6),
+    load_probability=st.floats(min_value=0.0, max_value=0.4),
+    sfu_probability=st.floats(min_value=0.0, max_value=0.3),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=_SEEDS, config=_CONFIGS)
+def test_allocation_never_misreads(seed, config):
+    """Any allocation of any random kernel verifies dynamically."""
+    spec = generate_workload(seed, num_warps=1)
+    result = allocate_kernel(spec.kernel, config)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    for trace in traces.warp_traces:
+        verify_trace(spec.kernel, result.partition, trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=_SEEDS, gen_config=_GEN_CONFIGS)
+def test_random_shapes_verify_under_best_config(seed, gen_config):
+    spec = generate_workload(seed, config=gen_config, num_warps=1)
+    result = allocate_kernel(
+        spec.kernel, AllocationConfig.best_paper_config()
+    )
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    for trace in traces.warp_traces:
+        verify_trace(spec.kernel, result.partition, trace)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_software_reads_conserved(seed):
+    """The SW hierarchy services every operand read exactly once."""
+    spec = generate_workload(seed, num_warps=1)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    baseline = evaluate_traces(traces, Scheme(SchemeKind.BASELINE))
+    software = evaluate_traces(
+        traces, Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True)
+    )
+    assert software.counters.total_reads() == (
+        baseline.counters.total_reads()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS, entries=st.integers(min_value=1, max_value=8))
+def test_software_energy_never_exceeds_baseline(seed, entries):
+    """The allocator only moves values when it saves energy, so the
+    software scheme can never consume more than the baseline."""
+    from repro.energy import normalized_energy
+
+    spec = generate_workload(seed, num_warps=1)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    scheme = Scheme(SchemeKind.SW_THREE_LEVEL, entries, split_lrf=True)
+    evaluation = evaluate_traces(traces, scheme)
+    assert (
+        normalized_energy(
+            evaluation.counters, evaluation.baseline, scheme.energy_model()
+        )
+        <= 1.0 + 1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_mrf_writes_never_exceed_baseline(seed):
+    """Each produced value is written to the MRF at most once."""
+    from repro.levels import Level
+
+    spec = generate_workload(seed, num_warps=1)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    baseline = evaluate_traces(traces, Scheme(SchemeKind.BASELINE))
+    software = evaluate_traces(traces, Scheme(SchemeKind.SW_TWO_LEVEL, 3))
+    assert software.counters.writes(Level.MRF) <= (
+        baseline.counters.writes(Level.MRF)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_parser_round_trip(seed):
+    spec = generate_workload(seed, num_warps=1)
+    text = format_kernel(spec.kernel)
+    assert format_kernel(parse_kernel(text)) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_strand_positions_increase_along_paths(seed):
+    """Within one strand execution, layout positions strictly increase
+    (the invariant behind interval-based entry sharing)."""
+    from repro.strands import partition_strands
+
+    spec = generate_workload(seed, num_warps=1)
+    partition = partition_strands(spec.kernel)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    for trace in traces.warp_traces:
+        previous_position = None
+        previous_strand = None
+        for event in trace:
+            position = event.ref.position
+            strand = partition.strand_of_position[position]
+            if (
+                previous_strand is not None
+                and strand == previous_strand
+                and position > (previous_position or 0)
+            ):
+                assert position > previous_position
+            previous_position = position
+            previous_strand = strand
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    windows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=0, max_value=15),
+        ),
+        max_size=25,
+    )
+)
+def test_entry_file_never_double_books(windows):
+    """Accepted allocations on one entry never overlap in write phase
+    or span another's window."""
+    entries = EntryFile(1)
+    accepted = []
+    for begin, length in windows:
+        end = begin + length
+        if entries.is_available(0, begin, end):
+            entries.allocate(0, begin, end)
+            accepted.append((begin, end))
+    for i, (b1, e1) in enumerate(accepted):
+        for b2, e2 in accepted[i + 1:]:
+            assert b1 != b2
+            assert b1 >= e2 or b2 >= e1
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_usage_histogram_consistent(seed):
+    from repro.analysis.usage import UsageHistogram
+    from repro.sim import usage_histogram
+
+    spec = generate_workload(seed, num_warps=1)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    histogram = usage_histogram(traces)
+    assert sum(histogram.read_counts.values()) == histogram.total_values
+    assert (
+        sum(histogram.lifetimes.values()) == histogram.read_once_total
+    )
+    assert histogram.read_once_total == histogram.read_counts["1"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=_SEEDS)
+def test_uniform_divergent_execution_equals_scalar(seed):
+    """With identical per-lane inputs, SIMT execution must follow the
+    scalar executor's path exactly and produce the same final state."""
+    from repro.ir.registers import gpr
+    from repro.sim import WarpExecutor, WarpInput
+    from repro.sim.divergence import (
+        DivergentWarpExecutor,
+        DivergentWarpInput,
+    )
+    from repro.sim.memory import Memory
+
+    spec = generate_workload(seed, num_warps=1)
+    values = dict(spec.warp_inputs[0].live_in_values)
+
+    scalar = WarpExecutor(
+        spec.kernel, WarpInput(dict(values), memory=Memory(seed=seed))
+    )
+    scalar_events = [e.ref.position for e in scalar.run()]
+
+    simt = DivergentWarpExecutor(
+        spec.kernel,
+        DivergentWarpInput(
+            [dict(values) for _ in range(4)], memory=Memory(seed=seed)
+        ),
+    )
+    simt_events = [e.ref.position for e in simt.run()]
+
+    assert simt_events == scalar_events
+    for lane in range(4):
+        assert simt.registers[lane] == scalar.registers
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=_SEEDS)
+def test_divergent_lanes_match_isolated_scalar_runs(seed):
+    """Memory-free kernels: each lane's SIMT result must equal running
+    that lane alone through the scalar executor."""
+    from repro.ir.registers import gpr
+    from repro.sim import WarpExecutor, WarpInput
+    from repro.sim.divergence import (
+        DivergentWarpExecutor,
+        DivergentWarpInput,
+    )
+
+    config = GeneratorConfig(
+        load_probability=0.0,
+        store_probability=0.0,
+        sfu_probability=0.1,
+        hammock_probability=0.5,
+        loop_probability=0.3,
+    )
+    spec = generate_workload(seed, config=config, num_warps=1)
+    base = dict(spec.warp_inputs[0].live_in_values)
+    lanes = []
+    for lane in range(4):
+        values = dict(base)
+        # Perturb one live-in so branches diverge across lanes.
+        key = next(iter(values))
+        values[key] = values[key] + 37 * lane
+        lanes.append(values)
+
+    simt = DivergentWarpExecutor(
+        spec.kernel, DivergentWarpInput([dict(v) for v in lanes])
+    )
+    list(simt.run())
+
+    for lane, values in enumerate(lanes):
+        scalar = WarpExecutor(spec.kernel, WarpInput(dict(values)))
+        list(scalar.run())
+        assert simt.registers[lane] == scalar.registers
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=_SEEDS, config=_CONFIGS)
+def test_allocation_never_misreads_under_divergence(seed, config):
+    """Per-lane correctness: any allocation of any random kernel
+    verifies lane-by-lane when the warp's threads diverge."""
+    from repro.sim.divergence import DivergentWarpInput, run_divergent_warp
+    from repro.sim.verify_divergent import verify_divergent_trace
+
+    spec = generate_workload(seed, num_warps=1)
+    result = allocate_kernel(spec.kernel, config)
+    base = dict(spec.warp_inputs[0].live_in_values)
+    threads = []
+    for lane in range(4):
+        values = dict(base)
+        key = sorted(values, key=lambda r: r.index)[0]
+        values[key] = values[key] + 13 * lane
+        threads.append(values)
+    events = run_divergent_warp(
+        spec.kernel, DivergentWarpInput(threads)
+    )
+    verify_divergent_trace(spec.kernel, result.partition, events, 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_linear_scan_preserves_semantics(seed):
+    """Lowering virtual registers onto the MRF namespace never changes
+    what a kernel computes."""
+    from repro.compiler import run_linear_scan
+    from repro.sim import WarpExecutor, WarpInput
+    from repro.sim.memory import Memory
+
+    spec = generate_workload(seed, num_warps=1)
+    values = dict(spec.warp_inputs[0].live_in_values)
+    lowered = run_linear_scan(spec.kernel)
+    assert lowered.kernel.num_architectural_registers <= 32
+
+    def stores(kernel):
+        memory = Memory(seed=seed)
+        executor = WarpExecutor(
+            kernel, WarpInput(dict(values), memory=memory)
+        )
+        list(executor.run())
+        return sorted(memory.global_mem.items())
+
+    assert stores(spec.kernel) == stores(lowered.kernel)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=_SEEDS)
+def test_scheduling_preserves_semantics(seed):
+    """Both list-scheduling strategies are semantics-preserving on
+    arbitrary structured kernels."""
+    from repro.compiler import ScheduleStrategy, schedule_kernel
+    from repro.sim import WarpExecutor, WarpInput
+    from repro.sim.memory import Memory
+
+    spec = generate_workload(seed, num_warps=1)
+    values = dict(spec.warp_inputs[0].live_in_values)
+
+    def stores(kernel):
+        memory = Memory(seed=seed)
+        executor = WarpExecutor(
+            kernel, WarpInput(dict(values), memory=memory)
+        )
+        list(executor.run())
+        return sorted(memory.global_mem.items())
+
+    expected = stores(spec.kernel)
+    for strategy in ScheduleStrategy:
+        assert stores(schedule_kernel(spec.kernel, strategy)) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=_SEEDS)
+def test_compiled_kernels_still_verify(seed):
+    """The full pipeline (schedule + linear scan + allocation) yields
+    annotations that verify dynamically."""
+    from repro.compiler import ScheduleStrategy, compile_kernel
+    from repro.sim import build_traces
+    from repro.sim.executor import WarpInput
+
+    spec = generate_workload(seed, num_warps=1)
+    result = compile_kernel(
+        spec.kernel, strategy=ScheduleStrategy.SHORTEN_LIFETIMES
+    )
+    traces = build_traces(
+        result.kernel,
+        [WarpInput(dict(spec.warp_inputs[0].live_in_values))],
+    )
+    for trace in traces.warp_traces:
+        verify_trace(result.kernel, result.allocation.partition, trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=_SEEDS)
+def test_dominance_and_postdominance_consistency(seed):
+    """Structural invariants of the dominance analyses on random
+    kernels: the entry dominates every reachable block, immediate
+    dominators dominate their children, and every reconvergence point
+    post-dominates its branch block."""
+    from repro.analysis.cfg import ControlFlowGraph
+    from repro.analysis.dominance import DominatorTree
+    from repro.analysis.postdom import PostDominatorTree
+
+    spec = generate_workload(seed, num_warps=1)
+    cfg = ControlFlowGraph(spec.kernel)
+    dom = DominatorTree(cfg)
+    postdom = PostDominatorTree(cfg)
+
+    for block in cfg.reverse_postorder:
+        assert dom.dominates(cfg.entry, block)
+        parent = dom.idom[block]
+        if parent is not None:
+            assert dom.dominates(parent, block)
+        reconverge = postdom.immediate_post_dominator(block)
+        if reconverge is not None:
+            assert postdom.post_dominates(reconverge, block)
+            assert reconverge != block
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=_SEEDS)
+def test_strand_report_totals_consistent(seed):
+    spec = generate_workload(seed, num_warps=1)
+    result = allocate_kernel(
+        spec.kernel, AllocationConfig.best_paper_config()
+    )
+    report = result.strand_report()
+    summary = result.summary()
+    assert sum(r["webs"] for r in report) == summary["webs"]
+    assert sum(r["orf_values"] for r in report) == summary["orf_values"]
+    assert sum(r["read_operands"] for r in report) == (
+        summary["read_operands"]
+    )
+    assert all(r["estimated_savings_pj"] >= 0 for r in report)

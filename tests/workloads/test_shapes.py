@@ -1,0 +1,173 @@
+"""Structural tests for each kernel shape (what makes it that shape)."""
+
+import pytest
+
+from repro.ir.instructions import FunctionalUnit, Opcode
+from repro.sim import build_traces
+from repro.strands import partition_strands
+from repro.workloads import shapes as shapes_module
+from repro.workloads.shapes import (
+    branchy_hammock,
+    fma_chain,
+    histogram_scatter,
+    nested_loop,
+    reduction_tight,
+    stencil_shared,
+    streaming_map,
+    texture_sampler,
+    transcendental,
+)
+
+
+def _opcode_count(kernel, opcode):
+    return sum(
+        1 for _, inst in kernel.instructions() if inst.opcode is opcode
+    )
+
+
+class TestStreamingMap:
+    def test_unroll_controls_loads(self):
+        for unroll in (1, 2, 4):
+            spec = streaming_map("s", "t", unroll=unroll)
+            assert _opcode_count(spec.kernel, Opcode.LDG) == unroll
+
+    def test_one_store_per_element(self):
+        spec = streaming_map("s", "t", unroll=3)
+        assert _opcode_count(spec.kernel, Opcode.STG) == 3
+
+
+class TestReductionTight:
+    def test_minimal_loop_body(self):
+        spec = reduction_tight("r", "t")
+        loop = spec.kernel.block("loop")
+        # The paper's worst case is a *tight* loop.
+        assert len(loop.instructions) <= 8
+
+    def test_scalarprod_variant_has_two_loads(self):
+        spec = reduction_tight("sp", "t", loads=2)
+        assert _opcode_count(spec.kernel, Opcode.LDG) == 2
+
+    def test_descheduled_every_iteration(self):
+        """The load's consumer is in the same iteration: the strand
+        partition cuts inside the loop body."""
+        spec = reduction_tight("r", "t")
+        partition = partition_strands(spec.kernel)
+        loop_index = spec.kernel.block_index("loop")
+        loop_positions = {
+            ref.position
+            for ref, _ in spec.kernel.instructions()
+            if ref.block_index == loop_index
+        }
+        assert any(p in partition.cut_before for p in loop_positions)
+
+
+class TestFmaChain:
+    def test_accumulators_are_loop_carried(self):
+        spec = fma_chain("f", "t", accumulators=3)
+        from repro.analysis.cfg import ControlFlowGraph
+        from repro.analysis.liveness import LivenessAnalysis
+
+        kernel = spec.kernel
+        liveness = LivenessAnalysis(kernel, ControlFlowGraph(kernel))
+        loop = kernel.block_index("loop")
+        from repro.ir.registers import gpr
+
+        for index in range(3):
+            assert gpr(30 + index) in liveness.live_in[loop]
+
+
+class TestStencilShared:
+    def test_uses_shared_memory_not_global(self):
+        spec = stencil_shared("st", "t", taps=5)
+        assert _opcode_count(spec.kernel, Opcode.LDS) == 5
+        assert _opcode_count(spec.kernel, Opcode.LDG) == 0
+
+    def test_single_strand_loop_body(self):
+        """LDS is short-latency: the whole body is one strand."""
+        spec = stencil_shared("st", "t", taps=3)
+        partition = partition_strands(spec.kernel)
+        loop_index = spec.kernel.block_index("loop")
+        strands = {
+            partition.strand_of_position[ref.position]
+            for ref, _ in spec.kernel.instructions()
+            if ref.block_index == loop_index
+        }
+        assert len(strands) == 1
+
+
+class TestTranscendental:
+    def test_sfu_ops_present(self):
+        spec = transcendental(
+            "tr", "t", sfu_ops=(Opcode.SIN, Opcode.COS)
+        )
+        assert _opcode_count(spec.kernel, Opcode.SIN) == 1
+        assert _opcode_count(spec.kernel, Opcode.COS) == 1
+
+    def test_sfu_results_consumed_by_private(self):
+        spec = transcendental("tr", "t", sfu_ops=(Opcode.RSQRT,))
+        units = {
+            inst.unit
+            for _, inst in spec.kernel.instructions()
+        }
+        assert FunctionalUnit.SFU in units
+
+
+class TestTextureSampler:
+    def test_fetches_long_latency(self):
+        spec = texture_sampler("tx", "t", fetches=3)
+        assert _opcode_count(spec.kernel, Opcode.TEX) == 3
+
+
+class TestHistogramScatter:
+    def test_shared_scatter_pattern(self):
+        spec = histogram_scatter("h", "t")
+        assert _opcode_count(spec.kernel, Opcode.LDS) == 1
+        assert _opcode_count(spec.kernel, Opcode.STS) == 1
+
+
+class TestBranchyHammock:
+    def test_both_arms_write_same_register(self):
+        spec = branchy_hammock("b", "t")
+        kernel = spec.kernel
+        big_writes = {
+            inst.dst
+            for inst in kernel.block("big").instructions
+            if inst.gpr_write() is not None
+        }
+        small_writes = {
+            inst.dst
+            for inst in kernel.block("small").instructions
+            if inst.gpr_write() is not None
+        }
+        assert big_writes & small_writes
+
+    def test_both_paths_execute_across_warps(self):
+        spec = branchy_hammock("b", "t")
+        traces = build_traces(spec.kernel, spec.warp_inputs)
+        visited = set()
+        for trace in traces.warp_traces:
+            for event in trace:
+                visited.add(
+                    spec.kernel.blocks[event.ref.block_index].label
+                )
+        assert {"big", "small"} <= visited
+
+
+class TestNestedLoop:
+    def test_two_backward_targets(self):
+        spec = nested_loop("n", "t")
+        targets = spec.kernel.backward_branch_targets()
+        assert len(targets) == 2
+
+    def test_inner_trip_respected(self):
+        spec = nested_loop("n", "t", inner_trip=3, trips=(2,),
+                           num_warps=1)
+        traces = build_traces(spec.kernel, spec.warp_inputs)
+        inner = spec.kernel.block_index("inner")
+        inner_entries = sum(
+            1
+            for event in traces.warp_traces[0]
+            if event.ref.block_index == inner
+            and event.ref.instr_index == 0
+        )
+        assert inner_entries == 3 * 2  # inner_trip x outer trips

@@ -1,0 +1,145 @@
+"""Tests for the synthetic benchmark suites and shapes."""
+
+import pytest
+
+from repro.sim import build_traces, usage_histogram
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    SUITE_NAMES,
+    all_workloads,
+    build_suite,
+    get_workload,
+    suite_of,
+)
+
+
+class TestRegistry:
+    def test_table1_coverage(self):
+        """Every Table 1 benchmark of the paper is synthesised."""
+        expected = {
+            # CUDA SDK 3.2
+            "bicubictexture", "binomialoptions", "boxfilter",
+            "convolutionseparable", "convolutiontexture", "dct8x8",
+            "dwthaar1d", "dxtc", "eigenvalues", "fastwalshtransform",
+            "histogram", "imagedenoising", "mandelbrot", "matrixmul",
+            "mergesort", "montecarlo", "nbody", "recursivegaussian",
+            "reduction", "scalarprod", "sobelfilter", "sobolqrng",
+            "sortingnetworks", "vectoradd", "volumerender",
+            # Parboil
+            "cp", "mri-fhd", "mri-q", "rpes", "sad",
+            # Rodinia
+            "backprop", "hotspot", "hwt", "lu", "needle", "srad",
+        }
+        assert set(BENCHMARK_NAMES) == expected
+
+    def test_suite_partition(self):
+        total = sum(len(build_suite(s)) for s in SUITE_NAMES)
+        assert total == len(BENCHMARK_NAMES)
+
+    def test_suite_sizes_match_table1(self):
+        assert len(build_suite("cuda_sdk")) == 25
+        assert len(build_suite("parboil")) == 5
+        assert len(build_suite("rodinia")) == 6
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("nosuchthing")
+        with pytest.raises(KeyError):
+            build_suite("nosuchsuite")
+
+    def test_suite_of(self):
+        assert suite_of("matrixmul") == "cuda_sdk"
+        assert suite_of("cp") == "parboil"
+        assert suite_of("hotspot") == "rodinia"
+
+
+class TestWorkloadValidity:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_builds_and_executes(self, name):
+        spec = get_workload(name)
+        spec.kernel.validate()
+        traces = build_traces(spec.kernel, spec.warp_inputs[:1])
+        assert traces.dynamic_instructions > 10
+
+    def test_deterministic_construction(self):
+        a = get_workload("matrixmul")
+        b = get_workload("matrixmul")
+        from repro.ir import format_kernel
+
+        assert format_kernel(a.kernel) == format_kernel(b.kernel)
+
+    def test_scale_lengthens_traces(self):
+        small = get_workload("vectoradd", scale=1.0)
+        large = get_workload("vectoradd", scale=3.0)
+        t_small = build_traces(small.kernel, small.warp_inputs[:1])
+        t_large = build_traces(large.kernel, large.warp_inputs[:1])
+        assert (
+            t_large.dynamic_instructions
+            > 2 * t_small.dynamic_instructions
+        )
+
+    def test_warps_have_distinct_inputs(self):
+        spec = get_workload("hotspot")
+        bases = {
+            tuple(sorted((str(k), v) for k, v in w.live_in_values.items()))
+            for w in spec.warp_inputs
+        }
+        assert len(bases) == len(spec.warp_inputs)
+
+
+class TestUsageCalibration:
+    """The synthetic suites must reproduce Figure 2's statistics."""
+
+    @pytest.fixture(scope="class")
+    def overall(self):
+        from repro.analysis.usage import UsageHistogram
+
+        histogram = UsageHistogram()
+        for spec in all_workloads():
+            traces = build_traces(spec.kernel, spec.warp_inputs)
+            histogram.merge(usage_histogram(traces))
+        return histogram
+
+    def test_read_at_most_once_near_70_percent(self, overall):
+        assert 0.55 <= overall.fraction_read_at_most_once() <= 0.80
+
+    def test_read_once_within_three_near_50_percent(self, overall):
+        assert 0.40 <= overall.fraction_read_once_within(3) <= 0.65
+
+    def test_most_read_once_values_short_lived(self, overall):
+        fractions = overall.lifetime_fractions()
+        assert fractions["1"] > 0.4
+        assert fractions["1"] + fractions["2"] + fractions["3"] > 0.7
+
+    def test_some_dead_values_exist(self, overall):
+        assert overall.read_counts["0"] > 0
+
+    def test_multi_read_tail_exists(self, overall):
+        assert overall.read_counts[">2"] > 0
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        from repro.ir import format_kernel
+        from repro.workloads import generate_kernel
+
+        assert format_kernel(generate_kernel(7)) == format_kernel(
+            generate_kernel(7)
+        )
+
+    def test_distinct_seeds_distinct_kernels(self):
+        from repro.ir import format_kernel
+        from repro.workloads import generate_kernel
+
+        assert format_kernel(generate_kernel(1)) != format_kernel(
+            generate_kernel(2)
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_kernels_execute(self, seed):
+        from repro.workloads import generate_workload
+
+        spec = generate_workload(seed)
+        spec.kernel.validate()
+        traces = build_traces(spec.kernel, spec.warp_inputs)
+        assert traces.dynamic_instructions > 0
