@@ -18,6 +18,7 @@ from typing import List, Optional
 from . import experiments
 from .alloc.allocator import AllocationConfig, allocate_kernel
 from .ir.printer import format_allocated_kernel
+from .sim.schemes import BEST_SCHEME, Scheme, SchemeKind
 from .workloads.suites import (
     BENCHMARK_NAMES,
     all_workloads,
@@ -58,6 +59,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the experiment engine (default 1)",
+        )
+        cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            help="content-addressed result cache directory (off unless set)",
+        )
+        cmd.add_argument(
+            "--metrics-out",
+            default=None,
+            help="write engine run metrics (JSON) to this path",
+        )
+
     for name in list(_FIGURES) + ["all"]:
         cmd = sub.add_parser(name, help=f"run the {name} experiment")
         cmd.add_argument(
@@ -66,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
             default=1.0,
             help="multiply workload trip counts (default 1.0)",
         )
+        add_engine_flags(cmd)
 
     unroll = sub.add_parser(
         "unroll", help="unroll-and-hoist ablation (Section 6.4)"
@@ -121,15 +141,105 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-slow", action="store_true",
         help="skip the limit study (the most expensive driver)",
     )
+    add_engine_flags(export)
 
     report = sub.add_parser(
         "report", help="write the full reproduction report (markdown)"
     )
     report.add_argument("path", nargs="?", default="REPORT.md")
     report.add_argument("--scale", type=float, default=1.0)
+    add_engine_flags(report)
 
     sub.add_parser("list", help="list the synthesised benchmarks")
     return parser
+
+
+def _make_engine(args):
+    """An ExperimentEngine when any engine flag was used, else None."""
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if jobs <= 1 and cache_dir is None and metrics_out is None:
+        return None
+    from .engine import ExperimentEngine
+
+    try:
+        return ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
+def _finish_engine(engine, args) -> None:
+    if engine is None:
+        return
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        engine.metrics.write(metrics_out)
+    print(engine.metrics.summary(), file=sys.stderr)
+
+
+def _plan_schemes(names: List[str]) -> List[Scheme]:
+    """Every (scheme) a figure run will evaluate the suite under.
+
+    Built from the figure modules' own sweep constants so the plan can
+    never drift from what the drivers actually request; anything the
+    plan misses is simply evaluated lazily (and cached) when the driver
+    asks for it.
+    """
+    schemes: List[Scheme] = []
+
+    def add(scheme: Scheme) -> None:
+        if scheme not in schemes:
+            schemes.append(scheme)
+
+    for name in names:
+        if name == "fig11":
+            from .experiments.fig11 import ENTRY_SWEEP
+
+            for entries in ENTRY_SWEEP:
+                add(Scheme(SchemeKind.HW_TWO_LEVEL, entries))
+                add(Scheme(SchemeKind.SW_TWO_LEVEL, entries))
+        elif name == "fig12":
+            from .experiments.fig12 import ENTRY_SWEEP
+
+            for entries in ENTRY_SWEEP:
+                add(Scheme(SchemeKind.HW_THREE_LEVEL, entries))
+                add(Scheme(SchemeKind.SW_THREE_LEVEL, entries))
+                add(
+                    Scheme(
+                        SchemeKind.SW_THREE_LEVEL, entries, split_lrf=True
+                    )
+                )
+        elif name == "fig13":
+            from .experiments.fig13 import ENTRY_SWEEP, EXTRA_SERIES, SERIES
+
+            for _, base_scheme in SERIES + EXTRA_SERIES:
+                for entries in ENTRY_SWEEP:
+                    add(base_scheme.with_entries(entries))
+        elif name == "fig14":
+            from .experiments.fig14 import ENTRY_SWEEP
+
+            for entries in ENTRY_SWEEP:
+                add(
+                    Scheme(
+                        SchemeKind.SW_THREE_LEVEL, entries, split_lrf=True
+                    )
+                )
+        elif name == "fig15":
+            add(BEST_SCHEME)
+        elif name == "limit":
+            add(BEST_SCHEME)
+            add(
+                Scheme(
+                    SchemeKind.HW_TWO_LEVEL, 3,
+                    flush_on_backward_branch=True,
+                )
+            )
+            add(Scheme(SchemeKind.HW_TWO_LEVEL, 3))
+        elif name == "sensitivity":
+            add(Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True))
+            add(Scheme(SchemeKind.HW_TWO_LEVEL, 3))
+    return schemes
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -170,24 +280,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "export":
         from .experiments.export import export_all
 
+        engine = _make_engine(args)
         data = experiments.SuiteData.build(
-            all_workloads(args.scale), scale=args.scale
+            all_workloads(args.scale), scale=args.scale, engine=engine
         )
+        data.prefetch(_plan_schemes(list(_FIGURES)))
         written = export_all(
             data, args.directory, include_slow=not args.skip_slow
         )
         for path in written:
             print(path)
+        _finish_engine(engine, args)
         return 0
 
     if args.command == "report":
         from .experiments.report import write_report
 
+        engine = _make_engine(args)
         data = experiments.SuiteData.build(
-            all_workloads(args.scale), scale=args.scale
+            all_workloads(args.scale), scale=args.scale, engine=engine
         )
+        data.prefetch(_plan_schemes(list(_FIGURES)))
         written = write_report(args.path, data)
         print(written)
+        _finish_engine(engine, args)
         return 0
 
     if args.command == "unroll":
@@ -212,8 +328,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     started = time.time()
+    engine = _make_engine(args)
     data = experiments.SuiteData.build(
-        all_workloads(args.scale), scale=args.scale
+        all_workloads(args.scale), scale=args.scale, engine=engine
     )
     print(
         f"# {len(data.items)} workloads, "
@@ -223,10 +340,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     names = list(_FIGURES) if args.command == "all" else [args.command]
+    data.prefetch(_plan_schemes(names))
     for name in names:
         run, fmt = _FIGURES[name]
         print(fmt(run(data)))
         print()
+    _finish_engine(engine, args)
     return 0
 
 

@@ -1,0 +1,12 @@
+"""Job-based experiment engine: memoization, fan-out, run metrics.
+
+See :mod:`repro.engine.engine` for the architecture overview and
+``docs/architecture.md`` ("Experiment engine") for cache keying, merge
+determinism, and the metrics JSON schema.
+"""
+
+from .engine import ExperimentEngine
+from .jobs import EvaluationJob
+from .metrics import RunMetrics
+
+__all__ = ["ExperimentEngine", "EvaluationJob", "RunMetrics"]

@@ -1,0 +1,90 @@
+"""Content-addressed on-disk cache.
+
+Layout: ``<root>/<kind>/<key[:2]>/<key>.<json|pkl>`` where ``key`` is a
+SHA-256 hex fingerprint of everything that determines the entry's
+value.  Writes are atomic (temp file + ``os.replace``) so concurrent
+runs sharing one cache directory can only ever observe complete
+entries.  Unreadable or corrupt entries are treated as misses and
+removed — the cache is a pure accelerator, never a source of truth.
+
+Evaluation records and study results are JSON (inspectable, durable);
+trace sets are pickled (an order of magnitude faster to round-trip and
+never loaded from outside the cache directory the run itself names).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Optional
+
+
+class DiskCache:
+    """Content-addressed file store rooted at one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        try:
+            os.makedirs(root, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            raise ValueError(
+                f"cache dir {root!r} exists and is not a directory"
+            ) from None
+
+    def _path(self, kind: str, key: str, suffix: str) -> str:
+        return os.path.join(self.root, kind, key[:2], f"{key}.{suffix}")
+
+    def _read(self, path: str, loader) -> Optional[Any]:
+        try:
+            with open(path, "rb") as handle:
+                return loader(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError):
+            # Corrupt or torn entry: drop it and report a miss.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _write(self, path: str, payload: bytes) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=directory, delete=False
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.remove(handle.name)
+            except OSError:
+                pass
+
+    # -- JSON entries ------------------------------------------------------
+
+    def get_json(self, kind: str, key: str) -> Optional[Any]:
+        return self._read(
+            self._path(kind, key, "json"),
+            lambda handle: json.loads(handle.read().decode("utf-8")),
+        )
+
+    def put_json(self, kind: str, key: str, value: Any) -> None:
+        payload = json.dumps(value, sort_keys=True).encode("utf-8")
+        self._write(self._path(kind, key, "json"), payload)
+
+    # -- pickle entries ----------------------------------------------------
+
+    def get_pickle(self, kind: str, key: str) -> Optional[Any]:
+        return self._read(self._path(kind, key, "pkl"), pickle.load)
+
+    def put_pickle(self, kind: str, key: str, value: Any) -> None:
+        self._write(
+            self._path(kind, key, "pkl"),
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+        )

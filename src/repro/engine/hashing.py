@@ -1,0 +1,121 @@
+"""Content fingerprints for the engine's cache keys.
+
+Every cache key is derived from *content*, never from object identity:
+two structurally identical kernels (or warp-input sets, or schemes)
+fingerprint identically regardless of where they were built.  This is
+what makes the cache safe across processes and across runs — and what
+makes it a correctness feature, not just a speedup: a key can only hit
+when the inputs that determine the result are bit-equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+#: Field/part separator that cannot collide with repr() output.
+_SEP = "\x1f"
+
+
+def digest(*parts: str) -> str:
+    """SHA-256 hex digest of the given canonical text parts."""
+    return hashlib.sha256(_SEP.join(parts).encode("utf-8")).hexdigest()
+
+
+def value_text(value: object) -> str:
+    """Deterministic canonical text for fingerprintable values.
+
+    Supports the types that appear in engine keys: primitives, enums,
+    frozen dataclasses (recursively), and homogeneous containers.
+    Dicts are sorted by key text so iteration order never leaks in.
+    """
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{spec.name}={value_text(getattr(value, spec.name))}"
+            for spec in fields(value)
+        )
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, dict):
+        items = sorted(
+            (value_text(key), value_text(item))
+            for key, item in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(value_text(item) for item in value) + "]"
+    if isinstance(value, frozenset):
+        return "{" + ",".join(sorted(value_text(item) for item in value)) + "}"
+    return repr(value)
+
+
+def dataclass_fingerprint(value: object) -> str:
+    """Fingerprint of one (frozen) dataclass — schemes, configs, models."""
+    return digest(value_text(value))
+
+
+def warp_input_fingerprint(warp_input) -> str:
+    """Fingerprint of one :class:`repro.sim.executor.WarpInput`."""
+    live_in = sorted(
+        (str(reg), repr(value))
+        for reg, value in warp_input.live_in_values.items()
+    )
+    parts = [
+        "live_in=" + ",".join(f"{reg}={val}" for reg, val in live_in),
+        f"max_instructions={warp_input.max_instructions}",
+    ]
+    memory = warp_input.memory
+    if memory is None:
+        parts.append("memory=None")
+    else:
+        parts.append(
+            f"memory=seed:{memory.seed}"
+            f";global:{value_text(memory.global_mem)}"
+            f";shared:{value_text(memory.shared_mem)}"
+        )
+    return digest(*parts)
+
+
+def warp_inputs_fingerprint(warp_inputs: Sequence) -> str:
+    """Order-sensitive fingerprint of a warp-input sequence."""
+    return digest(
+        str(len(warp_inputs)),
+        *[warp_input_fingerprint(warp_input) for warp_input in warp_inputs],
+    )
+
+
+def traceset_fingerprint(traces) -> str:
+    """Fingerprint of a materialised :class:`TraceSet`.
+
+    Hashes the kernel's architectural content plus the dynamic event
+    stream (static position and issue flags per event), so any two
+    trace sets that would account identically share a fingerprint.
+    Cached on the instance: traces are immutable once materialised.
+    """
+    cached = getattr(traces, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(traces.kernel.content_fingerprint().encode("ascii"))
+    for trace in traces.warp_traces:
+        hasher.update(b"|warp|")
+        for event in trace:
+            hasher.update(
+                (
+                    f"{event.ref.position},{int(event.guard_passed)},"
+                    f"{int(event.branch_taken)},{event.active_mask},"
+                    f"{event.exec_mask};"
+                ).encode("ascii")
+            )
+    fingerprint = hasher.hexdigest()
+    traces._content_fingerprint = fingerprint
+    return fingerprint
+
+
+def suite_fingerprint(items: Iterable) -> str:
+    """Fingerprint of a whole suite: every workload's trace set, in
+    order.  Keys study-level memo entries (limit study, variable ORF)."""
+    return digest(*[traceset_fingerprint(traces) for _, traces in items])

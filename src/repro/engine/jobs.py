@@ -1,0 +1,58 @@
+"""Process-pool jobs: picklable descriptions, deterministic rebuilds.
+
+A job never carries a kernel or a trace across the process boundary —
+only the workload's registry name, the suite scale, and the (frozen,
+picklable) scheme.  Workers rebuild the workload with
+:func:`repro.workloads.suites.get_workload`, which is deterministic, so
+a worker's evaluation record is bit-identical to the record the parent
+would have computed itself.  That property is what lets the parent
+merge pool results in submission order and still produce byte-identical
+figure output.
+
+Workers keep per-process memos (traces per workload, allocations per
+config) so a worker that receives several schemes for one workload
+only traces and allocates it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..sim.runner import TraceSet, build_traces, evaluate_traces
+from ..sim.schemes import Scheme
+from ..workloads.suites import get_workload
+from .records import record_payload
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """Evaluate one registry workload under one scheme."""
+
+    workload: str
+    scale: float
+    scheme: Scheme
+
+
+#: Per-worker-process memos, keyed by (workload name, scale).
+_WORKER_TRACES: Dict[Tuple[str, float], TraceSet] = {}
+_WORKER_ALLOCATIONS: Dict = {}
+
+
+def _worker_traces(workload: str, scale: float) -> TraceSet:
+    key = (workload, scale)
+    traces = _WORKER_TRACES.get(key)
+    if traces is None:
+        spec = get_workload(workload, scale)
+        traces = build_traces(spec.kernel, spec.warp_inputs)
+        _WORKER_TRACES[key] = traces
+    return traces
+
+
+def run_evaluation_job(job: EvaluationJob) -> Dict[str, Any]:
+    """Worker entry point: returns the JSON evaluation record."""
+    traces = _worker_traces(job.workload, job.scale)
+    evaluation = evaluate_traces(
+        traces, job.scheme, allocation_memo=_WORKER_ALLOCATIONS
+    )
+    return record_payload(evaluation)

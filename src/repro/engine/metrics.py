@@ -1,0 +1,88 @@
+"""Run metrics: per-stage wall time plus cache and job counters.
+
+Every engine run accumulates one :class:`RunMetrics`.  The JSON schema
+(``schema`` = 1) is::
+
+    {
+      "schema": 1,
+      "stages":   {"traces": 0.41, "evaluate": 3.2, "prefetch": 1.8},
+      "counters": {"record_memo_hits": 120, "record_disk_hits": 36,
+                   "record_misses": 42, "trace_cache_hits": 36,
+                   "jobs_submitted": 42, "jobs_completed": 42, ...}
+    }
+
+Stage values are wall-clock seconds summed over all entries into that
+stage; counters are monotone event counts.  Unknown keys must be
+ignored by consumers so the schema can grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunMetrics:
+    """Wall-time per stage and monotone event counters for one run."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate wall time spent in the ``with`` body into
+        ``stages[name]`` (re-entrant across separate calls)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "stages": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.stages.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        """One-line human summary for CLI stderr."""
+        stage_text = " ".join(
+            f"{name}={seconds:.2f}s"
+            for name, seconds in sorted(self.stages.items())
+        )
+        hits = sum(
+            count
+            for name, count in self.counters.items()
+            if name.endswith("_hits")
+        )
+        misses = sum(
+            count
+            for name, count in self.counters.items()
+            if name.endswith("_misses")
+        )
+        return f"engine: {stage_text} cache_hits={hits} cache_misses={misses}"

@@ -24,12 +24,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..alloc.allocator import AllocationConfig, allocate_kernel
+from ..alloc.allocator import AllocationConfig
 from ..energy.accounting import compute_energy
 from ..energy.model import EnergyModel
 from ..hierarchy.counters import AccessCounters
 from ..levels import Level
-from ..sim.accounting import SoftwareAccounting, account_trace
+from ..sim.accounting import (
+    BaselineAccounting,
+    SoftwareAccounting,
+    account_trace,
+)
+from ..sim.runner import allocate_for_traces
 from ..sim.schemes import BEST_SCHEME, Scheme, SchemeKind
 from .suite_data import SuiteData
 
@@ -110,19 +115,38 @@ def _sw_energy(
     Allocates each kernel under ``config`` (the allocator's savings
     decisions use ``accounting_model``) and charges accesses with
     ``accounting_model`` — supporting the limit study's 'N entries at
-    M-entry energy' idealisations.
+    M-entry energy' idealisations.  Allocation happens on clones; the
+    suite's kernels are never annotated.
     """
-    total = AccessCounters()
-    baseline = AccessCounters()
-    for spec, traces in data.items:
-        allocate_kernel(spec.kernel, config, model=accounting_model)
-        for trace in traces.warp_traces:
-            driver = SoftwareAccounting(total)
-            account_trace(driver, trace)
-            from ..sim.accounting import BaselineAccounting
+    engine = data.engine
 
-            account_trace(BaselineAccounting(baseline), trace)
-    return _normalized(total, baseline, accounting_model)
+    def compute() -> float:
+        total = AccessCounters()
+        baseline = AccessCounters()
+        memo = engine.allocation_memo if engine is not None else None
+        for spec, traces in data.items:
+            allocation = allocate_for_traces(
+                spec.kernel, config, model=accounting_model, memo=memo
+            )
+            for trace in traces.warp_traces:
+                driver = SoftwareAccounting(total, allocation.kernel)
+                account_trace(driver, trace)
+                account_trace(BaselineAccounting(baseline), trace)
+        return _normalized(total, baseline, accounting_model)
+
+    if engine is None:
+        return compute()
+    from ..engine.hashing import dataclass_fingerprint
+
+    return engine.memo_study(
+        (
+            "limit-sw-energy",
+            data.content_fingerprint(),
+            dataclass_fingerprint(config),
+            dataclass_fingerprint(accounting_model),
+        ),
+        compute,
+    )
 
 
 def _variable_orf_energy(data: SuiteData) -> float:

@@ -4,20 +4,36 @@ Building traces is the expensive step, so :class:`SuiteData` executes
 every workload once and the per-figure drivers re-account the cached
 traces under each scheme — the same structure as the authors' Ocelot
 trace-analysis methodology (Section 5.1).
+
+When an :class:`~repro.engine.ExperimentEngine` is attached, every
+evaluation routes through it: results are memoized content-addressed
+(and on disk, when the engine has a cache directory), and
+:meth:`SuiteData.prefetch` can fan upcoming (workload, scheme) jobs
+across a process pool.  Drivers are oblivious — they call
+:meth:`evaluate` either way and merge serially in workload order, so
+output is byte-identical with or without the engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..energy.accounting import normalized_energy
 from ..energy.model import EnergyModel
 from ..hierarchy.counters import AccessCounters
-from ..sim.runner import TraceSet, build_traces, evaluate_traces
+from ..sim.runner import (
+    KernelEvaluation,
+    TraceSet,
+    build_traces,
+    evaluate_traces,
+)
 from ..sim.schemes import Scheme
 from ..workloads.shapes import WorkloadSpec
 from ..workloads.suites import all_workloads
+
+if TYPE_CHECKING:
+    from ..engine import ExperimentEngine
 
 
 @dataclass
@@ -25,25 +41,54 @@ class SuiteData:
     """Materialised traces for a set of workloads."""
 
     items: List[Tuple[WorkloadSpec, TraceSet]]
+    scale: float = 1.0
+    engine: Optional["ExperimentEngine"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def build(
         cls,
         workloads: Optional[Sequence[WorkloadSpec]] = None,
         scale: float = 1.0,
+        engine: Optional["ExperimentEngine"] = None,
     ) -> "SuiteData":
         if workloads is None:
             workloads = all_workloads(scale)
+        make_traces = (
+            engine.build_traces if engine is not None else build_traces
+        )
         return cls(
             [
-                (spec, build_traces(spec.kernel, spec.warp_inputs))
+                (spec, make_traces(spec.kernel, spec.warp_inputs))
                 for spec in workloads
-            ]
+            ],
+            scale=scale,
+            engine=engine,
         )
 
     @property
     def dynamic_instructions(self) -> int:
         return sum(traces.dynamic_instructions for _, traces in self.items)
+
+    def content_fingerprint(self) -> str:
+        """Fingerprint over every workload's traces (study memo keys)."""
+        from ..engine.hashing import suite_fingerprint
+
+        return suite_fingerprint(self.items)
+
+    def evaluate(
+        self, traces: TraceSet, scheme: Scheme
+    ) -> KernelEvaluation:
+        """One (trace set, scheme) evaluation — the engine chokepoint."""
+        if self.engine is not None:
+            return self.engine.evaluate(traces, scheme)
+        return evaluate_traces(traces, scheme)
+
+    def prefetch(self, schemes: Sequence[Scheme]) -> None:
+        """Warm the engine's record memo for the given schemes."""
+        if self.engine is not None:
+            self.engine.prefetch(self.items, schemes, scale=self.scale)
 
     def aggregate(
         self, scheme: Scheme
@@ -52,7 +97,7 @@ class SuiteData:
         counters = AccessCounters()
         baseline = AccessCounters()
         for _, traces in self.items:
-            evaluation = evaluate_traces(traces, scheme)
+            evaluation = self.evaluate(traces, scheme)
             counters.merge(evaluation.counters)
             baseline.merge(evaluation.baseline)
         return counters, baseline
@@ -73,7 +118,7 @@ class SuiteData:
             model = scheme.energy_model()
         result: Dict[str, float] = {}
         for spec, traces in self.items:
-            evaluation = evaluate_traces(traces, scheme)
+            evaluation = self.evaluate(traces, scheme)
             result[spec.name] = normalized_energy(
                 evaluation.counters, evaluation.baseline, model
             )

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from ..alloc.allocator import allocate_kernel
 from ..sim.executor import WarpExecutor
 from ..sim.operand_timing import (
     OperandTimingParams,
@@ -21,6 +20,7 @@ from ..sim.operand_timing import (
     simulate_with_operand_timing,
 )
 from ..sim.params import DEFAULT_PARAMS, SimParams
+from ..sim.runner import allocate_for_traces
 from ..sim.schemes import BEST_SCHEME
 from ..workloads.shapes import WorkloadSpec
 from .scheduler_study import expanded_warp_inputs
@@ -70,25 +70,29 @@ def run_timing_study(
     result = TimingStudyResult()
     for spec in specs:
         inputs = expanded_warp_inputs(spec, num_warps)
-
-        # Single-level baseline: all operands annotated MRF.
-        spec.kernel.reset_annotations()
-        for _, instruction in spec.kernel.instructions():
-            instruction.ensure_default_annotations()
         traces = [
             list(WarpExecutor(spec.kernel, warp_input).run())
             for warp_input in inputs
         ]
+
+        # Single-level baseline: all operands annotated MRF.  Both
+        # annotation sets live on clones, so the traced kernel is
+        # never touched and the same traces serve both runs.
+        mrf_kernel = spec.kernel.clone()
+        for _, instruction in mrf_kernel.instructions():
+            instruction.ensure_default_annotations()
         baseline = simulate_with_operand_timing(
-            traces, active_warps, params, operand_params
+            traces, active_warps, params, operand_params,
+            annotation_kernel=mrf_kernel,
         )
 
-        # Best software hierarchy: re-annotate (the trace events
-        # reference the same instruction objects, so the timing model
-        # sees the new operand levels).
-        allocate_kernel(spec.kernel, BEST_SCHEME.allocation_config())
+        # Best software hierarchy.
+        allocation = allocate_for_traces(
+            spec.kernel, BEST_SCHEME.allocation_config()
+        )
         hierarchy = simulate_with_operand_timing(
-            traces, active_warps, params, operand_params
+            traces, active_warps, params, operand_params,
+            annotation_kernel=allocation.kernel,
         )
         result.points.append(
             TimingPoint(spec.name, baseline, hierarchy)

@@ -31,16 +31,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..alloc.allocator import AllocationConfig, allocate_kernel
+from ..alloc.allocator import AllocationConfig
 from ..energy.accounting import compute_energy
 from ..energy.model import EnergyModel
 from ..hierarchy.counters import AccessCounters
+from ..ir.kernel import Kernel
 from ..sim.accounting import (
     BaselineAccounting,
     SoftwareAccounting,
 )
 from ..sim.executor import TraceEvent
-from ..sim.runner import TraceSet
+from ..sim.runner import TraceSet, allocate_for_traces
 from .suite_data import SuiteData
 
 SIZES = tuple(range(1, 9))
@@ -97,11 +98,13 @@ def _split_executions(
 
 
 def _account_events(
-    events: Sequence[TraceEvent], software: bool
+    events: Sequence[TraceEvent],
+    software: bool,
+    annotation_kernel: Optional[Kernel] = None,
 ) -> AccessCounters:
     counters = AccessCounters()
     driver = (
-        SoftwareAccounting(counters)
+        SoftwareAccounting(counters, annotation_kernel)
         if software
         else BaselineAccounting(counters)
     )
@@ -123,12 +126,13 @@ def collect_strand_executions(
     """
     per_warp: List[List[StrandExecution]] = []
     baseline = AccessCounters()
+    memo: Dict = {}
 
     # Pass 0: split every warp's trace into executions; account the
     # all-MRF fallback and the baseline.
     raw: List[Tuple[object, TraceSet, List[List[List[TraceEvent]]]]] = []
     for spec, traces in items:
-        result = allocate_kernel(spec.kernel, base_config)
+        result = allocate_for_traces(spec.kernel, base_config, memo=memo)
         strand_map = result.partition.strand_of_position
         warp_splits = [
             _split_executions(trace, strand_map)
@@ -158,17 +162,20 @@ def collect_strand_executions(
                 enable_read_operands=base_config.enable_read_operands,
                 allow_forward_branches=base_config.allow_forward_branches,
             )
-            allocate_kernel(spec.kernel, config)
+            allocation = allocate_for_traces(spec.kernel, config, memo=memo)
             for warp_index, executions in enumerate(warp_splits):
                 for exec_index, events in enumerate(executions):
                     counters_store[
                         (workload_index, warp_index, exec_index)
-                    ][size] = _account_events(events, software=True)
+                    ][size] = _account_events(
+                        events, software=True,
+                        annotation_kernel=allocation.kernel,
+                    )
 
     warp_counter = 0
     for workload_index, (spec, traces, warp_splits) in enumerate(raw):
-        strand_map = allocate_kernel(
-            spec.kernel, base_config
+        strand_map = allocate_for_traces(
+            spec.kernel, base_config, memo=memo
         ).partition.strand_of_position
         for warp_index, executions in enumerate(warp_splits):
             sequence: List[StrandExecution] = []
@@ -285,32 +292,51 @@ def run_variable_orf_study(
     base_entries: int = 3,
     active_warps: int = 8,
 ) -> VariableOrfResult:
-    base_config = AllocationConfig(
-        orf_entries=base_entries, use_lrf=True, split_lrf=True
-    )
-    model = EnergyModel(orf_entries=base_entries, split_lrf=True)
-    per_warp, baseline = collect_strand_executions(
-        data.items, base_config
-    )
-    baseline_pj = compute_energy(baseline, model).total_pj
+    def compute() -> Dict[str, float]:
+        base_config = AllocationConfig(
+            orf_entries=base_entries, use_lrf=True, split_lrf=True
+        )
+        model = EnergyModel(orf_entries=base_entries, split_lrf=True)
+        per_warp, baseline = collect_strand_executions(
+            data.items, base_config
+        )
+        baseline_pj = compute_energy(baseline, model).total_pj
 
-    fixed_pj = sum(
-        execution.energy(base_entries, model)
-        for sequence in per_warp
-        for execution in sequence
-    )
-    realistic_pj, starved = simulate_realistic(
-        per_warp, model,
-        pool_entries=base_entries * active_warps,
-        active_warps=active_warps,
-    )
-    oracle_pj = oracle_energy(per_warp, model)
+        fixed_pj = sum(
+            execution.energy(base_entries, model)
+            for sequence in per_warp
+            for execution in sequence
+        )
+        realistic_pj, starved = simulate_realistic(
+            per_warp, model,
+            pool_entries=base_entries * active_warps,
+            active_warps=active_warps,
+        )
+        oracle_pj = oracle_energy(per_warp, model)
+        return {
+            "fixed": fixed_pj / baseline_pj,
+            "realistic": realistic_pj / baseline_pj,
+            "oracle": oracle_pj / baseline_pj,
+            "starved_fraction": starved,
+        }
 
+    if data.engine is None:
+        values = compute()
+    else:
+        values = data.engine.memo_study(
+            (
+                "variable-orf",
+                data.content_fingerprint(),
+                str(base_entries),
+                str(active_warps),
+            ),
+            compute,
+        )
     return VariableOrfResult(
-        fixed=fixed_pj / baseline_pj,
-        realistic=realistic_pj / baseline_pj,
-        oracle=oracle_pj / baseline_pj,
-        starved_fraction=starved,
+        fixed=values["fixed"],
+        realistic=values["realistic"],
+        oracle=values["oracle"],
+        starved_fraction=values["starved_fraction"],
     )
 
 

@@ -339,6 +339,23 @@ class Instruction:
             return self.dst
         return None
 
+    def clone(self) -> "Instruction":
+        """A structural copy with no compiler annotations.
+
+        Operands, guards, and targets are immutable and shared; the
+        copy starts from the single-level baseline, ready for a fresh
+        strand-partition/allocation run that cannot disturb this
+        instruction's annotations (or vice versa).
+        """
+        return Instruction(
+            opcode=self.opcode,
+            dst=self.dst,
+            srcs=self.srcs,
+            guard=self.guard,
+            guard_sense=self.guard_sense,
+            target=self.target,
+        )
+
     def clear_annotations(self) -> None:
         """Reset all compiler annotations to the single-level baseline."""
         self.ends_strand = False

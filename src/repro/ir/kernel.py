@@ -41,6 +41,21 @@ class InstructionRef:
         return self.position < other.position
 
 
+def _instruction_content(instruction: Instruction) -> str:
+    """Canonical annotation-free text of one instruction."""
+    guard = ""
+    if instruction.guard is not None:
+        sense = "" if instruction.guard_sense else "!"
+        guard = f"@{sense}{instruction.guard} "
+    operands = []
+    if instruction.dst is not None:
+        operands.append(str(instruction.dst))
+    operands.extend(str(src) for src in instruction.srcs)
+    if instruction.target is not None:
+        operands.append(instruction.target)
+    return f"{guard}{instruction.opcode.value} {', '.join(operands)}"
+
+
 class Kernel:
     """A compiled kernel: named, ordered basic blocks plus live-ins."""
 
@@ -205,6 +220,49 @@ class Kernel:
         """Strip all strand/allocation annotations from the kernel."""
         for _, instruction in self.instructions():
             instruction.clear_annotations()
+
+    def clone(self) -> "Kernel":
+        """A structural copy with pristine (baseline) annotations.
+
+        Layout, labels, operands, and live-ins are preserved, so every
+        :class:`InstructionRef` valid for this kernel resolves to the
+        corresponding instruction of the clone.  Allocating the clone
+        leaves this kernel's annotations untouched — the foundation of
+        side-effect-free scheme evaluation.
+        """
+        blocks = [
+            BasicBlock(
+                block.label,
+                [instruction.clone() for instruction in block.instructions],
+            )
+            for block in self.blocks
+        ]
+        return Kernel(self.name, blocks, self.live_in)
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the kernel's architectural content.
+
+        Covers name, live-ins, block layout, opcodes, operands, guards,
+        and branch targets — but *not* compiler annotations, so a kernel
+        and its (possibly allocated) clones share one fingerprint.  The
+        value is cached: kernels are structurally immutable after
+        construction (transforms build new kernels).
+        """
+        cached = self.__dict__.get("_content_fingerprint")
+        if cached is None:
+            import hashlib
+
+            parts: List[str] = [self.name]
+            parts.append(",".join(str(reg) for reg in self.live_in))
+            for block in self.blocks:
+                parts.append(block.label + ":")
+                for instruction in block.instructions:
+                    parts.append(_instruction_content(instruction))
+            cached = hashlib.sha256(
+                "\n".join(parts).encode("utf-8")
+            ).hexdigest()
+            self.__dict__["_content_fingerprint"] = cached
+        return cached
 
     def __str__(self) -> str:
         header = f".kernel {self.name}"

@@ -21,7 +21,7 @@ Guard-squashed instructions read their operands but write nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Protocol, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Protocol, Set
 
 from ..analysis.cfg import ControlFlowGraph
 from ..analysis.liveness import LivenessAnalysis
@@ -92,13 +92,35 @@ class BaselineAccounting:
 
 
 class SoftwareAccounting:
-    """Compile-time managed hierarchy: levels from static annotations."""
+    """Compile-time managed hierarchy: levels from static annotations.
 
-    def __init__(self, counters: AccessCounters) -> None:
+    ``annotation_kernel`` decouples the annotations from the traced
+    kernel: when given, every event's annotations are resolved by
+    :class:`InstructionRef` against that (structurally identical,
+    allocated) kernel instead of the instruction object embedded in the
+    trace.  This lets one ``TraceSet`` be accounted under any number of
+    allocation configs without the allocator ever touching the shared
+    kernel the traces were executed from.
+    """
+
+    def __init__(
+        self,
+        counters: AccessCounters,
+        annotation_kernel: Optional[Kernel] = None,
+    ) -> None:
         self.counters = counters
+        #: position -> annotated instruction (layout order == position).
+        self._annotated: Optional[List] = None
+        if annotation_kernel is not None:
+            self._annotated = [
+                instruction
+                for _, instruction in annotation_kernel.instructions()
+            ]
 
     def process(self, event: TraceEvent) -> None:
         instruction = event.instruction
+        if self._annotated is not None:
+            instruction = self._annotated[event.ref.position]
         shared = instruction.unit.is_shared
         src_anns = instruction.src_anns
         for slot, reg in instruction.gpr_reads():

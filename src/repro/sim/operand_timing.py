@@ -25,9 +25,10 @@ harming system performance".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.instructions import FunctionalUnit
+from ..ir.instructions import FunctionalUnit, Instruction
+from ..ir.kernel import Kernel
 from ..ir.registers import Register
 from ..levels import Level
 from .executor import TraceEvent
@@ -84,14 +85,18 @@ def operand_fetch_delay(
     event: TraceEvent,
     cycle: int,
     collector: OperandCollector,
+    instruction: Optional[Instruction] = None,
 ) -> int:
     """Cycles of operand-collector latency for one issued instruction.
 
     Reads the instruction's static annotations: unannotated operands
     (and the baseline's) come from the MRF; ORF/LRF operands bypass the
-    collector entirely.
+    collector entirely.  ``instruction`` overrides the trace-embedded
+    instruction when annotations live on a separate (structurally
+    identical) kernel.
     """
-    instruction = event.instruction
+    if instruction is None:
+        instruction = event.instruction
     reads = instruction.gpr_reads()
     if not reads:
         return 0
@@ -130,17 +135,27 @@ def simulate_with_operand_timing(
     params: SimParams = DEFAULT_PARAMS,
     operand_params: OperandTimingParams = OperandTimingParams(),
     max_cycles: int = 50_000_000,
+    annotation_kernel: Optional[Kernel] = None,
 ) -> OperandTimingResult:
     """The two-level scheduler timing model with the operand path.
 
     Identical to :func:`repro.sim.scheduler.simulate_schedule` except
     that each issued instruction's result latency grows by its operand
     fetch delay (MRF operands only, per the static annotations).
+    ``annotation_kernel`` supplies the operand-level annotations when
+    they live on a clone of the traced kernel rather than on the trace
+    events' own instructions.
     """
-    from .scheduler import _WarpState, _issue_status
+    from .scheduler import _WarpState, _issue_status, _next_event_cycle
 
     if active_warps < 1:
         raise ValueError("need at least one active warp")
+    annotated: Optional[List[Instruction]] = None
+    if annotation_kernel is not None:
+        annotated = [
+            instruction
+            for _, instruction in annotation_kernel.instructions()
+        ]
     warps = [_WarpState(trace) for trace in warp_traces]
     pending: List[int] = list(range(len(warps)))
     active: List[int] = []
@@ -152,6 +167,7 @@ def simulate_with_operand_timing(
     cycle = 0
     issued = 0
     rotate = 0
+    next_drain = 0
 
     def refill_active() -> None:
         index = 0
@@ -170,9 +186,10 @@ def simulate_with_operand_timing(
         if cycle >= max_cycles:
             raise RuntimeError("timing simulation exceeded max_cycles")
         refill_active()
-        if cycle % 512 == 0:
+        if cycle >= next_drain:
             collector.drain_before(cycle)
-        issued_this_cycle = False
+            next_drain = cycle + 512
+        acted = False
         for offset in range(len(active)):
             warp_id = (
                 active[(rotate + offset) % len(active)] if active else None
@@ -184,16 +201,26 @@ def simulate_with_operand_timing(
                 warp.active = False
                 active.remove(warp_id)
                 refill_active()
+                acted = True
                 break
             event = warp.next_event()
             status = _issue_status(warp, event, cycle, unit_busy, params)
             if status == "issue":
-                fetch = operand_fetch_delay(event, cycle, collector)
+                fetch = operand_fetch_delay(
+                    event,
+                    cycle,
+                    collector,
+                    instruction=(
+                        annotated[event.ref.position]
+                        if annotated is not None
+                        else None
+                    ),
+                )
                 _issue_with_fetch(
                     warp, event, cycle, fetch, unit_busy, params
                 )
                 issued += 1
-                issued_this_cycle = True
+                acted = True
                 rotate = (rotate + offset + 1) % max(1, len(active))
                 break
             if status == "deschedule":
@@ -205,10 +232,21 @@ def simulate_with_operand_timing(
                 active.remove(warp_id)
                 pending.append(warp_id)
                 refill_active()
+                acted = True
                 break
-        cycle += 1
-        if not issued_this_cycle:
-            continue
+        if acted:
+            cycle += 1
+        else:
+            # All-stall sweep: jump to the next scoreboard / shared-
+            # unit / wakeup event (see scheduler._next_event_cycle).
+            cycle = _next_event_cycle(
+                cycle,
+                warps,
+                active,
+                pending,
+                unit_busy,
+                room_in_active=len(active) < active_warps,
+            )
     return OperandTimingResult(
         cycles=max(1, cycle),
         instructions=issued,

@@ -13,9 +13,14 @@ Ocelot trace-analysis tool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, MutableMapping, Optional, Sequence, Tuple
 
-from ..alloc.allocator import AllocationResult, allocate_kernel
+from ..alloc.allocator import (
+    AllocationConfig,
+    AllocationResult,
+    allocate_kernel,
+)
+from ..energy.model import EnergyModel
 from ..analysis.usage import UsageHistogram, ValueUsageTracker
 from ..hierarchy.counters import AccessCounters
 from ..hierarchy.hw_lrf import HardwareThreeLevel
@@ -82,14 +87,50 @@ class KernelEvaluation:
     allocation: Optional[AllocationResult] = None
 
 
+#: Memo for clone-based allocations, shared across scheme evaluations.
+#: Keyed on (kernel content fingerprint, allocation config, energy
+#: model); both value types are frozen dataclasses, so plain dict
+#: lookup gives exact-match semantics.
+AllocationMemo = MutableMapping[
+    Tuple[str, AllocationConfig, Optional[EnergyModel]], AllocationResult
+]
+
+
+def allocate_for_traces(
+    kernel: Kernel,
+    config: AllocationConfig,
+    model: Optional[EnergyModel] = None,
+    memo: Optional[AllocationMemo] = None,
+) -> AllocationResult:
+    """Allocate a pristine clone of ``kernel`` — never the original.
+
+    The traced kernel keeps whatever annotations it had; accounting
+    resolves the clone's annotations by instruction position.  With a
+    ``memo``, repeated evaluations of one kernel under one config reuse
+    the allocation instead of re-running the full analysis pipeline.
+    """
+    if memo is None:
+        return allocate_kernel(kernel.clone(), config, model=model)
+    key = (kernel.content_fingerprint(), config, model)
+    allocation = memo.get(key)
+    if allocation is None:
+        allocation = allocate_kernel(kernel.clone(), config, model=model)
+        memo[key] = allocation
+    return allocation
+
+
 def evaluate_traces(
     traces: TraceSet,
     scheme: Scheme,
+    *,
+    energy_model: Optional[EnergyModel] = None,
+    allocation_memo: Optional[AllocationMemo] = None,
 ) -> KernelEvaluation:
     """Account a workload's traces under one scheme.
 
-    For software schemes this (re)runs the allocator on the kernel,
-    annotating its instructions in place, before accounting.
+    Pure with respect to ``traces``: software schemes run the allocator
+    on a clone of the kernel, so evaluating the same ``TraceSet`` under
+    any sequence of schemes never leaks annotations between runs.
     """
     kernel = traces.kernel
     counters = AccessCounters()
@@ -97,7 +138,12 @@ def evaluate_traces(
     allocation: Optional[AllocationResult] = None
 
     if scheme.kind.is_software:
-        allocation = allocate_kernel(kernel, scheme.allocation_config())
+        allocation = allocate_for_traces(
+            kernel,
+            scheme.allocation_config(),
+            model=energy_model,
+            memo=allocation_memo,
+        )
 
     liveness: Optional[PointLiveness] = None
     shared_positions = frozenset()
@@ -106,9 +152,10 @@ def evaluate_traces(
         if scheme.kind is SchemeKind.HW_THREE_LEVEL:
             shared_positions = shared_consumed_positions(kernel)
 
+    annotated = allocation.kernel if allocation is not None else None
     for trace in traces.warp_traces:
         driver = _make_driver(
-            scheme, kernel, counters, liveness, shared_positions
+            scheme, kernel, counters, liveness, shared_positions, annotated
         )
         account_trace(driver, trace)
         baseline_driver = BaselineAccounting(baseline)
@@ -130,11 +177,12 @@ def _make_driver(
     counters: AccessCounters,
     liveness: Optional[PointLiveness],
     shared_positions,
+    annotation_kernel: Optional[Kernel] = None,
 ):
     if scheme.kind is SchemeKind.BASELINE:
         return BaselineAccounting(counters)
     if scheme.kind.is_software:
-        return SoftwareAccounting(counters)
+        return SoftwareAccounting(counters, annotation_kernel)
     if scheme.kind is SchemeKind.HW_TWO_LEVEL:
         model = RegisterFileCache(
             scheme.entries_per_thread,

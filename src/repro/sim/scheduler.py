@@ -99,7 +99,7 @@ def simulate_schedule(
         if cycle >= max_cycles:
             raise RuntimeError("timing simulation exceeded max_cycles")
         refill_active()
-        issued_this_cycle = False
+        acted = False
         for offset in range(len(active)):
             warp_id = active[(rotate + offset) % len(active)] if active else None
             if warp_id is None:
@@ -109,13 +109,14 @@ def simulate_schedule(
                 warp.active = False
                 active.remove(warp_id)
                 refill_active()
+                acted = True
                 break
             event = warp.next_event()
             status = _issue_status(warp, event, cycle, unit_busy, params)
             if status == "issue":
                 _do_issue(warp, event, cycle, unit_busy, params)
                 issued += 1
-                issued_this_cycle = True
+                acted = True
                 rotate = (rotate + offset + 1) % max(1, len(active))
                 break
             if status == "deschedule":
@@ -129,14 +130,74 @@ def simulate_schedule(
                 active.remove(warp_id)
                 pending.append(warp_id)
                 refill_active()
+                acted = True
                 break
             # "stall": try the next active warp.
-        cycle += 1
-        if not issued_this_cycle:
-            continue
+        if acted:
+            cycle += 1
+        else:
+            # Every active warp stalled and (if there is room) no
+            # pending warp can wake this cycle: nothing can change
+            # until the next scoreboard / shared-unit / wakeup event,
+            # so jump straight to it instead of spinning cycle by
+            # cycle.  State is untouched in between, making the jump
+            # exact — cycle counts match the cycle-by-cycle walk.
+            cycle = _next_event_cycle(
+                cycle,
+                warps,
+                active,
+                pending,
+                unit_busy,
+                room_in_active=len(active) < active_warps,
+            )
     return ScheduleResult(
         cycles=max(1, cycle), instructions=issued, active_warps=active_warps
     )
+
+
+def _next_event_cycle(
+    cycle: int,
+    warps: Sequence[_WarpState],
+    active: Sequence[int],
+    pending: Sequence[int],
+    unit_busy: Dict[FunctionalUnit, int],
+    room_in_active: bool,
+) -> int:
+    """First cycle after ``cycle`` at which anything can happen.
+
+    Only valid after a full sweep in which every active warp stalled:
+    scheduler state is then frozen until the earliest of (a) an active
+    warp's blocking registers all ready and its shared unit free, or
+    (b) — only when the active set has room — a pending warp's wakeup.
+    A stalled warp cannot turn into a deschedule in between: a blocking
+    register's ``long_pending`` marker would already have expired by
+    the cycle the register becomes ready.
+    """
+    targets: List[int] = []
+    for warp_id in active:
+        warp = warps[warp_id]
+        instruction = warp.next_event().instruction
+        target = cycle + 1
+        deps = [reg for _, reg in instruction.gpr_reads()]
+        written = instruction.gpr_write()
+        if written is not None:
+            deps.append(written)
+        for reg in deps:
+            ready = warp.reg_ready.get(reg, 0)
+            if ready > cycle:
+                target = max(target, ready)
+        unit = instruction.unit
+        if unit.is_shared and unit_busy[unit] > cycle:
+            target = max(target, unit_busy[unit])
+        targets.append(target)
+    if room_in_active:
+        for warp_id in pending:
+            warp = warps[warp_id]
+            if not warp.finished and warp.wakeup > cycle:
+                targets.append(warp.wakeup)
+    if not targets:
+        return cycle + 1
+    return max(cycle + 1, min(targets))
 
 
 def _issue_status(

@@ -1,0 +1,125 @@
+"""Property tests (hypothesis) for EntryFile interval sharing.
+
+The allocator's soundness rests on three interval invariants
+(``repro.alloc.intervals``): two values written in the same slot can
+never share an entry; a value last read at slot N and a value defined
+at slot N *can* (reads precede writes within a slot); and group
+allocation for wide values never hands out the same entry twice.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.intervals import EntryFile, _Entry
+
+# Layout positions are small non-negative ints; keep the domain tight
+# so hypothesis explores collisions rather than sparse misses.
+_POS = st.integers(min_value=0, max_value=40)
+
+
+@st.composite
+def _interval(draw):
+    begin = draw(_POS)
+    end = draw(st.integers(min_value=begin, max_value=begin + 40))
+    return begin, end
+
+
+@st.composite
+def _interval_list(draw):
+    return draw(st.lists(_interval(), min_size=0, max_size=12))
+
+
+def _filled(intervals):
+    """An _Entry greedily holding every compatible interval."""
+    entry = _Entry()
+    for begin, end in intervals:
+        if entry.available(begin, end):
+            entry.allocate(begin, end)
+    return entry
+
+
+@given(_interval(), st.integers(min_value=0, max_value=40))
+def test_same_begin_windows_always_conflict(interval, other_span):
+    """Two values defined in the same slot both write the entry in that
+    slot's write phase — they may never share, whatever their ends."""
+    begin, end = interval
+    entry = _Entry()
+    entry.allocate(begin, end)
+    assert not entry.available(begin, begin + other_span)
+
+
+@given(_interval(), st.integers(min_value=0, max_value=40))
+def test_back_to_back_windows_share(interval, tail):
+    """A value last read at slot N coexists with a value defined at N:
+    reads happen before writes within a slot."""
+    begin, end = interval
+    entry = _Entry()
+    entry.allocate(begin, end)
+    if end != begin:  # same-begin is the write/write conflict above
+        assert entry.available(end, end + tail)
+        entry.allocate(end, end + tail)  # and allocating really works
+    # The mirror image: a window ending exactly at this one's begin.
+    fresh = _Entry()
+    fresh.allocate(begin, end)
+    if begin >= 1 and begin - tail != begin:
+        earlier = max(0, begin - max(1, tail))
+        if earlier != begin:
+            assert fresh.available(earlier, begin)
+
+
+@given(_interval_list(), _interval())
+def test_availability_is_symmetric_pairwise(intervals, probe):
+    """available() gives one verdict per occupied window; the verdict
+    must match the documented rule exactly."""
+    begin, end = probe
+    entry = _filled(intervals)
+    expected = all(
+        begin != ob and (begin >= oe or ob >= end)
+        for ob, oe in entry.occupied
+    )
+    assert entry.available(begin, end) == expected
+
+
+@given(_interval_list(), _interval(), st.integers(min_value=1, max_value=6))
+def test_find_free_group_never_double_books(intervals, probe, count):
+    begin, end = probe
+    entries = EntryFile(6)
+    for index, (b, e) in enumerate(intervals):
+        slot = index % entries.num_entries
+        if entries.is_available(slot, b, e):
+            entries.allocate(slot, b, e)
+    group = entries.find_free_group(begin, end, count)
+    if group is None:
+        free = sum(
+            entries.is_available(i, begin, end)
+            for i in range(entries.num_entries)
+        )
+        assert free < count
+        return
+    assert len(group) == count
+    assert len(set(group)) == count  # distinct entries
+    for slot in group:
+        assert entries.is_available(slot, begin, end)
+        entries.allocate(slot, begin, end)  # all simultaneously bookable
+    # After booking the group, none of its entries admits a same-begin
+    # window again.
+    for slot in group:
+        assert not entries.is_available(slot, begin, end)
+
+
+@given(_interval_list(), _interval())
+def test_find_free_matches_group_of_one(intervals, probe):
+    begin, end = probe
+    entries = EntryFile(4)
+    for index, (b, e) in enumerate(intervals):
+        slot = index % entries.num_entries
+        if entries.is_available(slot, b, e):
+            entries.allocate(slot, b, e)
+    single = entries.find_free(begin, end)
+    group = entries.find_free_group(begin, end, 1)
+    if single is None:
+        assert group is None
+    else:
+        assert group == [single]
+        # find_free is lowest-index-first.
+        for slot in range(single):
+            assert not entries.is_available(slot, begin, end)

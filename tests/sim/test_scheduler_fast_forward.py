@@ -1,0 +1,100 @@
+"""The scheduler's all-stall fast-forward must be exact: cycle counts
+match a naive cycle-by-cycle walk of the same issue rules."""
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.ir.instructions import FunctionalUnit
+from repro.sim.executor import TraceEvent
+from repro.sim.params import DEFAULT_PARAMS, SimParams
+from repro.sim.runner import build_traces
+from repro.sim.scheduler import (
+    ScheduleResult,
+    _WarpState,
+    _do_issue,
+    _issue_status,
+    simulate_schedule,
+)
+from repro.workloads.suites import get_workload
+
+
+def _simulate_naive(
+    warp_traces: Sequence[Sequence[TraceEvent]],
+    active_warps: int,
+    params: SimParams = DEFAULT_PARAMS,
+    max_cycles: int = 50_000_000,
+) -> ScheduleResult:
+    """The pre-fast-forward reference: advance one cycle at a time."""
+    warps = [_WarpState(trace) for trace in warp_traces]
+    pending: List[int] = list(range(len(warps)))
+    active: List[int] = []
+    unit_busy: Dict[FunctionalUnit, int] = {
+        unit: 0 for unit in FunctionalUnit
+    }
+    cycle = 0
+    issued = 0
+    rotate = 0
+
+    def refill_active() -> None:
+        index = 0
+        while len(active) < active_warps and index < len(pending):
+            warp_id = pending[index]
+            warp = warps[warp_id]
+            if warp.wakeup <= cycle and not warp.finished:
+                pending.pop(index)
+                warp.active = True
+                active.append(warp_id)
+            else:
+                index += 1
+
+    refill_active()
+    while any(not warp.finished for warp in warps):
+        if cycle >= max_cycles:
+            raise RuntimeError("reference simulation exceeded max_cycles")
+        refill_active()
+        for offset in range(len(active)):
+            warp_id = (
+                active[(rotate + offset) % len(active)] if active else None
+            )
+            if warp_id is None:
+                break
+            warp = warps[warp_id]
+            if warp.finished:
+                warp.active = False
+                active.remove(warp_id)
+                refill_active()
+                break
+            event = warp.next_event()
+            status = _issue_status(warp, event, cycle, unit_busy, params)
+            if status == "issue":
+                _do_issue(warp, event, cycle, unit_busy, params)
+                issued += 1
+                rotate = (rotate + offset + 1) % max(1, len(active))
+                break
+            if status == "deschedule":
+                warp.wakeup = max(
+                    warp.long_pending.values(), default=cycle
+                )
+                warp.long_pending.clear()
+                warp.active = False
+                active.remove(warp_id)
+                pending.append(warp_id)
+                refill_active()
+                break
+        cycle += 1
+    return ScheduleResult(
+        cycles=max(1, cycle), instructions=issued,
+        active_warps=active_warps,
+    )
+
+
+@pytest.mark.parametrize("workload", ["vectoradd", "reduction"])
+@pytest.mark.parametrize("active_warps", [1, 2, 4, 32])
+def test_fast_forward_matches_naive_walk(workload, active_warps):
+    spec = get_workload(workload, scale=0.25)
+    traces = build_traces(spec.kernel, spec.warp_inputs)
+    fast = simulate_schedule(traces.warp_traces, active_warps)
+    naive = _simulate_naive(traces.warp_traces, active_warps)
+    assert fast.cycles == naive.cycles
+    assert fast.instructions == naive.instructions
