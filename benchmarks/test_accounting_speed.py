@@ -1,0 +1,60 @@
+"""Scalar vs. compiled accounting speed (the `bench-accounting` pair).
+
+Tracks the compiled trace layer's advantage on a single workload and
+on the full-suite software sweep, and regenerates
+``BENCH_accounting.json`` under ``benchmarks/results/``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    format_bench_accounting,
+    run_bench_accounting,
+)
+from repro.sim import Scheme, SchemeKind, build_traces, evaluate_traces
+from repro.workloads import get_workload
+
+from conftest import bench_scale, write_result
+
+_SPEC = get_workload("dct8x8")
+_SW = Scheme(SchemeKind.SW_THREE_LEVEL, 3, split_lrf=True)
+_HW = Scheme(SchemeKind.HW_TWO_LEVEL, 3)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_traces(_SPEC.kernel, _SPEC.warp_inputs)
+
+
+def test_software_accounting_scalar(benchmark, traces):
+    benchmark(evaluate_traces, traces, _SW, use_compiled=False)
+
+
+def test_software_accounting_compiled(benchmark, traces):
+    benchmark(evaluate_traces, traces, _SW, use_compiled=True)
+
+
+def test_hardware_accounting_scalar(benchmark, traces):
+    benchmark(evaluate_traces, traces, _HW, use_compiled=False)
+
+
+def test_hardware_accounting_compiled(benchmark, traces):
+    benchmark(evaluate_traces, traces, _HW, use_compiled=True)
+
+
+def test_bench_accounting_suite(results_dir):
+    """Full-suite measurement; writes BENCH_accounting.json.
+
+    The acceptance bar for the compiled layer: software-scheme
+    accounting at least 3x faster than the scalar oracle on the
+    standard suite (cold caches, single process).
+    """
+    payload = run_bench_accounting(scale=bench_scale(), repeats=3)
+    write_result(
+        results_dir, "bench_accounting", format_bench_accounting(payload)
+    )
+    out = results_dir / "BENCH_accounting.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert payload["software"]["speedup"] >= 3.0

@@ -105,32 +105,40 @@ class UsageHistogram:
     read_once_total: int = 0
     read_by_shared: int = 0
 
-    def add_record(self, record: ValueRecord) -> None:
-        self.total_values += 1
-        if record.num_reads == 0:
-            self.read_counts["0"] += 1
-        elif record.num_reads == 1:
-            self.read_counts["1"] += 1
-        elif record.num_reads == 2:
-            self.read_counts["2"] += 1
-        else:
-            self.read_counts[">2"] += 1
-        if record.read_by_shared:
-            self.read_by_shared += 1
-        if record.num_reads == 1:
-            self.read_once_total += 1
-            if record.lifetime <= 1:
-                self.lifetimes["1"] += 1
-            elif record.lifetime == 2:
-                self.lifetimes["2"] += 1
-            elif record.lifetime == 3:
-                self.lifetimes["3"] += 1
-            else:
-                self.lifetimes[">3"] += 1
+    def add_record(self, record: ValueRecord, weight: int = 1) -> None:
+        """Add one value record, ``weight`` times.
 
-    def add_tracker(self, tracker: ValueUsageTracker) -> None:
+        Buckets are plain sums, so a weighted add is identical to
+        repeating the record — this is what lets deduplicated warp
+        traces be observed once and scaled by multiplicity.
+        """
+        self.total_values += weight
+        if record.num_reads == 0:
+            self.read_counts["0"] += weight
+        elif record.num_reads == 1:
+            self.read_counts["1"] += weight
+        elif record.num_reads == 2:
+            self.read_counts["2"] += weight
+        else:
+            self.read_counts[">2"] += weight
+        if record.read_by_shared:
+            self.read_by_shared += weight
+        if record.num_reads == 1:
+            self.read_once_total += weight
+            if record.lifetime <= 1:
+                self.lifetimes["1"] += weight
+            elif record.lifetime == 2:
+                self.lifetimes["2"] += weight
+            elif record.lifetime == 3:
+                self.lifetimes["3"] += weight
+            else:
+                self.lifetimes[">3"] += weight
+
+    def add_tracker(
+        self, tracker: ValueUsageTracker, multiplicity: int = 1
+    ) -> None:
         for record in tracker.records:
-            self.add_record(record)
+            self.add_record(record, multiplicity)
 
     def merge(self, other: "UsageHistogram") -> None:
         for key, value in other.read_counts.items():

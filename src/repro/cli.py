@@ -150,6 +150,18 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=1.0)
     add_engine_flags(report)
 
+    bench = sub.add_parser(
+        "bench-accounting",
+        help="time scalar vs. compiled accounting; write JSON",
+    )
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--out",
+        default="BENCH_accounting.json",
+        help="output JSON path (default BENCH_accounting.json)",
+    )
+
     sub.add_parser("list", help="list the synthesised benchmarks")
     return parser
 
@@ -304,6 +316,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         written = write_report(args.path, data)
         print(written)
         _finish_engine(engine, args)
+        return 0
+
+    if args.command == "bench-accounting":
+        payload = experiments.run_bench_accounting(
+            scale=args.scale, repeats=args.repeats
+        )
+        print(experiments.format_bench_accounting(payload))
+        print(experiments.write_bench_accounting(args.out, payload))
         return 0
 
     if args.command == "unroll":

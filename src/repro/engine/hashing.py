@@ -90,26 +90,26 @@ def warp_inputs_fingerprint(warp_inputs: Sequence) -> str:
 def traceset_fingerprint(traces) -> str:
     """Fingerprint of a materialised :class:`TraceSet`.
 
-    Hashes the kernel's architectural content plus the dynamic event
-    stream (static position and issue flags per event), so any two
-    trace sets that would account identically share a fingerprint.
-    Cached on the instance: traces are immutable once materialised.
+    Hashes the kernel's architectural content plus the compiled
+    columnar form of the dynamic event stream: each *unique* warp
+    trace's column bytes are digested once, and the per-warp sequence
+    of unique-trace digests keeps the fingerprint order-sensitive over
+    warps.  Any two trace sets that would account identically share a
+    fingerprint.  Cached on the instance: traces are immutable once
+    materialised.
     """
     cached = getattr(traces, "_content_fingerprint", None)
     if cached is not None:
         return cached
+    from ..sim.compiled import compile_traces
+
+    compiled = compile_traces(traces)
     hasher = hashlib.sha256()
     hasher.update(traces.kernel.content_fingerprint().encode("ascii"))
-    for trace in traces.warp_traces:
+    digests = [trace.content_digest() for trace in compiled.unique]
+    for index in compiled.warp_to_unique:
         hasher.update(b"|warp|")
-        for event in trace:
-            hasher.update(
-                (
-                    f"{event.ref.position},{int(event.guard_passed)},"
-                    f"{int(event.branch_taken)},{event.active_mask},"
-                    f"{event.exec_mask};"
-                ).encode("ascii")
-            )
+        hasher.update(digests[index].encode("ascii"))
     fingerprint = hasher.hexdigest()
     traces._content_fingerprint = fingerprint
     return fingerprint

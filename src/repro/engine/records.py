@@ -85,22 +85,11 @@ def payload_is_valid(payload: Any) -> bool:
 # TraceSet aliases the caller's kernel exactly like a fresh build.
 
 def traceset_to_payload(traces: TraceSet) -> Dict[str, Any]:
-    from ..sim.executor import TraceEvent  # noqa: F401  (documentation)
-
     return {
         "schema": RECORD_SCHEMA,
         "kernel": traces.kernel.content_fingerprint(),
         "warps": [
-            [
-                (
-                    event.ref.position,
-                    event.guard_passed,
-                    event.branch_taken,
-                    event.active_mask,
-                    event.exec_mask,
-                )
-                for event in trace
-            ]
+            [event.columns() for event in trace]
             for trace in traces.warp_traces
         ],
     }

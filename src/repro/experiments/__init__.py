@@ -1,5 +1,10 @@
 """Experiment drivers regenerating every table and figure of the paper."""
 
+from .bench_accounting import (
+    format_bench_accounting,
+    run_bench_accounting,
+    write_bench_accounting,
+)
 from .divergence_study import (
     DivergenceStudyResult,
     format_divergence_study,
@@ -69,6 +74,7 @@ __all__ = [
     "build_report",
     "VariableOrfResult",
     "expanded_warp_inputs",
+    "format_bench_accounting",
     "format_divergence_study",
     "format_encoding_study",
     "format_fig2",
@@ -91,11 +97,13 @@ __all__ = [
     "run_fig13",
     "run_fig14",
     "run_fig15",
+    "run_bench_accounting",
     "run_limit_study",
     "run_scheduler_study",
     "run_sensitivity_study",
     "run_timing_study",
     "run_unroll_study",
     "run_variable_orf_study",
+    "write_bench_accounting",
     "write_report",
 ]

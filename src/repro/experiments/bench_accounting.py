@@ -1,0 +1,188 @@
+"""Scalar-vs-compiled accounting benchmark (``repro bench-accounting``).
+
+Times the two accounting paths of :func:`repro.sim.evaluate_traces`
+over the standard workload suite — the scalar event-walk oracle against
+the compiled columnar/histogram path — and writes the measurements as
+JSON (``BENCH_accounting.json``).
+
+Method: allocations are prewarmed into a shared memo so both passes
+time *accounting*, not the allocator; the engine record memo is never
+involved (cold-engine, single-process numbers); the compiled pass runs
+on freshly built trace sets, so one-time trace compilation is inside
+the measured region; each pass is repeated and the best wall time kept.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.runner import (
+    AllocationMemo,
+    TraceSet,
+    allocate_for_traces,
+    build_traces,
+    evaluate_traces,
+)
+from ..sim.schemes import Scheme, SchemeKind
+from ..workloads.shapes import WorkloadSpec
+from ..workloads.suites import all_workloads
+
+BENCH_SCHEMA = 1
+
+#: ORF/RFC sizes swept per scheme family — the Figure 11/12 x-axis.
+ENTRY_SWEEP = (1, 2, 3, 4, 6, 8)
+
+
+def software_schemes() -> List[Scheme]:
+    return [
+        Scheme(kind, entries, split_lrf=split)
+        for entries in ENTRY_SWEEP
+        for kind, split in (
+            (SchemeKind.SW_TWO_LEVEL, False),
+            (SchemeKind.SW_THREE_LEVEL, False),
+            (SchemeKind.SW_THREE_LEVEL, True),
+        )
+    ]
+
+
+def hardware_schemes() -> List[Scheme]:
+    return [
+        Scheme(kind, entries)
+        for entries in ENTRY_SWEEP
+        for kind in (SchemeKind.HW_TWO_LEVEL, SchemeKind.HW_THREE_LEVEL)
+    ]
+
+
+def _build_suite(scale: float) -> List[TraceSet]:
+    return [
+        build_traces(spec.kernel, spec.warp_inputs)
+        for spec in all_workloads(scale)
+    ]
+
+
+def _prewarm_allocations(
+    suite: Sequence[TraceSet], schemes: Sequence[Scheme]
+) -> AllocationMemo:
+    memo: AllocationMemo = {}
+    for traces in suite:
+        for scheme in schemes:
+            if scheme.kind.is_software:
+                allocate_for_traces(
+                    traces.kernel, scheme.allocation_config(), memo=memo
+                )
+    return memo
+
+
+def _time_pass(
+    suite: Sequence[TraceSet],
+    schemes: Sequence[Scheme],
+    memo: AllocationMemo,
+    use_compiled: bool,
+) -> float:
+    started = time.perf_counter()
+    for traces in suite:
+        for scheme in schemes:
+            evaluate_traces(
+                traces,
+                scheme,
+                allocation_memo=memo,
+                use_compiled=use_compiled,
+            )
+    return time.perf_counter() - started
+
+
+def _bench_family(
+    schemes: Sequence[Scheme],
+    scale: float,
+    repeats: int,
+    memo: AllocationMemo,
+    scalar_suite: Sequence[TraceSet],
+) -> Dict[str, float]:
+    scalar_s = min(
+        _time_pass(scalar_suite, schemes, memo, use_compiled=False)
+        for _ in range(repeats)
+    )
+    # Fresh trace sets per repeat: trace compilation and the baseline /
+    # analysis caches start cold, so their cost is part of the number.
+    compiled_s = min(
+        _time_pass(_build_suite(scale), schemes, memo, use_compiled=True)
+        for _ in range(repeats)
+    )
+    return {
+        "schemes": len(schemes),
+        "scalar_s": round(scalar_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "speedup": round(scalar_s / compiled_s, 2) if compiled_s else 0.0,
+    }
+
+
+def run_bench_accounting(
+    scale: float = 1.0,
+    repeats: int = 3,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+) -> Dict:
+    """Measure scalar vs. compiled accounting; return the JSON payload."""
+    specs = list(workloads) if workloads is not None else all_workloads(scale)
+    suite = [
+        build_traces(spec.kernel, spec.warp_inputs) for spec in specs
+    ]
+    sw = software_schemes()
+    hw = hardware_schemes()
+    memo = _prewarm_allocations(suite, sw)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "suite": {
+            "workloads": len(suite),
+            "dynamic_instructions": sum(
+                traces.dynamic_instructions for traces in suite
+            ),
+            "unique_traces": sum(
+                traces.unique_trace_count for traces in suite
+            ),
+            "warp_traces": sum(
+                len(traces.warp_traces) for traces in suite
+            ),
+            "static_instructions": sum(
+                traces.kernel.num_instructions for traces in suite
+            ),
+        },
+        "software": _bench_family(sw, scale, repeats, memo, suite),
+        "hardware": _bench_family(hw, scale, repeats, memo, suite),
+        "baseline": _bench_family(
+            [Scheme(SchemeKind.BASELINE)], scale, repeats, memo, suite
+        ),
+    }
+    return payload
+
+
+def format_bench_accounting(payload: Dict) -> str:
+    suite = payload["suite"]
+    lines = [
+        "Accounting benchmark: scalar event walk vs. compiled "
+        "columnar traces",
+        f"  suite: {suite['workloads']} workloads, "
+        f"{suite['dynamic_instructions']} dynamic / "
+        f"{suite['static_instructions']} static instructions, "
+        f"{suite['unique_traces']}/{suite['warp_traces']} unique warp "
+        "traces",
+    ]
+    for family in ("software", "hardware", "baseline"):
+        row = payload[family]
+        lines.append(
+            f"  {family:<9} {row['schemes']:>3} schemes   "
+            f"scalar {row['scalar_s']:8.3f}s   "
+            f"compiled {row['compiled_s']:8.3f}s   "
+            f"{row['speedup']:6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_bench_accounting(path: str, payload: Dict) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

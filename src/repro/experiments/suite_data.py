@@ -71,6 +71,17 @@ class SuiteData:
     def dynamic_instructions(self) -> int:
         return sum(traces.dynamic_instructions for _, traces in self.items)
 
+    @property
+    def unique_traces(self) -> int:
+        """Distinct warp traces across the suite after deduplication."""
+        return sum(traces.unique_trace_count for _, traces in self.items)
+
+    @property
+    def static_instructions(self) -> int:
+        return sum(
+            traces.kernel.num_instructions for _, traces in self.items
+        )
+
     def content_fingerprint(self) -> str:
         """Fingerprint over every workload's traces (study memo keys)."""
         from ..engine.hashing import suite_fingerprint

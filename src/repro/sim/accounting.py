@@ -169,14 +169,22 @@ class HardwareAccounting:
         liveness: PointLiveness,
         kernel: Kernel,
         three_level: bool = False,
+        operands=None,
     ) -> None:
         self.model = model
         self.liveness = liveness
         self.kernel = kernel
         self.three_level = three_level
+        #: Optional repro.sim.compiled.StaticOperandTable: per-position
+        #: operand facts, so the hot loop indexes lists instead of
+        #: querying the instruction object per dynamic event.
+        self._operands = operands
         self._pending: Set[Register] = set()
 
     def process(self, event: TraceEvent) -> None:
+        if self._operands is not None:
+            self._process_with_table(event)
+            return
         instruction = event.instruction
         ref = event.ref
         shared = instruction.unit.is_shared
@@ -208,6 +216,50 @@ class HardwareAccounting:
                 )
             if instruction.is_long_latency:
                 self._pending.add(written)
+
+    def _process_with_table(self, event: TraceEvent) -> None:
+        """`process` with operand queries served by the static table.
+
+        Behaviourally identical to the instruction-object path — the
+        table holds the same registers and flags, precomputed once per
+        kernel — but each per-event lookup is a list index.
+        """
+        table = self._operands
+        ref = event.ref
+        position = ref.position
+        reads = table.read_regs[position]
+        written = table.write_reg[position]
+        shared = table.shared[position]
+
+        pending = self._pending
+        if pending and (
+            any(reg in pending for reg in reads)
+            or (written is not None and written in pending)
+        ):
+            self.model.on_deschedule(self.liveness.before(ref))
+            pending.clear()
+
+        for reg in reads:
+            self.model.read(reg, shared)
+
+        if event.branch_taken and table.backward_branch[position]:
+            self.model.on_backward_branch(self.liveness.after(ref))
+
+        if written is not None and event.guard_passed:
+            live_after = self.liveness.after(ref)
+            long_latency = table.long_latency[position]
+            if self.three_level:
+                self.model.write(
+                    written,
+                    shared,
+                    long_latency,
+                    live_after,
+                    position=position,
+                )
+            else:
+                self.model.write(written, shared, long_latency, live_after)
+            if long_latency:
+                pending.add(written)
 
     def _depends_on_pending(self, event: TraceEvent) -> bool:
         if not self._pending:

@@ -1,0 +1,364 @@
+"""Compiled columnar traces: one-pass aggregation for re-accounting.
+
+The paper's methodology (Section 5.1) traces each workload once and
+re-accounts the same dynamic stream under every register-file
+organisation.  For the *stateless* drivers — the single-level baseline
+and the compile-time managed hierarchy — the cost of one dynamic event
+depends only on the event's static position and its guard outcome, so
+per-scheme accounting does not need to walk the event stream at all.
+This module lowers a :class:`~repro.sim.runner.TraceSet` into:
+
+* one **columnar trace** per *unique* warp (parallel arrays of static
+  position, guard outcome, branch outcome, and lane masks), with
+  identical warp traces deduplicated by content and carried as a
+  multiplicity — uniform warps are accounted once and scaled;
+* a trace-set-wide **(position, guard, branch) execution histogram**:
+  how many times each static instruction issued with each outcome,
+  summed over all warps.
+
+Stateless accounting then collapses from O(dynamic instructions) per
+scheme to a single shared O(dynamic) aggregation pass plus O(static
+instructions) per scheme (:func:`baseline_counters`,
+:func:`software_counters`).  The stateful hardware models keep their
+scalar walk but are fed a :class:`StaticOperandTable` so the per-event
+operand queries become list indexing, and they too benefit from warp
+deduplication (each unique trace is simulated once; the paper's cache
+models are deterministic, so a duplicate warp contributes an identical
+counter delta).
+
+The scalar drivers in :mod:`repro.sim.accounting` remain the oracle:
+``tests/sim/test_compiled.py`` proves the compiled path produces
+identical :class:`AccessCounters` for every scheme kind over the full
+workload suite, and ``REPRO_COMPILED=0`` disables the compiled path
+entirely at run time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..hierarchy.counters import AccessCounters, CounterKey
+from ..ir.kernel import Kernel
+from ..levels import Level
+from .accounting import PointLiveness, shared_consumed_positions
+
+#: Histogram key: (static position, guard_passed, branch_taken).
+HistogramKey = Tuple[int, bool, bool]
+
+
+def compiled_enabled() -> bool:
+    """True unless ``REPRO_COMPILED`` disables the compiled path."""
+    return os.environ.get("REPRO_COMPILED", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+@dataclass
+class CompiledTrace:
+    """One unique warp trace in columnar form.
+
+    The arrays are parallel, one slot per dynamic event; typecodes are
+    fixed (``q``/``b``) so ``tobytes()`` is a stable content image.
+    ``multiplicity`` counts how many of the trace set's warps executed
+    exactly this stream.
+    """
+
+    positions: array
+    guards: array
+    branches: array
+    active_masks: array
+    exec_masks: array
+    multiplicity: int = 1
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def content_digest(self) -> str:
+        """SHA-256 over the columnar bytes (multiplicity excluded)."""
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for column in (
+                self.positions,
+                self.guards,
+                self.branches,
+                self.active_masks,
+                self.exec_masks,
+            ):
+                hasher.update(column.tobytes())
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+
+@dataclass
+class CompiledTraceSet:
+    """The compiled form of one :class:`~repro.sim.runner.TraceSet`."""
+
+    kernel: Kernel
+    #: Unique warp traces in order of first appearance.
+    unique: List[CompiledTrace]
+    #: Original warp index -> index into ``unique``.
+    warp_to_unique: List[int]
+    #: Index of the first original warp carrying each unique trace.
+    first_warp: List[int]
+    #: (position, guard, branch) -> dynamic execution count over all
+    #: warps (unique counts scaled by multiplicity).
+    histogram: Dict[HistogramKey, int]
+    dynamic_instructions: int
+
+    @property
+    def unique_trace_count(self) -> int:
+        return len(self.unique)
+
+    def sorted_histogram(self) -> List[Tuple[HistogramKey, int]]:
+        """Histogram entries in deterministic (position-major) order."""
+        return sorted(self.histogram.items())
+
+
+def compile_traces(traces) -> CompiledTraceSet:
+    """Lower a trace set to columnar form (cached on the instance).
+
+    Safe to cache: traces are immutable once materialised (the same
+    invariant the engine's fingerprint cache relies on).
+    """
+    cached = getattr(traces, "_compiled", None)
+    if cached is not None:
+        return cached
+
+    unique: List[CompiledTrace] = []
+    first_warp: List[int] = []
+    warp_to_unique: List[int] = []
+    index_of: Dict[Tuple, int] = {}
+    total = 0
+    for warp_index, trace in enumerate(traces.warp_traces):
+        columns = tuple(event.columns() for event in trace)
+        total += len(columns)
+        index = index_of.get(columns)
+        if index is None:
+            index = len(unique)
+            index_of[columns] = index
+            unique.append(
+                CompiledTrace(
+                    positions=array("q", (c[0] for c in columns)),
+                    guards=array("b", (c[1] for c in columns)),
+                    branches=array("b", (c[2] for c in columns)),
+                    active_masks=array("q", (c[3] for c in columns)),
+                    exec_masks=array("q", (c[4] for c in columns)),
+                )
+            )
+            first_warp.append(warp_index)
+        else:
+            unique[index].multiplicity += 1
+        warp_to_unique.append(index)
+
+    histogram: Dict[HistogramKey, int] = {}
+    for compiled_trace in unique:
+        weight = compiled_trace.multiplicity
+        for position, guard, branch in zip(
+            compiled_trace.positions,
+            compiled_trace.guards,
+            compiled_trace.branches,
+        ):
+            key = (position, bool(guard), bool(branch))
+            histogram[key] = histogram.get(key, 0) + weight
+
+    compiled = CompiledTraceSet(
+        kernel=traces.kernel,
+        unique=unique,
+        warp_to_unique=warp_to_unique,
+        first_warp=first_warp,
+        histogram=histogram,
+        dynamic_instructions=total,
+    )
+    traces._compiled = compiled
+    return compiled
+
+
+# -- static operand tables -------------------------------------------------
+
+
+class StaticOperandTable:
+    """Per-position operand facts, derived once from a kernel.
+
+    Everything the accounting drivers ask an instruction per dynamic
+    event — GPR reads, the written GPR, word widths, datapath class,
+    latency class, and whether a taken branch is backward — indexed by
+    the instruction's static position.
+    """
+
+    __slots__ = (
+        "shared",
+        "read_regs",
+        "read_words_total",
+        "write_reg",
+        "write_words",
+        "long_latency",
+        "backward_branch",
+    )
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.shared: List[bool] = []
+        self.read_regs: List[Tuple] = []
+        self.read_words_total: List[int] = []
+        self.write_reg: List = []
+        self.write_words: List[int] = []
+        self.long_latency: List[bool] = []
+        self.backward_branch: List[bool] = []
+        for ref, instruction in kernel.instructions():
+            reads = tuple(reg for _, reg in instruction.gpr_reads())
+            written = instruction.gpr_write()
+            self.shared.append(instruction.unit.is_shared)
+            self.read_regs.append(reads)
+            self.read_words_total.append(
+                sum(reg.num_words for reg in reads)
+            )
+            self.write_reg.append(written)
+            self.write_words.append(
+                written.num_words if written is not None else 0
+            )
+            self.long_latency.append(instruction.is_long_latency)
+            backward = False
+            if instruction.target is not None:
+                backward = kernel.is_backward_edge(
+                    ref.block_index, kernel.block_index(instruction.target)
+                )
+            self.backward_branch.append(backward)
+
+
+def operand_table(kernel: Kernel) -> StaticOperandTable:
+    """The kernel's operand table (cached on the kernel instance)."""
+    cached = kernel.__dict__.get("_operand_table")
+    if cached is None:
+        cached = StaticOperandTable(kernel)
+        kernel.__dict__["_operand_table"] = cached
+    return cached
+
+
+# -- shared analysis cache -------------------------------------------------
+
+#: kernel content fingerprint -> (PointLiveness, shared positions).
+#: Structurally identical kernels share one analysis (registers and
+#: positions are value objects), so clones and cache-restored kernels
+#: hit.  Bounded so fuzzed throwaway kernels cannot grow it forever.
+_ANALYSIS_CACHE: Dict[str, Tuple[PointLiveness, FrozenSet[int]]] = {}
+_ANALYSIS_CACHE_LIMIT = 256
+
+
+def kernel_analyses(kernel: Kernel) -> Tuple[PointLiveness, FrozenSet[int]]:
+    """Cached (liveness, shared-consumed positions) for a kernel."""
+    fingerprint = kernel.content_fingerprint()
+    hit = _ANALYSIS_CACHE.get(fingerprint)
+    if hit is None:
+        if len(_ANALYSIS_CACHE) >= _ANALYSIS_CACHE_LIMIT:
+            _ANALYSIS_CACHE.clear()
+        hit = (PointLiveness(kernel), shared_consumed_positions(kernel))
+        _ANALYSIS_CACHE[fingerprint] = hit
+    return hit
+
+
+# -- vectorized stateless accounting ---------------------------------------
+
+
+def baseline_counters(compiled: CompiledTraceSet) -> AccessCounters:
+    """Single-level accounting by histogram walk (MRF-only costs)."""
+    table = operand_table(compiled.kernel)
+    counters = AccessCounters()
+    counts = counters.counts
+    for (position, guard, _branch), weight in compiled.sorted_histogram():
+        shared = table.shared[position]
+        read_words = table.read_words_total[position]
+        if read_words:
+            key = (Level.MRF, True, shared)
+            counts[key] = counts.get(key, 0) + read_words * weight
+        if guard:
+            write_words = table.write_words[position]
+            if write_words:
+                key = (Level.MRF, False, shared)
+                counts[key] = counts.get(key, 0) + write_words * weight
+    return counters
+
+
+#: Per-position counter deltas: applied on every issue (reads, plus
+#: read-operand ORF fills) and only when the guard passed (writes).
+_DeltaList = List[Tuple[CounterKey, int]]
+
+
+def _annotation_deltas(
+    annotated_kernel: Kernel,
+) -> Tuple[List[_DeltaList], List[_DeltaList]]:
+    """(read deltas, write deltas) per position of an allocated kernel.
+
+    Cached on the kernel instance; valid because allocator output is
+    never re-annotated (``evaluate_traces`` allocates fresh clones and
+    the allocation memo reuses the finished result as-is).
+    """
+    cached = annotated_kernel.__dict__.get("_annotation_deltas")
+    if cached is not None:
+        return cached
+    read_deltas: List[_DeltaList] = []
+    write_deltas: List[_DeltaList] = []
+    for _, instruction in annotated_kernel.instructions():
+        shared = instruction.unit.is_shared
+        src_anns = instruction.src_anns
+        reads: _DeltaList = []
+        for slot, reg in instruction.gpr_reads():
+            words = reg.num_words
+            annotation = src_anns[slot] if src_anns else None
+            if annotation is None:
+                reads.append(((Level.MRF, True, shared), words))
+                continue
+            reads.append(((annotation.level, True, shared), words))
+            if annotation.orf_write_entry is not None:
+                # Read operand allocation (Section 4.4): the MRF read
+                # is also written into the ORF, guard or no guard.
+                reads.append(((Level.ORF, False, shared), words))
+        writes: _DeltaList = []
+        written = instruction.gpr_write()
+        if written is not None:
+            words = written.num_words
+            if instruction.dst_ann is None:
+                writes.append(((Level.MRF, False, shared), words))
+            else:
+                for level in instruction.dst_ann.levels:
+                    writes.append(((level, False, shared), words))
+        read_deltas.append(reads)
+        write_deltas.append(writes)
+    result = (read_deltas, write_deltas)
+    annotated_kernel.__dict__["_annotation_deltas"] = result
+    return result
+
+
+def software_counters(
+    compiled: CompiledTraceSet, annotated_kernel: Kernel
+) -> AccessCounters:
+    """Software-scheme accounting by histogram walk.
+
+    ``annotated_kernel`` is the allocator's output — structurally
+    identical to the traced kernel, so positions align (the same
+    position-based resolution the scalar driver uses).
+    """
+    read_deltas, write_deltas = _annotation_deltas(annotated_kernel)
+    counters = AccessCounters()
+    counts = counters.counts
+    for (position, guard, _branch), weight in compiled.sorted_histogram():
+        for key, words in read_deltas[position]:
+            counts[key] = counts.get(key, 0) + words * weight
+        if guard:
+            for key, words in write_deltas[position]:
+                counts[key] = counts.get(key, 0) + words * weight
+    return counters
+
+
+def merge_scaled(
+    into: AccessCounters, delta: AccessCounters, multiplicity: int
+) -> None:
+    """``into += delta * multiplicity`` (integer counts stay integral)."""
+    counts = into.counts
+    for key, count in delta.counts.items():
+        counts[key] = counts.get(key, 0) + count * multiplicity

@@ -57,6 +57,22 @@ class TraceEvent:
     #: execution.
     exec_mask: int = -1
 
+    def columns(self) -> Tuple[int, bool, bool, int, int]:
+        """The event's canonical columnar image.
+
+        (static position, guard_passed, branch_taken, active_mask,
+        exec_mask) — the only parts of an event that accounting,
+        content hashing, and cache serialization depend on; the
+        instruction itself is recoverable from the kernel by position.
+        """
+        return (
+            self.ref.position,
+            self.guard_passed,
+            self.branch_taken,
+            self.active_mask,
+            self.exec_mask,
+        )
+
 
 @dataclass
 class WarpInput:

@@ -7,7 +7,14 @@ access counts for normalisation.
 
 Traces are materialised once per workload (:class:`TraceSet`) and
 re-accounted under every scheme, exactly like the authors' custom
-Ocelot trace-analysis tool.
+Ocelot trace-analysis tool.  Re-accounting normally runs on the
+*compiled* trace form (:mod:`repro.sim.compiled`): stateless schemes
+walk a per-trace-set execution histogram in O(static instructions),
+hardware schemes simulate each unique warp trace once and scale by
+multiplicity, and the baseline counters and liveness analyses are
+cached per trace set / kernel.  ``REPRO_COMPILED=0`` (or
+``use_compiled=False``) forces the original scalar event walk, which
+is kept bit-for-bit as the differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -34,6 +41,16 @@ from .accounting import (
     account_trace,
     shared_consumed_positions,
 )
+from .compiled import (
+    CompiledTraceSet,
+    baseline_counters,
+    compile_traces,
+    compiled_enabled,
+    kernel_analyses,
+    merge_scaled,
+    operand_table,
+    software_counters,
+)
 from .executor import TraceEvent, WarpExecutor, WarpInput
 from .schemes import Scheme, SchemeKind
 
@@ -47,7 +64,20 @@ class TraceSet:
 
     @property
     def dynamic_instructions(self) -> int:
-        return sum(len(trace) for trace in self.warp_traces)
+        cached = self.__dict__.get("_dynamic_instructions")
+        if cached is None:
+            cached = sum(len(trace) for trace in self.warp_traces)
+            self.__dict__["_dynamic_instructions"] = cached
+        return cached
+
+    @property
+    def unique_trace_count(self) -> int:
+        """Number of distinct warp traces after content deduplication."""
+        return self.compiled().unique_trace_count
+
+    def compiled(self) -> CompiledTraceSet:
+        """The columnar compiled form (built once, cached)."""
+        return compile_traces(self)
 
 
 def build_traces(
@@ -119,24 +149,44 @@ def allocate_for_traces(
     return allocation
 
 
+def _cached_baseline(traces: TraceSet) -> AccessCounters:
+    """The trace set's single-level counters, computed once.
+
+    Every scheme evaluation needs the same baseline for normalisation;
+    the compiled path derives it from the histogram and caches it on
+    the trace set.  Callers get an independent copy.
+    """
+    cached = getattr(traces, "_baseline_counters", None)
+    if cached is None:
+        cached = baseline_counters(compile_traces(traces))
+        traces._baseline_counters = cached
+    return cached.copy()
+
+
 def evaluate_traces(
     traces: TraceSet,
     scheme: Scheme,
     *,
     energy_model: Optional[EnergyModel] = None,
     allocation_memo: Optional[AllocationMemo] = None,
+    use_compiled: Optional[bool] = None,
 ) -> KernelEvaluation:
     """Account a workload's traces under one scheme.
 
     Pure with respect to ``traces``: software schemes run the allocator
     on a clone of the kernel, so evaluating the same ``TraceSet`` under
     any sequence of schemes never leaks annotations between runs.
-    """
-    kernel = traces.kernel
-    counters = AccessCounters()
-    baseline = AccessCounters()
-    allocation: Optional[AllocationResult] = None
 
+    ``use_compiled`` selects the accounting path explicitly; ``None``
+    defers to the ``REPRO_COMPILED`` environment toggle (default on).
+    Both paths produce identical counters — the scalar path is the
+    oracle the compiled path is differentially tested against.
+    """
+    if use_compiled is None:
+        use_compiled = compiled_enabled()
+    kernel = traces.kernel
+
+    allocation: Optional[AllocationResult] = None
     if scheme.kind.is_software:
         allocation = allocate_for_traces(
             kernel,
@@ -144,6 +194,32 @@ def evaluate_traces(
             model=energy_model,
             memo=allocation_memo,
         )
+
+    if use_compiled:
+        counters = _account_compiled(traces, scheme, allocation)
+        baseline = _cached_baseline(traces)
+    else:
+        counters, baseline = _account_scalar(traces, scheme, allocation)
+
+    return KernelEvaluation(
+        kernel_name=kernel.name,
+        scheme=scheme,
+        counters=counters,
+        baseline=baseline,
+        dynamic_instructions=traces.dynamic_instructions,
+        allocation=allocation,
+    )
+
+
+def _account_scalar(
+    traces: TraceSet,
+    scheme: Scheme,
+    allocation: Optional[AllocationResult],
+) -> Tuple[AccessCounters, AccessCounters]:
+    """The oracle: interpret every dynamic event of every warp."""
+    kernel = traces.kernel
+    counters = AccessCounters()
+    baseline = AccessCounters()
 
     liveness: Optional[PointLiveness] = None
     shared_positions = frozenset()
@@ -160,15 +236,47 @@ def evaluate_traces(
         account_trace(driver, trace)
         baseline_driver = BaselineAccounting(baseline)
         account_trace(baseline_driver, trace)
+    return counters, baseline
 
-    return KernelEvaluation(
-        kernel_name=kernel.name,
-        scheme=scheme,
-        counters=counters,
-        baseline=baseline,
-        dynamic_instructions=traces.dynamic_instructions,
-        allocation=allocation,
-    )
+
+def _account_compiled(
+    traces: TraceSet,
+    scheme: Scheme,
+    allocation: Optional[AllocationResult],
+) -> AccessCounters:
+    """Account via the compiled trace form (see module docstring)."""
+    kernel = traces.kernel
+    compiled = compile_traces(traces)
+
+    if scheme.kind is SchemeKind.BASELINE:
+        return _cached_baseline(traces)
+    if scheme.kind.is_software:
+        assert allocation is not None
+        return software_counters(compiled, allocation.kernel)
+
+    # Hardware schemes: stateful cache models stay on the scalar walk,
+    # but each *unique* warp trace is simulated once (the models are
+    # deterministic and start cold per warp, so duplicates contribute
+    # identical deltas) with precomputed operand tables and cached
+    # liveness analyses.
+    liveness, shared_positions = kernel_analyses(kernel)
+    table = operand_table(kernel)
+    counters = AccessCounters()
+    for index, compiled_trace in enumerate(compiled.unique):
+        trace = traces.warp_traces[compiled.first_warp[index]]
+        delta = AccessCounters()
+        driver = _make_driver(
+            scheme,
+            kernel,
+            delta,
+            liveness,
+            shared_positions,
+            None,
+            operands=table,
+        )
+        account_trace(driver, trace)
+        merge_scaled(counters, delta, compiled_trace.multiplicity)
+    return counters
 
 
 def _make_driver(
@@ -178,6 +286,7 @@ def _make_driver(
     liveness: Optional[PointLiveness],
     shared_positions,
     annotation_kernel: Optional[Kernel] = None,
+    operands=None,
 ):
     if scheme.kind is SchemeKind.BASELINE:
         return BaselineAccounting(counters)
@@ -189,7 +298,7 @@ def _make_driver(
             counters,
             flush_on_backward_branch=scheme.flush_on_backward_branch,
         )
-        return HardwareAccounting(model, liveness, kernel)
+        return HardwareAccounting(model, liveness, kernel, operands=operands)
     if scheme.kind is SchemeKind.HW_THREE_LEVEL:
         model = HardwareThreeLevel(
             scheme.entries_per_thread,
@@ -197,7 +306,9 @@ def _make_driver(
             shared_positions,
             flush_on_backward_branch=scheme.flush_on_backward_branch,
         )
-        return HardwareAccounting(model, liveness, kernel, three_level=True)
+        return HardwareAccounting(
+            model, liveness, kernel, three_level=True, operands=operands
+        )
     raise ValueError(f"unknown scheme kind {scheme.kind}")
 
 
@@ -211,12 +322,25 @@ def evaluate_kernel(
 
 
 def usage_histogram(traces: TraceSet) -> UsageHistogram:
-    """Figure 2 statistics for one workload's traces."""
+    """Figure 2 statistics for one workload's traces.
+
+    Observes each *unique* warp trace once and adds its tracker with
+    the trace's multiplicity — identical totals to walking every warp
+    (histogram buckets are sums), at deduplicated cost.
+    """
     histogram = UsageHistogram()
-    for trace in traces.warp_traces:
+    compiled = compile_traces(traces)
+    layout = [
+        instruction for _, instruction in traces.kernel.instructions()
+    ]
+    for compiled_trace in compiled.unique:
         tracker = ValueUsageTracker()
-        for event in trace:
-            tracker.observe(event.instruction, event.guard_passed)
+        for position, guard in zip(
+            compiled_trace.positions, compiled_trace.guards
+        ):
+            tracker.observe(layout[position], bool(guard))
         tracker.finish()
-        histogram.add_tracker(tracker)
+        histogram.add_tracker(
+            tracker, multiplicity=compiled_trace.multiplicity
+        )
     return histogram

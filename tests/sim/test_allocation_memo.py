@@ -1,0 +1,86 @@
+"""`allocate_for_traces` memo-key correctness.
+
+The memo is keyed on (kernel content fingerprint, allocation config,
+energy model).  Two structurally different kernels must never collide,
+and a memo hit must return the identical ``AllocationResult`` object —
+that identity is what makes the compiled path's per-kernel annotation
+caches pay off across evaluations.
+"""
+
+from repro.energy.model import EnergyModel
+from repro.ir import parse_kernel
+from repro.sim.runner import allocate_for_traces
+from repro.sim.schemes import Scheme, SchemeKind
+
+KERNEL_A = """
+.kernel memo_a
+.livein R0 R1
+entry:
+    iadd R2, R0, 1
+    imul R3, R2, R2
+    stg [R1], R3
+    exit
+"""
+
+#: Same length and register set as KERNEL_A, different opcodes — a
+#: structural difference only the content fingerprint can see.
+KERNEL_B = """
+.kernel memo_a
+.livein R0 R1
+entry:
+    isub R2, R0, 1
+    iadd R3, R2, R2
+    stg [R1], R3
+    exit
+"""
+
+CONFIG = Scheme(SchemeKind.SW_THREE_LEVEL, 3).allocation_config()
+
+
+def test_memo_hit_returns_identical_object():
+    kernel = parse_kernel(KERNEL_A)
+    memo = {}
+    first = allocate_for_traces(kernel, CONFIG, memo=memo)
+    second = allocate_for_traces(kernel, CONFIG, memo=memo)
+    assert second is first
+    # A structurally identical clone fingerprints the same, so it hits.
+    third = allocate_for_traces(kernel.clone(), CONFIG, memo=memo)
+    assert third is first
+
+
+def test_structurally_different_kernels_never_collide():
+    memo = {}
+    a = allocate_for_traces(parse_kernel(KERNEL_A), CONFIG, memo=memo)
+    b = allocate_for_traces(parse_kernel(KERNEL_B), CONFIG, memo=memo)
+    assert a is not b
+    assert len(memo) == 2
+    assert a.kernel.content_fingerprint() != (
+        b.kernel.content_fingerprint()
+    )
+
+
+def test_config_and_model_are_part_of_the_key():
+    kernel = parse_kernel(KERNEL_A)
+    memo = {}
+    base = allocate_for_traces(kernel, CONFIG, memo=memo)
+    other_config = Scheme(
+        SchemeKind.SW_TWO_LEVEL, 2
+    ).allocation_config()
+    varied = allocate_for_traces(kernel, other_config, memo=memo)
+    assert varied is not base
+    with_model = allocate_for_traces(
+        kernel, CONFIG, model=EnergyModel(orf_entries=3), memo=memo
+    )
+    assert with_model is not base
+    assert len(memo) == 3
+
+
+def test_no_memo_allocates_fresh_clones():
+    kernel = parse_kernel(KERNEL_A)
+    first = allocate_for_traces(kernel, CONFIG)
+    second = allocate_for_traces(kernel, CONFIG)
+    assert first is not second
+    # The traced kernel itself is never annotated.
+    for _, instruction in kernel.instructions():
+        assert instruction.dst_ann is None
+        assert instruction.src_anns is None
