@@ -6,6 +6,12 @@ Regenerates the paper's figures as text tables::
     repro all
     repro show matrixmul        # annotated allocation of one benchmark
     repro list                  # benchmark inventory
+
+and fronts the allocation service::
+
+    repro serve --port 8077 --jobs 4        # the batching async server
+    repro loadgen --port 8077               # benchmark a running server
+    repro allocate kernel.asm               # one-shot allocation of a file
 """
 
 from __future__ import annotations
@@ -49,6 +55,19 @@ _FIGURES = {
 }
 
 
+def _version_text() -> str:
+    """The installed distribution version, falling back to the
+    package's own constant when running from a source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'A Compile-Time Managed Multi-Level "
             "Register File Hierarchy' (MICRO 2011)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_version_text()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -70,6 +94,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "--cache-dir",
             default=None,
             help="content-addressed result cache directory (off unless set)",
+        )
+        cmd.add_argument(
+            "--cache-max-bytes",
+            type=int,
+            default=None,
+            help=(
+                "cap the cache directory size; oldest entries are "
+                "pruned on write (unbounded unless set)"
+            ),
         )
         cmd.add_argument(
             "--metrics-out",
@@ -162,6 +195,72 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default BENCH_accounting.json)",
     )
 
+    allocate = sub.add_parser(
+        "allocate",
+        help="allocate a kernel from an IR text file (or '-' for stdin)",
+    )
+    allocate.add_argument("path", help="assembly file, or '-' for stdin")
+    allocate.add_argument("--orf-entries", type=int, default=3)
+    allocate.add_argument("--no-lrf", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="run the allocation service (HTTP/JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8077,
+        help="listen port (0 picks an ephemeral port; default 8077)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="executor workers for the evaluation stage (default 2)",
+    )
+    serve.add_argument(
+        "--executor", choices=("process", "thread"), default="process",
+        help="evaluation executor; 'process' falls back to threads "
+             "when a pool cannot start (default process)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="distinct jobs in flight before 429 (default 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request seconds before 504 (default 30)",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=0.0,
+        help="micro-batch coalescing window in ms (default 0)",
+    )
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--cache-max-bytes", type=int, default=None)
+    serve.add_argument("--metrics-out", default=None)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="benchmark a running allocation service"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8077)
+    loadgen.add_argument(
+        "--requests", type=int, default=300,
+        help="requests per phase (fired twice: cold, warm; default 300)",
+    )
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--timeout", type=float, default=60.0)
+    loadgen.add_argument(
+        "--wait-secs", type=float, default=15.0,
+        help="wait this long for the server to become healthy",
+    )
+    loadgen.add_argument(
+        "--no-verify", action="store_true",
+        help="skip byte-identical verification against the direct "
+             "engine path",
+    )
+    loadgen.add_argument(
+        "--out", default="BENCH_service.json",
+        help="output JSON path (default BENCH_service.json)",
+    )
+
     sub.add_parser("list", help="list the synthesised benchmarks")
     return parser
 
@@ -176,7 +275,11 @@ def _make_engine(args):
     from .engine import ExperimentEngine
 
     try:
-        return ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+        return ExperimentEngine(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_max_bytes=getattr(args, "cache_max_bytes", None),
+        )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}")
 
@@ -254,6 +357,47 @@ def _plan_schemes(names: List[str]) -> List[Scheme]:
     return schemes
 
 
+def _run_allocate(args) -> int:
+    """``repro allocate``: parse a file, allocate, print.
+
+    Parse failures exit with code 2 and a one-line diagnostic — the
+    same clean message the service returns as HTTP 400 — never a
+    traceback.
+    """
+    from .ir.parser import AsmSyntaxError, parse_kernels
+
+    try:
+        if args.path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        kernels = parse_kernels(text)
+    except AsmSyntaxError as error:
+        print(f"repro: parse error: {error}", file=sys.stderr)
+        return 2
+    if not kernels:
+        print("repro: parse error: no kernels in input", file=sys.stderr)
+        return 2
+    config = AllocationConfig(
+        orf_entries=args.orf_entries,
+        use_lrf=not args.no_lrf,
+        split_lrf=not args.no_lrf,
+    )
+    for index, kernel in enumerate(kernels):
+        if index:
+            print()
+        result = allocate_kernel(kernel, config)
+        print(format_allocated_kernel(kernel))
+        print()
+        print(result.summary())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -288,6 +432,53 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{row['estimated_savings_pj']:>15.1f}"
                 )
         return 0
+
+    if args.command == "allocate":
+        return _run_allocate(args)
+
+    if args.command == "serve":
+        from .service.server import ServiceConfig, serve_forever
+
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            executor=args.executor,
+            max_pending=args.max_pending,
+            request_timeout_s=args.timeout,
+            linger_s=args.linger_ms / 1e3,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            announce=True,
+        )
+        return serve_forever(config, metrics_out=args.metrics_out)
+
+    if args.command == "loadgen":
+        from .service.client import wait_until_healthy
+        from .service.loadgen import (
+            format_loadgen,
+            run_loadgen,
+            write_loadgen,
+        )
+
+        if not wait_until_healthy(args.host, args.port, args.wait_secs):
+            print(
+                f"repro: error: no healthy service at "
+                f"{args.host}:{args.port} within {args.wait_secs}s",
+                file=sys.stderr,
+            )
+            return 1
+        payload = run_loadgen(
+            args.host,
+            args.port,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            verify=not args.no_verify,
+        )
+        print(format_loadgen(payload))
+        print(write_loadgen(args.out, payload))
+        return 0 if payload["ok"] else 1
 
     if args.command == "export":
         from .experiments.export import export_all

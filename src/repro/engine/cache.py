@@ -10,6 +10,12 @@ removed — the cache is a pure accelerator, never a source of truth.
 Evaluation records and study results are JSON (inspectable, durable);
 trace sets are pickled (an order of magnitude faster to round-trip and
 never loaded from outside the cache directory the run itself names).
+
+With ``max_bytes`` set the cache is bounded: whenever the running size
+estimate crosses the cap after a write, entries are pruned
+oldest-mtime-first until the directory fits again.  Eviction can only
+cost recomputation (every entry is a pure function of its key), so the
+cap trades disk for warm-start speed and nothing else.
 """
 
 from __future__ import annotations
@@ -18,20 +24,29 @@ import json
 import os
 import pickle
 import tempfile
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 
 class DiskCache:
     """Content-addressed file store rooted at one directory."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive when set")
         self.root = root
+        self.max_bytes = max_bytes
         try:
             os.makedirs(root, exist_ok=True)
         except (FileExistsError, NotADirectoryError):
             raise ValueError(
                 f"cache dir {root!r} exists and is not a directory"
             ) from None
+        # Running size estimate; exact numbers are re-measured on prune.
+        self._estimated_bytes = (
+            sum(size for _, _, size in self._entries())
+            if max_bytes is not None
+            else 0
+        )
 
     def _path(self, kind: str, key: str, suffix: str) -> str:
         return os.path.join(self.root, kind, key[:2], f"{key}.{suffix}")
@@ -65,6 +80,42 @@ class DiskCache:
                 os.remove(handle.name)
             except OSError:
                 pass
+            return
+        if self.max_bytes is not None:
+            self._estimated_bytes += len(payload)
+            if self._estimated_bytes > self.max_bytes:
+                self._prune()
+
+    # -- size cap ----------------------------------------------------------
+
+    def _entries(self) -> List[Tuple[str, float, int]]:
+        """Every cache entry as (path, mtime, size)."""
+        entries: List[Tuple[str, float, int]] = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                path = os.path.join(dirpath, filename)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    def _prune(self) -> None:
+        """Delete oldest-mtime entries until the cache fits the cap."""
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        if self.max_bytes is not None and total > self.max_bytes:
+            # Ties on mtime break by path so pruning is deterministic.
+            for path, _, size in sorted(entries, key=lambda e: (e[1], e[0])):
+                if total <= self.max_bytes:
+                    break
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                total -= size
+        self._estimated_bytes = total
 
     # -- JSON entries ------------------------------------------------------
 

@@ -61,9 +61,14 @@ class ExperimentEngine:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         metrics: Optional[RunMetrics] = None,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
         self.jobs = max(1, jobs)
-        self.cache = DiskCache(cache_dir) if cache_dir else None
+        self.cache = (
+            DiskCache(cache_dir, max_bytes=cache_max_bytes)
+            if cache_dir
+            else None
+        )
         self.metrics = metrics if metrics is not None else RunMetrics()
         self.allocation_memo: AllocationMemo = {}
         self._records: Dict[str, Dict[str, Any]] = {}

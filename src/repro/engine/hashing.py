@@ -11,6 +11,7 @@ when the inputs that determine the result are bit-equal.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import fields, is_dataclass
 from enum import Enum
 from typing import Iterable, Sequence
@@ -55,6 +56,19 @@ def value_text(value: object) -> str:
 def dataclass_fingerprint(value: object) -> str:
     """Fingerprint of one (frozen) dataclass — schemes, configs, models."""
     return digest(value_text(value))
+
+
+def json_fingerprint(value: object) -> str:
+    """Fingerprint of a JSON-serializable value.
+
+    Canonicalised through ``json.dumps`` with sorted keys and fixed
+    separators, so two structurally equal request bodies fingerprint
+    identically regardless of key order or whitespace.  This is the
+    dedup key for service request payloads (warp specs, scheme JSON).
+    """
+    return digest(
+        "json", json.dumps(value, sort_keys=True, separators=(",", ":"))
+    )
 
 
 def warp_input_fingerprint(warp_input) -> str:

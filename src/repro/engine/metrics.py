@@ -1,19 +1,24 @@
 """Run metrics: per-stage wall time plus cache and job counters.
 
 Every engine run accumulates one :class:`RunMetrics`.  The JSON schema
-(``schema`` = 1) is::
+(``schema`` = 2) is::
 
     {
-      "schema": 1,
+      "schema": 2,
       "stages":   {"traces": 0.41, "evaluate": 3.2, "prefetch": 1.8},
       "counters": {"record_memo_hits": 120, "record_disk_hits": 36,
                    "record_misses": 42, "trace_cache_hits": 36,
-                   "jobs_submitted": 42, "jobs_completed": 42, ...}
+                   "jobs_submitted": 42, "jobs_completed": 42, ...},
+      "gauges":   {"service_in_flight": 3, "service_queue_depth": 1}
     }
 
 Stage values are wall-clock seconds summed over all entries into that
-stage; counters are monotone event counts.  Unknown keys must be
-ignored by consumers so the schema can grow.
+stage; counters are monotone event counts; gauges are point-in-time
+samples (last write wins — the allocation service publishes its queue
+depth and in-flight count here).  Unknown keys must be ignored by
+consumers so the schema can grow; schema 2 added ``gauges`` and
+readers of schema-1 documents must treat a missing ``gauges`` as
+empty.
 """
 
 from __future__ import annotations
@@ -25,15 +30,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
 class RunMetrics:
-    """Wall-time per stage and monotone event counters for one run."""
+    """Wall-time per stage, monotone event counters, and point-in-time
+    gauges for one run."""
 
     stages: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -49,6 +56,10 @@ class RunMetrics:
     def count(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time sample; the last write wins."""
+        self.gauges[name] = value
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "schema": SCHEMA_VERSION,
@@ -57,6 +68,7 @@ class RunMetrics:
                 for name, seconds in sorted(self.stages.items())
             },
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
         }
 
     def to_json(self) -> str:

@@ -37,10 +37,21 @@ from .registers import Register, parse_register
 
 
 class AsmSyntaxError(ValueError):
-    """Raised on malformed assembly text."""
+    """Raised on malformed assembly text.
 
-    def __init__(self, line_number: int, line: str, message: str) -> None:
-        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+    ``line_number`` is ``None`` for document-level diagnostics (e.g.
+    the wrong number of kernels) that have no single offending line.
+    """
+
+    def __init__(
+        self, line_number: Optional[int], line: str, message: str
+    ) -> None:
+        if line_number is None:
+            super().__init__(message)
+        else:
+            super().__init__(
+                f"line {line_number}: {message}: {line.strip()!r}"
+            )
         self.line_number = line_number
 
 
@@ -51,7 +62,9 @@ def parse_kernel(text: str) -> Kernel:
     """Parse one kernel from assembly text."""
     kernels = parse_kernels(text)
     if len(kernels) != 1:
-        raise ValueError(f"expected exactly 1 kernel, found {len(kernels)}")
+        raise AsmSyntaxError(
+            None, "", f"expected exactly 1 kernel, found {len(kernels)}"
+        )
     return kernels[0]
 
 

@@ -1,0 +1,283 @@
+"""Client library for the allocation service.
+
+Two clients share one request surface:
+
+* :class:`ServiceClient` — synchronous, one ``http.client`` connection
+  per call; the convenient choice for scripts and tests.
+* :class:`AsyncServiceClient` — a persistent keep-alive connection on
+  asyncio streams; what :mod:`repro.service.loadgen` drives hundreds
+  of concurrent requests through.
+
+Both return decoded JSON payloads.  Non-2xx responses raise
+:class:`ServiceError` carrying the HTTP status, the server's error
+type/message, and ``retry_after`` when the server asked to back off
+(429).  The ``*_raw`` variants return ``(status, payload)`` without
+raising — the load generator uses those to count expected failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.schemes import Scheme
+from .protocol import scheme_to_json
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"HTTP {status} [{error_type}]: {message}")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+        self.retry_after = retry_after
+
+
+def _error_from_payload(status: int, payload: Any) -> ServiceError:
+    error = payload.get("error", {}) if isinstance(payload, dict) else {}
+    return ServiceError(
+        status,
+        error.get("type", "unknown"),
+        error.get("message", "no message"),
+        retry_after=error.get("retry_after"),
+    )
+
+
+def _request_body(
+    *,
+    kernel: Optional[str],
+    benchmark: Optional[str],
+    scale: Optional[float],
+    warps: Optional[list],
+    scheme: Any,
+) -> Dict[str, Any]:
+    body: Dict[str, Any] = {}
+    if kernel is not None:
+        body["kernel"] = kernel
+    if benchmark is not None:
+        body["benchmark"] = benchmark
+    if scale is not None:
+        body["scale"] = scale
+    if warps is not None:
+        body["warps"] = warps
+    if scheme is not None:
+        body["scheme"] = (
+            scheme_to_json(scheme)
+            if isinstance(scheme, Scheme)
+            else scheme
+        )
+    return body
+
+
+class ServiceClient:
+    """Synchronous client: one connection per call, no dependencies."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any]:
+        """One HTTP exchange; returns (status, decoded payload)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8")
+                if body is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            try:
+                decoded = json.loads(data.decode("utf-8"))
+            except ValueError:
+                decoded = {"raw": data.decode("utf-8", "replace")}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    def _call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        status, payload = self.request_raw(method, path, body)
+        if status >= 400:
+            raise _error_from_payload(status, payload)
+        return payload
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/metrics")
+
+    def allocate(
+        self,
+        *,
+        kernel: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        scale: Optional[float] = None,
+        scheme: Any = None,
+    ) -> Dict[str, Any]:
+        return self._call(
+            "POST",
+            "/v1/allocate",
+            _request_body(
+                kernel=kernel, benchmark=benchmark, scale=scale,
+                warps=None, scheme=scheme,
+            ),
+        )
+
+    def evaluate(
+        self,
+        *,
+        kernel: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        scale: Optional[float] = None,
+        warps: Optional[list] = None,
+        scheme: Any = None,
+    ) -> Dict[str, Any]:
+        return self._call(
+            "POST",
+            "/v1/evaluate",
+            _request_body(
+                kernel=kernel, benchmark=benchmark, scale=scale,
+                warps=warps, scheme=scheme,
+            ),
+        )
+
+
+def wait_until_healthy(
+    host: str, port: int, timeout: float = 15.0, interval: float = 0.1
+) -> bool:
+    """Poll ``/healthz`` until the service answers or time runs out."""
+    client = ServiceClient(host, port, timeout=max(interval, 1.0))
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz().get("status") in ("ok", "draining"):
+                return True
+        except (OSError, ServiceError, ValueError):
+            pass
+        time.sleep(interval)
+    return False
+
+
+class AsyncServiceClient:
+    """Persistent keep-alive connection on raw asyncio streams."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request_raw(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any]:
+        """One exchange on the persistent connection (reconnects once
+        if the server closed it between requests)."""
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        for attempt in (0, 1):
+            await self._connect()
+            try:
+                return await asyncio.wait_for(
+                    self._exchange(method, path, payload), self.timeout
+                )
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ):
+                await self.close()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")
+
+    async def _exchange(
+        self, method: str, path: str, payload: bytes
+    ) -> Tuple[int, Any]:
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed connection")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except ValueError:
+            decoded = {"raw": body.decode("utf-8", "replace")}
+        return status, decoded
+
+    async def call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        status, payload = await self.request_raw(method, path, body)
+        if status >= 400:
+            raise _error_from_payload(status, payload)
+        return payload

@@ -1,0 +1,388 @@
+"""Load generator and benchmark for the allocation service.
+
+Builds a deterministic mixed plan — evaluate requests over registry
+benchmarks × schemes (with deliberate repeats so dedup has something
+to hit), IR-text allocate/evaluate requests, and a sprinkle of invalid
+requests that must come back 400 — then fires it twice (cold, then
+warm through the server's result memo) from ``concurrency`` persistent
+async connections.
+
+Measures per-request latency (p50/p99), throughput, dedup hit rate
+(in-flight + memo + disk, as a delta over ``/metrics``), and verifies
+that every unique successful response is byte-identical to the direct
+engine path (:func:`repro.service.pipeline.run_service_job` in this
+process).  Writes the whole payload to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .client import AsyncServiceClient, ServiceClient
+from .pipeline import run_service_job
+from .protocol import normalize_request
+
+BENCH_SCHEMA = 1
+
+DEFAULT_BENCHMARKS = ("vectoradd", "reduction", "matrixmul", "histogram")
+
+_SCHEMES = (
+    {"kind": "sw_lrf", "entries_per_thread": 3, "split_lrf": True},
+    {"kind": "sw", "entries_per_thread": 3},
+    {"kind": "hw", "entries_per_thread": 3},
+    {"kind": "baseline"},
+)
+
+#: A small hand-written kernel exercising the IR-text path.
+LOADGEN_KERNEL = """\
+.kernel svc_saxpy
+.livein R0 R1 R2
+entry:
+    mov R5, 0
+loop:
+    ldg R3, [R0]
+    ffma R4, R3, R1, R2
+    iadd R5, R5, R4
+    stg [R0], R4
+    iadd R0, R0, 4
+    iadd R2, R2, -1
+    setp P0, 0, R2
+    @P0 bra loop
+done:
+    exit
+"""
+
+_INVALID_BODIES = (
+    {"kernel": "this is not assembly\n"},
+    {"benchmark": "no-such-benchmark"},
+    {"benchmark": "vectoradd", "scheme": {"kind": "warp-drive"}},
+)
+
+
+def build_plan(
+    total: int,
+    concurrency: int,
+    benchmarks=DEFAULT_BENCHMARKS,
+) -> List[Dict[str, Any]]:
+    """A deterministic mixed request plan of exactly ``total`` specs."""
+    plan: List[Dict[str, Any]] = []
+
+    def evaluate_spec(body: Dict[str, Any]) -> Dict[str, Any]:
+        return {"op": "evaluate", "body": body, "expect": 200}
+
+    # Seed the front of the plan with one identical request repeated
+    # across the full concurrency width: on a cold server these race,
+    # which is precisely what in-flight dedup exists for.
+    seed_body = {
+        "benchmark": benchmarks[0],
+        "scale": 1.0,
+        "scheme": _SCHEMES[0],
+    }
+    for _ in range(min(max(concurrency, 2), total)):
+        plan.append(evaluate_spec(dict(seed_body)))
+
+    index = 0
+    while len(plan) < total:
+        slot = len(plan)
+        if slot % 16 == 7:
+            body = dict(_INVALID_BODIES[index % len(_INVALID_BODIES)])
+            plan.append({"op": "evaluate", "body": body, "expect": 400})
+        elif slot % 8 == 3:
+            plan.append(
+                {
+                    "op": "allocate",
+                    "body": {
+                        "kernel": LOADGEN_KERNEL,
+                        "scheme": {
+                            "kind": "sw_lrf",
+                            "entries_per_thread": 1 + index % 4,
+                            "split_lrf": True,
+                        },
+                    },
+                    "expect": 200,
+                }
+            )
+        elif slot % 8 == 5:
+            plan.append(
+                evaluate_spec(
+                    {
+                        "kernel": LOADGEN_KERNEL,
+                        "warps": [
+                            {"live_in": {"R1": 2, "R2": 4 + index % 3}}
+                        ],
+                        "scheme": _SCHEMES[index % 2],
+                    }
+                )
+            )
+        else:
+            # Stride the scheme index so every benchmark meets every
+            # scheme instead of locking to one (benchmark, scheme) pair
+            # per residue class.
+            body = {
+                "benchmark": benchmarks[index % len(benchmarks)],
+                "scale": 1.0,
+                "scheme": _SCHEMES[
+                    (index // len(benchmarks)) % len(_SCHEMES)
+                ],
+            }
+            plan.append(evaluate_spec(body))
+        index += 1
+    return plan
+
+
+async def _run_phase(
+    host: str,
+    port: int,
+    plan: List[Dict[str, Any]],
+    concurrency: int,
+    timeout: float,
+) -> Tuple[List[Dict[str, Any]], float]:
+    """Fire the plan; returns (per-request results, wall seconds)."""
+    results: List[Optional[Dict[str, Any]]] = [None] * len(plan)
+    queue: "asyncio.Queue[int]" = asyncio.Queue()
+    for index in range(len(plan)):
+        queue.put_nowait(index)
+
+    async def worker() -> None:
+        client = AsyncServiceClient(host, port, timeout=timeout)
+        try:
+            while True:
+                try:
+                    index = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                spec = plan[index]
+                started = time.perf_counter()
+                try:
+                    status, payload = await client.request_raw(
+                        "POST", f"/v1/{spec['op']}", spec["body"]
+                    )
+                    results[index] = {
+                        "status": status,
+                        "latency_s": time.perf_counter() - started,
+                        "payload": payload,
+                    }
+                except Exception as error:  # noqa: BLE001 - recorded
+                    results[index] = {
+                        "status": None,
+                        "latency_s": time.perf_counter() - started,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        *[worker() for _ in range(concurrency)], return_exceptions=True
+    )
+    wall = time.perf_counter() - started
+    # Index-aligned with the plan; anything a crashed worker left
+    # behind counts as dropped.
+    filled = [
+        result
+        if result is not None
+        else {"status": None, "latency_s": 0.0, "error": "not executed"}
+        for result in results
+    ]
+    return filled, wall
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _phase_stats(
+    results: List[Dict[str, Any]], wall: float
+) -> Dict[str, Any]:
+    latencies = sorted(
+        result["latency_s"]
+        for result in results
+        if result["status"] is not None
+    )
+    return {
+        "requests": len(results),
+        "wall_s": round(wall, 6),
+        "requests_per_s": round(len(results) / wall, 2) if wall else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+_DEDUP_COUNTERS = (
+    "inflight_dedup_hits",
+    "service_memo_hits",
+    "service_disk_hits",
+)
+
+
+def _dedup_delta(before: Dict, after: Dict) -> Dict[str, int]:
+    def counters(snapshot: Dict) -> Dict[str, int]:
+        return snapshot.get("counters", {})
+
+    return {
+        name: counters(after).get(name, 0) - counters(before).get(name, 0)
+        for name in _DEDUP_COUNTERS
+    }
+
+
+def _verify_results(
+    plan: List[Dict[str, Any]],
+    responses: Dict[int, Dict[str, Any]],
+) -> Dict[str, int]:
+    """Recompute each unique successful request through the direct
+    engine path and demand byte-identical result payloads."""
+    compared = 0
+    mismatches = 0
+    seen = set()
+    for index, spec in enumerate(plan):
+        response = responses.get(index)
+        if response is None or spec["expect"] != 200:
+            continue
+        job = normalize_request(spec["op"], spec["body"])
+        if job.fingerprint in seen:
+            continue
+        seen.add(job.fingerprint)
+        local = run_service_job(job.payload)
+        remote = {
+            key: value
+            for key, value in response.items()
+            if key not in ("fingerprint", "served_from")
+        }
+        compared += 1
+        if json.dumps(local, sort_keys=True) != json.dumps(
+            remote, sort_keys=True
+        ):
+            mismatches += 1
+    return {"compared": compared, "mismatches": mismatches}
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    *,
+    requests: int = 300,
+    concurrency: int = 8,
+    timeout: float = 60.0,
+    benchmarks=DEFAULT_BENCHMARKS,
+    verify: bool = True,
+) -> Dict[str, Any]:
+    """Drive a running service and return the benchmark payload."""
+    plan = build_plan(requests, concurrency, benchmarks)
+    control = ServiceClient(host, port, timeout=timeout)
+    metrics_before = control.metrics()
+
+    async def both_phases():
+        cold = await _run_phase(host, port, plan, concurrency, timeout)
+        warm = await _run_phase(host, port, plan, concurrency, timeout)
+        return cold, warm
+
+    (cold_results, cold_wall), (warm_results, warm_wall) = asyncio.run(
+        both_phases()
+    )
+    metrics_after = control.metrics()
+
+    all_results = cold_results + warm_results
+    dropped = sum(1 for r in all_results if r["status"] is None)
+    unexpected = 0
+    status_counts: Dict[str, int] = {}
+    for results in (cold_results, warm_results):
+        for index, result in enumerate(results):
+            status = result["status"]
+            status_counts[str(status)] = (
+                status_counts.get(str(status), 0) + 1
+            )
+            if status is not None and status != plan[index]["expect"]:
+                unexpected += 1
+
+    dedup = _dedup_delta(metrics_before, metrics_after)
+    dedup_hits = sum(dedup.values())
+    ok_responses = sum(
+        1 for r in all_results if r["status"] == 200
+    )
+
+    verification = {"compared": 0, "mismatches": 0}
+    if verify:
+        first_ok: Dict[int, Dict[str, Any]] = {}
+        for index, result in enumerate(cold_results):
+            if result["status"] == 200:
+                first_ok[index] = result["payload"]
+        verification = _verify_results(plan, first_ok)
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "requests": requests,
+        "concurrency": concurrency,
+        "phases": {
+            "cold": _phase_stats(cold_results, cold_wall),
+            "warm": _phase_stats(warm_results, warm_wall),
+        },
+        "status_counts": dict(sorted(status_counts.items())),
+        "dropped": dropped,
+        "unexpected_statuses": unexpected,
+        "dedup": {
+            **dedup,
+            "total_hits": dedup_hits,
+            "rate": round(dedup_hits / ok_responses, 4)
+            if ok_responses
+            else 0.0,
+        },
+        "verify": verification,
+        "ok": (
+            dropped == 0
+            and unexpected == 0
+            and verification["mismatches"] == 0
+            and dedup_hits > 0
+        ),
+    }
+    return payload
+
+
+def write_loadgen(path: str, payload: Dict[str, Any]) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_loadgen(payload: Dict[str, Any]) -> str:
+    cold = payload["phases"]["cold"]
+    warm = payload["phases"]["warm"]
+    dedup = payload["dedup"]
+    verify = payload["verify"]
+    lines = [
+        "service loadgen "
+        f"({payload['requests']} requests x2 phases, "
+        f"concurrency {payload['concurrency']})",
+        f"{'phase':>6}{'reqs':>7}{'wall s':>9}{'req/s':>9}"
+        f"{'p50 ms':>9}{'p99 ms':>9}",
+    ]
+    for name, stats in (("cold", cold), ("warm", warm)):
+        lines.append(
+            f"{name:>6}{stats['requests']:>7}{stats['wall_s']:>9.2f}"
+            f"{stats['requests_per_s']:>9.1f}{stats['p50_ms']:>9.2f}"
+            f"{stats['p99_ms']:>9.2f}"
+        )
+    lines.append(
+        f"dropped={payload['dropped']} "
+        f"unexpected={payload['unexpected_statuses']} "
+        f"statuses={payload['status_counts']}"
+    )
+    lines.append(
+        "dedup: "
+        + " ".join(f"{k}={dedup[k]}" for k in _DEDUP_COUNTERS)
+        + f" rate={dedup['rate']:.2%}"
+    )
+    lines.append(
+        f"verify: {verify['compared']} compared, "
+        f"{verify['mismatches']} mismatches"
+    )
+    lines.append("RESULT: " + ("ok" if payload["ok"] else "FAILED"))
+    return "\n".join(lines)

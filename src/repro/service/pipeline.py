@@ -1,0 +1,124 @@
+"""Worker-side compute for the allocation service.
+
+:func:`run_service_job` is the only function crossing the process
+boundary: a canonical job dict in (see
+:func:`repro.service.protocol.normalize_request`), a JSON result dict
+out.  Like :mod:`repro.engine.jobs`, nothing heavyweight is pickled —
+workers rebuild benchmarks from the registry and re-parse IR text, and
+keep per-process memos (parsed kernels, trace sets, allocations) so a
+worker that sees several schemes for one kernel traces and allocates
+it once.
+
+Evaluation results embed the engine's record payload verbatim
+(:func:`repro.engine.records.record_payload`), which is what makes a
+service response byte-comparable to the direct engine path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Tuple
+
+from ..alloc.serialize import annotations_to_dict
+from ..engine.hashing import json_fingerprint
+from ..engine.records import record_payload
+from ..ir.kernel import Kernel
+from ..ir.parser import parse_kernels
+from ..sim.runner import (
+    AllocationMemo,
+    TraceSet,
+    allocate_for_traces,
+    build_traces,
+    evaluate_traces,
+)
+from ..workloads.suites import get_workload
+from .protocol import scheme_from_json, warps_from_json
+
+RESULT_SCHEMA = 1
+
+#: Per-worker-process memos.  Keys are content-derived (text digest,
+#: registry name + scale), so results never depend on which process
+#: computed them.
+_KERNELS: Dict[str, Kernel] = {}
+_TRACES: Dict[Tuple[str, str], TraceSet] = {}
+_BENCH_TRACES: Dict[Tuple[str, float], TraceSet] = {}
+_ALLOCATIONS: AllocationMemo = {}
+
+
+def _probe() -> str:
+    """Round-trip probe the server uses to vet the process pool."""
+    return "ok"
+
+
+def _text_kernel(text: str) -> Kernel:
+    key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    kernel = _KERNELS.get(key)
+    if kernel is None:
+        kernel = parse_kernels(text)[0]
+        _KERNELS[key] = kernel
+    return kernel
+
+
+def _text_traces(text: str, warps_json: List[Dict[str, Any]]) -> TraceSet:
+    kernel = _text_kernel(text)
+    key = (kernel.content_fingerprint(), json_fingerprint(warps_json))
+    traces = _TRACES.get(key)
+    if traces is None:
+        traces = build_traces(kernel, warps_from_json(warps_json))
+        _TRACES[key] = traces
+    return traces
+
+
+def _benchmark_traces(name: str, scale: float) -> TraceSet:
+    key = (name, scale)
+    traces = _BENCH_TRACES.get(key)
+    if traces is None:
+        spec = get_workload(name, scale)
+        traces = build_traces(spec.kernel, spec.warp_inputs)
+        _BENCH_TRACES[key] = traces
+    return traces
+
+
+def _job_traces(payload: Dict[str, Any]) -> TraceSet:
+    if payload.get("benchmark") is not None:
+        return _benchmark_traces(payload["benchmark"], payload["scale"])
+    return _text_traces(payload["kernel"], payload["warps"])
+
+
+def run_service_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compute one normalised service job.  Pure: the result depends
+    only on the payload, never on worker state or call order."""
+    op = payload["op"]
+    scheme = scheme_from_json(payload["scheme"])
+    if op == "evaluate":
+        traces = _job_traces(payload)
+        evaluation = evaluate_traces(
+            traces, scheme, allocation_memo=_ALLOCATIONS
+        )
+        return {
+            "schema": RESULT_SCHEMA,
+            "op": op,
+            "kernel": evaluation.kernel_name,
+            "scheme": scheme.name,
+            "record": record_payload(evaluation),
+        }
+    if op == "allocate":
+        if payload.get("benchmark") is not None:
+            kernel = get_workload(
+                payload["benchmark"], payload["scale"]
+            ).kernel
+        else:
+            kernel = _text_kernel(payload["kernel"])
+        allocation = allocate_for_traces(
+            kernel, scheme.allocation_config(), memo=_ALLOCATIONS
+        )
+        return {
+            "schema": RESULT_SCHEMA,
+            "op": op,
+            "kernel": kernel.name,
+            "scheme": scheme.name,
+            "summary": allocation.summary(),
+            "strands": allocation.strand_report(),
+            "annotations": annotations_to_dict(allocation.kernel),
+        }
+    raise ValueError(f"unknown service op {op!r}")

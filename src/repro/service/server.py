@@ -1,0 +1,338 @@
+"""The allocation service: endpoints, caching, executor, drain.
+
+Endpoints::
+
+    POST /v1/allocate   IR text/benchmark + software scheme -> annotations
+    POST /v1/evaluate   IR text/benchmark + any scheme      -> engine record
+    GET  /healthz       liveness + drain state
+    GET  /metrics       RunMetrics JSON (schema 2: stages/counters/gauges)
+
+A request flows: normalise (400 on anything malformed, parse errors
+included) → result memo (in-memory, then
+:class:`~repro.engine.cache.DiskCache` kind ``"service"``) → the
+:class:`~repro.service.batcher.JobBatcher` (in-flight dedup, bounded
+admission → 429, micro-batch dispatch) → a bounded
+``ProcessPoolExecutor`` running
+:func:`~repro.service.pipeline.run_service_job` → memo + disk store.
+Results are pure functions of the request fingerprint, so every cache
+layer is transparent: a memo hit returns byte-identical payloads to a
+cold compute.
+
+The pool is vetted at startup with a probe job; where process pools
+cannot start (restricted sandboxes) the service degrades to a thread
+executor and says so in ``/healthz`` — same results, less parallelism.
+
+SIGTERM/SIGINT trigger graceful drain: stop accepting, finish
+in-flight work (bounded by ``drain_grace_s``), flush keep-alive
+connections, shut the executor down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .. import __version__
+from ..engine.cache import DiskCache
+from ..engine.metrics import RunMetrics
+from .batcher import JobBatcher
+from .httpd import AsyncHttpServer, HttpRequest, HttpResponse, json_response
+from .pipeline import RESULT_SCHEMA, _probe, run_service_job
+from .protocol import Draining, ServiceFault, ServiceJob, normalize_request
+
+
+@dataclass
+class ServiceConfig:
+    """Everything `repro serve` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    #: Executor workers (CPU-bound stage width).
+    jobs: int = 2
+    #: "process" (vetted, falls back to threads) or "thread".
+    executor: str = "process"
+    #: Admission bound: distinct jobs in flight before 429.
+    max_pending: int = 64
+    #: Per-request wall-clock budget before 504.
+    request_timeout_s: float = 30.0
+    #: Micro-batch coalescing window (0 = one loop iteration).
+    linger_s: float = 0.0
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
+    max_body_bytes: int = 1 << 20
+    drain_grace_s: float = 30.0
+    #: Print the bound address on startup (the CLI sets this; tests
+    #: read ``server.port`` instead).
+    announce: bool = False
+
+
+class ServiceServer:
+    """One service instance; usable from a thread (tests) or the CLI."""
+
+    def __init__(
+        self, config: ServiceConfig, metrics: Optional[RunMetrics] = None
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.cache = (
+            DiskCache(config.cache_dir, max_bytes=config.cache_max_bytes)
+            if config.cache_dir
+            else None
+        )
+        self._memo: Dict[str, Dict[str, Any]] = {}
+        self._executor: Optional[Executor] = None
+        self.executor_kind = "none"
+        self._batcher: Optional[JobBatcher] = None
+        self._http: Optional[AsyncHttpServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self.draining = False
+        self.started = threading.Event()
+        self.port: Optional[int] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run_forever(self) -> None:
+        """Blocking entry point; returns after graceful drain."""
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:
+            self._startup_error = error
+            self.started.set()
+            raise
+
+    def request_shutdown(self) -> None:
+        """Thread-safe drain trigger (what SIGTERM calls)."""
+        loop, event = self._loop, self._shutdown
+        if loop is not None and event is not None:
+            loop.call_soon_threadsafe(event.set)
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._executor, self.executor_kind = self._make_executor()
+        self._batcher = JobBatcher(
+            self._run_job,
+            max_pending=self.config.max_pending,
+            linger_s=self.config.linger_s,
+            metrics=self.metrics,
+        )
+        self._batcher.start()
+        self._http = AsyncHttpServer(
+            self.handle,
+            self.config.host,
+            self.config.port,
+            max_body_bytes=self.config.max_body_bytes,
+        )
+        await self._http.start()
+        self.port = self._http.port
+        self._install_signal_handlers()
+        self.started.set()
+        if self.config.announce:
+            print(
+                f"repro service listening on "
+                f"http://{self.config.host}:{self.port} "
+                f"(executor={self.executor_kind}, "
+                f"jobs={self.config.jobs})",
+                file=sys.stderr,
+                flush=True,
+            )
+        await self._shutdown.wait()
+        await self._drain()
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None and self._shutdown is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum, self._shutdown.set
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or unsupported platform: the owner
+                # drives shutdown via request_shutdown() instead.
+                return
+
+    def _make_executor(self):
+        if self.config.executor == "thread":
+            return (
+                ThreadPoolExecutor(max_workers=self.config.jobs),
+                "thread",
+            )
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.config.jobs)
+            pool.submit(_probe).result(timeout=60)
+            return pool, "process"
+        except Exception:
+            return (
+                ThreadPoolExecutor(max_workers=self.config.jobs),
+                "thread",
+            )
+
+    async def _drain(self) -> None:
+        with self.metrics.stage("drain"):
+            self.draining = True
+            assert self._http is not None and self._batcher is not None
+            await self._http.stop_accepting()
+            completed = await self._batcher.drain(
+                self.config.drain_grace_s
+            )
+            if not completed:
+                self.metrics.count("drain_abandoned_jobs")
+            # In-flight HTTP exchanges finish writing their responses
+            # before idle connections are torn down.
+            deadline = (
+                asyncio.get_running_loop().time()
+                + self.config.drain_grace_s
+            )
+            while (
+                self._http.active_requests
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            self._http.close_idle_connections()
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+
+    # -- request handling --------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        self.metrics.count("http_requests")
+        route = (request.method, request.target.split("?", 1)[0])
+        try:
+            if route == ("GET", "/healthz"):
+                return json_response(200, self._health_payload())
+            if route == ("GET", "/metrics"):
+                return json_response(200, self._metrics_payload())
+            if route[1] in ("/v1/allocate", "/v1/evaluate"):
+                if request.method != "POST":
+                    return self._error_response(
+                        405, "method_not_allowed",
+                        f"{route[1]} requires POST",
+                    )
+                op = route[1].rsplit("/", 1)[1]
+                return await self._handle_job(op, request)
+            return self._error_response(
+                404, "not_found", f"no route for {route[1]}"
+            )
+        except ServiceFault as fault:
+            return self._fault_response(fault)
+
+    async def _handle_job(
+        self, op: str, request: HttpRequest
+    ) -> HttpResponse:
+        if self.draining:
+            raise Draining("server is draining; no new work accepted")
+        try:
+            body = request.json()
+        except ValueError as error:
+            return self._error_response(
+                400, "bad_request", f"invalid JSON body: {error}"
+            )
+        with self.metrics.stage("normalize"):
+            job = normalize_request(op, body)
+
+        result = self._lookup(job.fingerprint)
+        if result is not None:
+            served_from = "cache"
+        else:
+            result = await self._batcher.submit(
+                job, self.config.request_timeout_s
+            )
+            served_from = "computed"
+        self.metrics.count(f"{op}_responses")
+        payload = dict(result)
+        payload["fingerprint"] = job.fingerprint
+        payload["served_from"] = served_from
+        return json_response(200, payload)
+
+    def _lookup(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        result = self._memo.get(fingerprint)
+        if result is not None:
+            self.metrics.count("service_memo_hits")
+            return result
+        if self.cache is not None:
+            cached = self.cache.get_json("service", fingerprint)
+            if (
+                isinstance(cached, dict)
+                and cached.get("schema") == RESULT_SCHEMA
+            ):
+                self.metrics.count("service_disk_hits")
+                self._memo[fingerprint] = cached
+                return cached
+        return None
+
+    async def _run_job(self, job: ServiceJob) -> Dict[str, Any]:
+        """The batcher's execute callable: executor round-trip + store."""
+        assert self._loop is not None and self._executor is not None
+        with self.metrics.stage("execute"):
+            result = await self._loop.run_in_executor(
+                self._executor, run_service_job, job.payload
+            )
+        self.metrics.count("jobs_executed")
+        self._memo[job.fingerprint] = result
+        if self.cache is not None:
+            self.cache.put_json("service", job.fingerprint, result)
+        return result
+
+    # -- introspection -----------------------------------------------------
+
+    def _health_payload(self) -> Dict[str, Any]:
+        batcher = self._batcher
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "executor": self.executor_kind,
+            "in_flight": batcher.pending if batcher else 0,
+            "queue_depth": batcher.queue_depth if batcher else 0,
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        batcher = self._batcher
+        if batcher is not None:
+            self.metrics.gauge(
+                "service_in_flight", float(batcher.pending)
+            )
+            self.metrics.gauge(
+                "service_queue_depth", float(batcher.queue_depth)
+            )
+        self.metrics.gauge("service_draining", float(self.draining))
+        self.metrics.gauge(
+            "service_memo_entries", float(len(self._memo))
+        )
+        return self.metrics.to_dict()
+
+    def _fault_response(self, fault: ServiceFault) -> HttpResponse:
+        self.metrics.count(f"http_{fault.status}")
+        headers = {}
+        if fault.retry_after is not None:
+            headers["Retry-After"] = f"{fault.retry_after:g}"
+        return json_response(fault.status, fault.to_payload(), headers)
+
+    def _error_response(
+        self, status: int, error_type: str, message: str
+    ) -> HttpResponse:
+        self.metrics.count(f"http_{status}")
+        return json_response(
+            status, {"error": {"type": error_type, "message": message}}
+        )
+
+
+def serve_forever(
+    config: ServiceConfig, metrics_out: Optional[str] = None
+) -> int:
+    """CLI entry: run until SIGTERM/SIGINT, then drain and report."""
+    server = ServiceServer(config)
+    try:
+        server.run_forever()
+    except KeyboardInterrupt:
+        pass
+    if metrics_out:
+        server.metrics.write(metrics_out)
+    print(server.metrics.summary(), file=sys.stderr)
+    return 0

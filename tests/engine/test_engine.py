@@ -116,6 +116,35 @@ def test_disk_cache_json_round_trip(tmp_path):
     assert cache.get_json("records", "k1") == {"a": 1}
 
 
+def test_disk_cache_max_bytes_prunes_oldest(tmp_path):
+    cache = DiskCache(str(tmp_path), max_bytes=400)
+    for index in range(8):
+        cache.put_json("records", f"key{index:02d}", {"v": "x" * 80})
+        # Backdate in insertion order so "oldest" is unambiguous even
+        # on filesystems with coarse mtimes.
+        path = cache._path("records", f"key{index:02d}", "json")
+        os.utime(path, (1_000_000 + index, 1_000_000 + index))
+        cache._prune()
+    total = sum(
+        os.path.getsize(os.path.join(root, name))
+        for root, _, names in os.walk(tmp_path)
+        for name in names
+    )
+    assert total <= 400
+    # The newest entry always survives; the oldest were evicted.
+    assert cache.get_json("records", "key07") == {"v": "x" * 80}
+    assert cache.get_json("records", "key00") is None
+
+
+def test_disk_cache_max_bytes_validation(tmp_path):
+    with pytest.raises(ValueError):
+        DiskCache(str(tmp_path), max_bytes=0)
+    # Uncapped cache never prunes.
+    cache = DiskCache(str(tmp_path))
+    cache.put_json("records", "k", {"a": 1})
+    assert cache.get_json("records", "k") == {"a": 1}
+
+
 def test_disk_cache_corrupt_entry_is_a_miss(tmp_path):
     cache = DiskCache(str(tmp_path))
     cache.put_json("records", "deadbeef", {"a": 1})
@@ -230,11 +259,13 @@ def test_metrics_schema(tmp_path):
         pass
     metrics.count("record_memo_hits", 3)
     metrics.count("record_misses")
+    metrics.gauge("queue_depth", 4.0)
     data = metrics.to_dict()
-    assert data["schema"] == 1
-    assert set(data) == {"schema", "stages", "counters"}
+    assert data["schema"] == 2
+    assert set(data) == {"schema", "stages", "counters", "gauges"}
     assert "traces" in data["stages"]
     assert data["counters"] == {"record_memo_hits": 3, "record_misses": 1}
+    assert data["gauges"] == {"queue_depth": 4.0}
     path = tmp_path / "metrics.json"
     metrics.write(str(path))
     assert json.loads(path.read_text()) == data

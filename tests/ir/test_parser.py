@@ -99,10 +99,14 @@ class TestParseErrors:
             parse_kernels(text)
 
     def test_parse_kernel_rejects_multiple(self):
-        with pytest.raises(ValueError):
+        # AsmSyntaxError (a ValueError) so every caller reports parse
+        # problems through one exception type, traceback-free.
+        with pytest.raises(AsmSyntaxError) as excinfo:
             parse_kernel(
                 ".kernel a\nentry:\n exit\n.kernel b\nentry:\n exit\n"
             )
+        assert "expected exactly 1 kernel" in str(excinfo.value)
+        assert isinstance(excinfo.value, ValueError)
 
 
 class TestRoundTrip:

@@ -5,6 +5,49 @@ import pytest
 from repro.cli import main
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert repro.__version__ in out
+
+
+class TestAllocateCommand:
+    KERNEL = (
+        ".kernel tiny\n"
+        ".livein R0 R1\n"
+        "entry:\n"
+        "    iadd R2, R0, R1\n"
+        "    stg [R0], R2\n"
+        "    exit\n"
+    )
+
+    def test_allocate_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.asm"
+        path.write_text(self.KERNEL)
+        assert main(["allocate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out
+        assert "strands" in out
+
+    def test_allocate_parse_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.asm"
+        path.write_text("this is not assembly\n")
+        assert main(["allocate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: parse error:")
+        assert "Traceback" not in err
+
+    def test_allocate_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["allocate", str(tmp_path / "absent.asm")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+
+
 class TestUnrollCommand:
     def test_unroll_vectoradd(self, capsys):
         assert main(
