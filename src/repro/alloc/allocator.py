@@ -29,6 +29,8 @@ from ..energy.model import EnergyModel
 from ..ir.instructions import DestAnnotation, SourceAnnotation
 from ..ir.kernel import Kernel
 from ..levels import Level
+from ..obs.provenance import ProvenanceRecorder
+from ..obs.tracer import TRACER
 from ..strands.model import StrandPartition
 from ..strands.partition import partition_strands
 from .intervals import EntryFile
@@ -194,25 +196,41 @@ def allocate_kernel(
     kernel: Kernel,
     config: AllocationConfig,
     model: Optional[EnergyModel] = None,
+    recorder: Optional[ProvenanceRecorder] = None,
 ) -> AllocationResult:
-    """Run the full allocation pipeline on a kernel (annotates in place)."""
-    kernel.reset_annotations()
-    cfg = ControlFlowGraph(kernel)
-    partition = partition_strands(
-        kernel, cfg, assume_persistent=config.assume_persistent_strands
-    )
-    reaching = ReachingDefinitions(kernel, cfg)
-    strand_values = build_strand_values(kernel, partition, reaching)
-    if model is None:
-        model = config.energy_model()
+    """Run the full allocation pipeline on a kernel (annotates in place).
 
-    result = AllocationResult(kernel, config, partition, strand_values)
-    for _, instruction in kernel.instructions():
-        instruction.ensure_default_annotations()
+    ``recorder`` (kept out of :class:`AllocationConfig`, which is
+    hashed into memo keys) collects a provenance trail of every
+    allocation decision; attaching one never changes the result.
+    """
+    with TRACER.span("alloc.kernel", kernel=kernel.name):
+        kernel.reset_annotations()
+        with TRACER.span("alloc.partition"):
+            cfg = ControlFlowGraph(kernel)
+            partition = partition_strands(
+                kernel,
+                cfg,
+                assume_persistent=config.assume_persistent_strands,
+            )
+        with TRACER.span("alloc.webs"):
+            reaching = ReachingDefinitions(kernel, cfg)
+            strand_values = build_strand_values(
+                kernel, partition, reaching
+            )
+        if model is None:
+            model = config.energy_model()
 
-    for values in strand_values:
-        _allocate_strand(kernel, values, config, model, result)
-    return result
+        result = AllocationResult(kernel, config, partition, strand_values)
+        for _, instruction in kernel.instructions():
+            instruction.ensure_default_annotations()
+
+        with TRACER.span("alloc.levels"):
+            for values in strand_values:
+                _allocate_strand(
+                    kernel, values, config, model, result, recorder
+                )
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -226,11 +244,22 @@ def _allocate_strand(
     config: AllocationConfig,
     model: EnergyModel,
     result: AllocationResult,
+    recorder: Optional[ProvenanceRecorder] = None,
 ) -> None:
     lrf_assigned: Dict[int, WebAssignment] = {}
     if config.use_lrf:
-        lrf_assigned = _lrf_pass(kernel, values, config, model, result)
-    _orf_pass(kernel, values, config, model, result, lrf_assigned)
+        lrf_assigned = _lrf_pass(
+            kernel, values, config, model, result, recorder
+        )
+    _orf_pass(
+        kernel, values, config, model, result, lrf_assigned, recorder
+    )
+
+
+def _web_positions(web: Web, covered: Sequence[WebRead]) -> List[int]:
+    positions = [d.ref.position for d in web.defs if d.ref is not None]
+    positions.extend(read.position for read in covered)
+    return sorted(set(positions))
 
 
 def _web_scope_ok(web: Web, config: AllocationConfig) -> bool:
@@ -259,20 +288,43 @@ def _lrf_pass(
     config: AllocationConfig,
     model: EnergyModel,
     result: AllocationResult,
+    recorder: Optional[ProvenanceRecorder] = None,
 ) -> Dict[int, WebAssignment]:
     """Allocate instances to the LRF first (Section 4.6)."""
+    strand_id = values.strand.strand_id
     num_banks = config.lrf_banks if config.split_lrf else 1
     banks = EntryFile(num_banks)
 
     heap: List[Tuple[float, int, Web, List[WebRead], Optional[int]]] = []
     for seq, web in enumerate(values.webs):
         if web.width_words != 1 or not web.all_private:
+            if recorder is not None:
+                recorder.record(
+                    "skip", strand_id, "web", web.reg,
+                    level="LRF",
+                    positions=_web_positions(web, web.coverable_reads),
+                    reason="wide_or_shared",
+                )
             continue
         if not _web_scope_ok(web, config):
+            if recorder is not None:
+                recorder.record(
+                    "skip", strand_id, "web", web.reg,
+                    level="LRF",
+                    positions=_web_positions(web, web.coverable_reads),
+                    reason="block_scope",
+                )
             continue
         covered = _scoped_reads(web, config)
         bank = _lrf_bank_for(web, covered, config)
         if bank is None:
+            if recorder is not None:
+                recorder.record(
+                    "skip", strand_id, "web", web.reg,
+                    level="LRF",
+                    positions=_web_positions(web, covered),
+                    reason="multi_slot_split_lrf",
+                )
             continue
         partial_excludes = len(covered) != len(web.coverable_reads)
         savings = value_allocation_savings(
@@ -280,8 +332,24 @@ def _lrf_pass(
             force_mrf_write=partial_excludes,
         )
         if savings <= 0:
+            if recorder is not None:
+                recorder.record(
+                    "skip", strand_id, "web", web.reg,
+                    level="LRF",
+                    positions=_web_positions(web, covered),
+                    reason="no_savings", savings=round(savings, 6),
+                )
             continue
         begin, end = _web_interval(web, covered)
+        if recorder is not None:
+            recorder.record(
+                "candidate", strand_id, "web", web.reg,
+                level="LRF",
+                positions=_web_positions(web, covered),
+                savings=round(savings, 6),
+                priority=round(priority(savings, begin, end), 6),
+                bank=bank, reads=len(covered),
+            )
         heapq.heappush(
             heap, (-priority(savings, begin, end), seq, web, covered, bank)
         )
@@ -292,11 +360,25 @@ def _lrf_pass(
         begin, end = _web_interval(web, covered)
         if config.split_lrf:
             if not banks.is_available(bank, begin, end):
+                if recorder is not None:
+                    recorder.record(
+                        "fail", strand_id, "web", web.reg,
+                        level="LRF",
+                        positions=_web_positions(web, covered),
+                        reason="bank_busy", bank=bank,
+                    )
                 continue
             entry = bank
         else:
             entry = banks.find_free(begin, end)
             if entry is None:
+                if recorder is not None:
+                    recorder.record(
+                        "fail", strand_id, "web", web.reg,
+                        level="LRF",
+                        positions=_web_positions(web, covered),
+                        reason="no_free_bank",
+                    )
                 continue
         banks.allocate(entry, begin, end)
         partial_excludes = len(covered) != len(web.coverable_reads)
@@ -315,6 +397,14 @@ def _lrf_pass(
         assigned[web.web_id] = assignment
         result.web_assignments.append(assignment)
         _annotate_web(kernel, assignment, config)
+        if recorder is not None:
+            recorder.record(
+                "place", strand_id, "web", web.reg,
+                level="LRF",
+                positions=_web_positions(web, covered),
+                entry=entry, savings=round(savings, 6),
+                reads=len(covered),
+            )
     return assigned
 
 
@@ -347,8 +437,10 @@ def _orf_pass(
     model: EnergyModel,
     result: AllocationResult,
     lrf_assigned: Dict[int, WebAssignment],
+    recorder: Optional[ProvenanceRecorder] = None,
 ) -> None:
     """Greedy ORF allocation with partial ranges and read operands."""
+    strand_id = values.strand.strand_id
     orf = EntryFile(config.orf_entries)
 
     # Items: ("web", web) and ("read", candidate), one shared queue.
@@ -358,6 +450,13 @@ def _orf_pass(
         if web.web_id in lrf_assigned:
             continue
         if not _web_scope_ok(web, config):
+            if recorder is not None:
+                recorder.record(
+                    "skip", strand_id, "web", web.reg,
+                    level="ORF",
+                    positions=_web_positions(web, web.coverable_reads),
+                    reason="block_scope",
+                )
             continue
         covered = _scoped_reads(web, config)
         partial_excludes = len(covered) != len(web.coverable_reads)
@@ -366,8 +465,24 @@ def _orf_pass(
             force_mrf_write=partial_excludes,
         )
         if savings <= 0:
+            if recorder is not None:
+                recorder.record(
+                    "skip", strand_id, "web", web.reg,
+                    level="ORF",
+                    positions=_web_positions(web, covered),
+                    reason="no_savings", savings=round(savings, 6),
+                )
             continue
         begin, end = _web_interval(web, covered)
+        if recorder is not None:
+            recorder.record(
+                "candidate", strand_id, "web", web.reg,
+                level="ORF",
+                positions=_web_positions(web, covered),
+                savings=round(savings, 6),
+                priority=round(priority(savings, begin, end), 6),
+                reads=len(covered), width=web.width_words,
+            )
         heapq.heappush(
             heap, (-priority(savings, begin, end), seq, "web", web, covered)
         )
@@ -379,12 +494,35 @@ def _orf_pass(
             if not config.allow_forward_branches:
                 blocks = {r.site.ref.block_index for r in covered}
                 if len(blocks) != 1:
+                    if recorder is not None:
+                        recorder.record(
+                            "skip", strand_id, "read_operand",
+                            candidate.reg, level="ORF",
+                            positions=[r.position for r in covered],
+                            reason="block_scope",
+                        )
                     continue
             savings = read_operand_savings(candidate, covered, model)
             if savings <= 0:
+                if recorder is not None:
+                    recorder.record(
+                        "skip", strand_id, "read_operand",
+                        candidate.reg, level="ORF",
+                        positions=[r.position for r in covered],
+                        reason="no_savings", savings=round(savings, 6),
+                    )
                 continue
             begin = covered[0].position
             end = covered[-1].position
+            if recorder is not None:
+                recorder.record(
+                    "candidate", strand_id, "read_operand",
+                    candidate.reg, level="ORF",
+                    positions=[r.position for r in covered],
+                    savings=round(savings, 6),
+                    priority=round(priority(savings, begin, end), 6),
+                    reads=len(covered),
+                )
             heapq.heappush(
                 heap,
                 (
@@ -401,11 +539,13 @@ def _orf_pass(
         _, _, kind, item, covered = heapq.heappop(heap)
         if kind == "web":
             _try_allocate_web(
-                kernel, item, covered, orf, config, model, result
+                kernel, item, covered, orf, config, model, result,
+                recorder, strand_id,
             )
         else:
             _try_allocate_read_operand(
-                kernel, item, covered, orf, config, model, result
+                kernel, item, covered, orf, config, model, result,
+                recorder, strand_id,
             )
 
 
@@ -417,6 +557,8 @@ def _try_allocate_web(
     config: AllocationConfig,
     model: EnergyModel,
     result: AllocationResult,
+    recorder: Optional[ProvenanceRecorder] = None,
+    strand_id: int = -1,
 ) -> None:
     full_covered_count = len(covered)
     while True:
@@ -425,6 +567,16 @@ def _try_allocate_web(
             web, covered, Level.ORF, model, force_mrf_write=partial
         )
         if savings <= 0:
+            if recorder is not None:
+                recorder.record(
+                    "fail", strand_id, "web", web.reg,
+                    level="ORF",
+                    positions=_web_positions(web, covered),
+                    reason="no_savings_after_trim"
+                    if len(covered) != full_covered_count
+                    else "no_savings",
+                    savings=round(savings, 6),
+                )
             return
         begin, end = _web_interval(web, covered)
         entries = orf.find_free_group(begin, end, web.width_words)
@@ -441,11 +593,37 @@ def _try_allocate_web(
             )
             result.web_assignments.append(assignment)
             _annotate_web(kernel, assignment, config)
+            if recorder is not None:
+                recorder.record(
+                    "place", strand_id, "web", web.reg,
+                    level="ORF",
+                    positions=_web_positions(web, covered),
+                    entries=list(entries),
+                    savings=round(savings, 6),
+                    partial=len(covered) != full_covered_count,
+                    reads=len(covered),
+                    range=[begin, end],
+                )
             return
         # Partial range allocation (Section 4.3): reassign the last read
         # in the strand to the MRF and retry with a shorter range.
         if not config.enable_partial_ranges or not covered:
+            if recorder is not None:
+                recorder.record(
+                    "fail", strand_id, "web", web.reg,
+                    level="ORF",
+                    positions=_web_positions(web, covered),
+                    reason="orf_full", range=[begin, end],
+                )
             return
+        if recorder is not None:
+            recorder.record(
+                "trim", strand_id, "web", web.reg,
+                level="ORF",
+                positions=_web_positions(web, covered),
+                dropped_read=covered[-1].position,
+                range=[begin, end],
+            )
         covered = covered[:-1]
 
 
@@ -457,11 +635,20 @@ def _try_allocate_read_operand(
     config: AllocationConfig,
     model: EnergyModel,
     result: AllocationResult,
+    recorder: Optional[ProvenanceRecorder] = None,
+    strand_id: int = -1,
 ) -> None:
     full_covered_count = len(covered)
     while len(covered) >= 2:
         savings = read_operand_savings(candidate, covered, model)
         if savings <= 0:
+            if recorder is not None:
+                recorder.record(
+                    "fail", strand_id, "read_operand", candidate.reg,
+                    level="ORF",
+                    positions=[r.position for r in covered],
+                    reason="no_savings", savings=round(savings, 6),
+                )
             return
         begin = covered[0].position
         end = covered[-1].position
@@ -478,9 +665,35 @@ def _try_allocate_read_operand(
             )
             result.read_assignments.append(assignment)
             _annotate_read_operand(kernel, assignment)
+            if recorder is not None:
+                recorder.record(
+                    "place", strand_id, "read_operand", candidate.reg,
+                    level="ORF",
+                    positions=[r.position for r in covered],
+                    entries=list(entries),
+                    savings=round(savings, 6),
+                    partial=len(covered) != full_covered_count,
+                    reads=len(covered),
+                    range=[begin, end],
+                )
             return
         if not config.enable_partial_ranges:
+            if recorder is not None:
+                recorder.record(
+                    "fail", strand_id, "read_operand", candidate.reg,
+                    level="ORF",
+                    positions=[r.position for r in covered],
+                    reason="orf_full", range=[begin, end],
+                )
             return
+        if recorder is not None:
+            recorder.record(
+                "trim", strand_id, "read_operand", candidate.reg,
+                level="ORF",
+                positions=[r.position for r in covered],
+                dropped_read=covered[-1].position,
+                range=[begin, end],
+            )
         covered = covered[:-1]
 
 

@@ -12,6 +12,12 @@ and fronts the allocation service::
     repro serve --port 8077 --jobs 4        # the batching async server
     repro loadgen --port 8077               # benchmark a running server
     repro allocate kernel.asm               # one-shot allocation of a file
+
+and the observability layer::
+
+    repro trace vectoradd --trace-out trace.json    # Chrome/Perfetto trace
+    repro explain fuzz:320 --orf-entries 1 --no-lrf --reg R18
+    repro fig13 --trace-out t.json --profile-out p.txt
 """
 
 from __future__ import annotations
@@ -109,6 +115,26 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="write engine run metrics (JSON) to this path",
         )
+        add_obs_flags(cmd)
+
+    def add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--trace-out",
+            default=None,
+            help="enable span tracing; write a Chrome trace-event JSON "
+                 "(load in chrome://tracing or Perfetto) to this path",
+        )
+        cmd.add_argument(
+            "--trace-jsonl",
+            default=None,
+            help="enable span tracing; stream spans to this JSONL file",
+        )
+        cmd.add_argument(
+            "--profile-out",
+            default=None,
+            help="capture per-stage cProfile stats; write the report "
+                 "to this path",
+        )
 
     for name in list(_FIGURES) + ["all"]:
         cmd = sub.add_parser(name, help=f"run the {name} experiment")
@@ -203,6 +229,68 @@ def _build_parser() -> argparse.ArgumentParser:
     allocate.add_argument("--orf-entries", type=int, default=3)
     allocate.add_argument("--no-lrf", action="store_true")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one benchmark through the full pipeline with span "
+             "tracing on and write a Chrome trace-event JSON",
+    )
+    trace.add_argument(
+        "benchmark",
+        nargs="?",
+        default="vectoradd",
+        choices=sorted(BENCHMARK_NAMES),
+    )
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.add_argument(
+        "--trace-out", default="trace.json",
+        help="Chrome trace-event JSON output (default trace.json)",
+    )
+    trace.add_argument(
+        "--trace-jsonl", default=None,
+        help="also stream spans to this JSONL file",
+    )
+    trace.add_argument(
+        "--profile-out", default=None,
+        help="capture per-stage cProfile stats to this path",
+    )
+    trace.add_argument("--metrics-out", default=None)
+    trace.add_argument("--orf-entries", type=int, default=3)
+    trace.add_argument("--no-lrf", action="store_true")
+
+    explain = sub.add_parser(
+        "explain",
+        help="re-run the allocator with provenance recording and print "
+             "the decision chain behind every placement",
+    )
+    explain.add_argument(
+        "target",
+        help="benchmark name, 'fuzz:SEED' for a generated workload, or "
+             "a path to an IR text file ('-' for stdin)",
+    )
+    explain.add_argument(
+        "--reg", default=None,
+        help="only show decisions about this register, or decisions "
+             "covering instructions that mention it (e.g. R18)",
+    )
+    explain.add_argument(
+        "--pos", type=int, default=None,
+        help="only show decisions covering this instruction position",
+    )
+    explain.add_argument("--orf-entries", type=int, default=3)
+    explain.add_argument("--no-lrf", action="store_true")
+    explain.add_argument(
+        "--no-forward-branches", action="store_true",
+        help="restrict allocation to basic-block scope (Section 4.2)",
+    )
+    explain.add_argument(
+        "--no-partial-ranges", action="store_true",
+        help="disable partial range allocation (Section 4.3)",
+    )
+    explain.add_argument(
+        "--no-read-operands", action="store_true",
+        help="disable read operand allocation (Section 4.4)",
+    )
+
     serve = sub.add_parser(
         "serve", help="run the allocation service (HTTP/JSON)"
     )
@@ -235,6 +323,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None)
     serve.add_argument("--cache-max-bytes", type=int, default=None)
     serve.add_argument("--metrics-out", default=None)
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="enable span tracing; write a Chrome trace on shutdown",
+    )
+    serve.add_argument(
+        "--trace-jsonl", default=None,
+        help="enable span tracing; stream spans to this JSONL file",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="benchmark a running allocation service"
@@ -260,17 +356,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_service.json",
         help="output JSON path (default BENCH_service.json)",
     )
+    loadgen.add_argument(
+        "--trace-out", default=None,
+        help="record client-side per-request spans and write a Chrome "
+             "trace-event JSON here",
+    )
 
     sub.add_parser("list", help="list the synthesised benchmarks")
     return parser
 
 
 def _make_engine(args):
-    """An ExperimentEngine when any engine flag was used, else None."""
+    """An ExperimentEngine when any engine flag was used, else None.
+
+    ``--profile-out`` forces an engine: the per-stage profiler hooks
+    into ``RunMetrics.stage``, which only runs under an engine.
+    """
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache_dir", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if jobs <= 1 and cache_dir is None and metrics_out is None:
+    profile_out = getattr(args, "profile_out", None)
+    if (
+        jobs <= 1
+        and cache_dir is None
+        and metrics_out is None
+        and profile_out is None
+    ):
         return None
     from .engine import ExperimentEngine
 
@@ -291,6 +402,55 @@ def _finish_engine(engine, args) -> None:
     if metrics_out:
         engine.metrics.write(metrics_out)
     print(engine.metrics.summary(), file=sys.stderr)
+
+
+#: Commands that own their tracer lifecycle (the service configures the
+#: tracer from ServiceConfig; loadgen writes its own client-side trace).
+_OBS_SELF_MANAGED = ("serve", "loadgen")
+
+
+def _setup_observability(args) -> None:
+    if getattr(args, "command", None) in _OBS_SELF_MANAGED:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    trace_jsonl = getattr(args, "trace_jsonl", None)
+    if trace_out or trace_jsonl:
+        from .obs.tracer import TRACER
+
+        TRACER.configure(enabled=True, jsonl_path=trace_jsonl)
+    if getattr(args, "profile_out", None):
+        from .obs import profiling
+
+        profiling.install(profiling.StageProfiler())
+
+
+def _finish_observability(args) -> None:
+    if getattr(args, "command", None) in _OBS_SELF_MANAGED:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    trace_jsonl = getattr(args, "trace_jsonl", None)
+    if trace_out or trace_jsonl:
+        from .obs.tracer import TRACER
+
+        spans = TRACER.drain()
+        TRACER.enabled = False
+        if trace_out:
+            from .obs.exporters import write_chrome_trace
+
+            write_chrome_trace(trace_out, spans)
+            print(
+                f"wrote {len(spans)} spans to {trace_out}",
+                file=sys.stderr,
+            )
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        from .obs import profiling
+
+        profiler = profiling.current()
+        if profiler is not None:
+            profiler.write(profile_out)
+            profiling.uninstall()
+            print(f"wrote stage profile to {profile_out}", file=sys.stderr)
 
 
 def _plan_schemes(names: List[str]) -> List[Scheme]:
@@ -398,9 +558,111 @@ def _run_allocate(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    """``repro trace``: one benchmark through trace → allocate →
+    account under a spread of schemes, spans on; the generic
+    observability teardown writes the Chrome trace."""
+    from .engine import ExperimentEngine
+    from .sim.schemes import (
+        BEST_HW_TWO_LEVEL,
+        BEST_SW_TWO_LEVEL,
+    )
+
+    engine = ExperimentEngine()
+    spec = get_workload(args.benchmark, args.scale)
+    traces = engine.build_traces(spec.kernel, spec.warp_inputs)
+    schemes = [
+        Scheme(SchemeKind.BASELINE),
+        BEST_SW_TWO_LEVEL.with_entries(args.orf_entries),
+        BEST_HW_TWO_LEVEL,
+    ]
+    if not args.no_lrf:
+        schemes.append(
+            Scheme(
+                SchemeKind.SW_THREE_LEVEL,
+                args.orf_entries,
+                split_lrf=True,
+            )
+        )
+    for scheme in schemes:
+        evaluation = engine.evaluate(traces, scheme)
+        print(
+            f"{spec.name:<16} {scheme.name:<16} "
+            f"{evaluation.dynamic_instructions} dyn instrs"
+        )
+    if args.metrics_out:
+        engine.metrics.write(args.metrics_out)
+    print(engine.metrics.summary(), file=sys.stderr)
+    return 0
+
+
+def _run_explain(args) -> int:
+    """``repro explain``: resolve the target kernel and print the
+    allocator's provenance report."""
+    from .obs.explain import explain_report
+
+    target = args.target
+    if target in BENCHMARK_NAMES:
+        kernel = get_workload(target).kernel
+    elif target.startswith("fuzz:"):
+        from .workloads.generators import generate_workload
+
+        try:
+            seed = int(target.split(":", 1)[1])
+        except ValueError:
+            print(
+                f"repro: error: bad fuzz target {target!r} "
+                "(expected fuzz:SEED)",
+                file=sys.stderr,
+            )
+            return 2
+        kernel = generate_workload(seed, num_warps=1).kernel
+    else:
+        from .ir.parser import AsmSyntaxError, parse_kernels
+
+        try:
+            if target == "-":
+                text = sys.stdin.read()
+            else:
+                with open(target, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+        except OSError as error:
+            print(f"repro: error: {error}", file=sys.stderr)
+            return 2
+        try:
+            kernels = parse_kernels(text)
+        except AsmSyntaxError as error:
+            print(f"repro: parse error: {error}", file=sys.stderr)
+            return 2
+        if not kernels:
+            print(
+                "repro: parse error: no kernels in input", file=sys.stderr
+            )
+            return 2
+        kernel = kernels[0]
+
+    config = AllocationConfig(
+        orf_entries=args.orf_entries,
+        use_lrf=not args.no_lrf,
+        split_lrf=not args.no_lrf,
+        enable_partial_ranges=not args.no_partial_ranges,
+        enable_read_operands=not args.no_read_operands,
+        allow_forward_branches=not args.no_forward_branches,
+    )
+    print(explain_report(kernel, config, reg=args.reg, position=args.pos))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    _setup_observability(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _finish_observability(args)
 
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for name in BENCHMARK_NAMES:
             print(f"{name:<22} {suite_of(name)}")
@@ -436,6 +698,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "allocate":
         return _run_allocate(args)
 
+    if args.command == "trace":
+        return _run_trace(args)
+
+    if args.command == "explain":
+        return _run_explain(args)
+
     if args.command == "serve":
         from .service.server import ServiceConfig, serve_forever
 
@@ -450,6 +718,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             cache_max_bytes=args.cache_max_bytes,
             announce=True,
+            trace_out=args.trace_out,
+            trace_jsonl=args.trace_jsonl,
         )
         return serve_forever(config, metrics_out=args.metrics_out)
 
@@ -475,6 +745,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             concurrency=args.concurrency,
             timeout=args.timeout,
             verify=not args.no_verify,
+            trace_out=args.trace_out,
         )
         print(format_loadgen(payload))
         print(write_loadgen(args.out, payload))

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.kernel import Kernel
+from ..obs.tracer import TRACER
 from ..sim.executor import WarpInput
 from ..sim.runner import (
     AllocationMemo,
@@ -127,9 +128,14 @@ class ExperimentEngine:
             return evaluation_from_payload(payload, scheme)
         self.metrics.count("record_misses")
         with self.metrics.stage("evaluate"):
-            evaluation = evaluate_traces(
-                traces, scheme, allocation_memo=self.allocation_memo
-            )
+            with TRACER.span(
+                "engine.evaluate",
+                kernel=traces.kernel.name,
+                scheme=scheme.name,
+            ):
+                evaluation = evaluate_traces(
+                    traces, scheme, allocation_memo=self.allocation_memo
+                )
         self._store_record(key, record_payload(evaluation))
         return evaluation
 

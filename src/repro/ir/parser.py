@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs.tracer import TRACER
 from .builder import KernelBuilder
 from .instructions import Immediate, Opcode, Operand
 from .kernel import Kernel
@@ -70,6 +71,11 @@ def parse_kernel(text: str) -> Kernel:
 
 def parse_kernels(text: str) -> List[Kernel]:
     """Parse all kernels from assembly text."""
+    with TRACER.span("ir.parse", bytes=len(text)):
+        return _parse_kernels(text)
+
+
+def _parse_kernels(text: str) -> List[Kernel]:
     kernels: List[Kernel] = []
     builder: Optional[KernelBuilder] = None
     live_in: List[Register] = []

@@ -1,0 +1,186 @@
+"""`repro explain`: re-run the allocator with provenance and print the
+decision chain behind every operand placement.
+
+Unlike the rest of ``repro.obs`` this module imports the allocator, so
+it is *not* re-exported from the package ``__init__`` (the allocator
+itself depends on ``repro.obs.provenance``).
+
+The report has four sections: the configuration, the strand map with
+the endpoint kind that *caused* each strand boundary (ORF/LRF contents
+are invalidated there — the usual root cause of a misread), the
+filtered decision trail, and the final operand annotations.  Filtering
+by ``--reg RN`` keeps events whose subject register is RN *or* whose
+covered positions include an instruction mentioning RN — so asking
+about a destination (``R18``) also surfaces the decisions about its
+source operands, which is how a bad ORF read at ``@16 imax R18``
+traces back to the placement that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..alloc.allocator import AllocationConfig, allocate_kernel
+from ..energy.model import EnergyModel
+from ..ir.instructions import Instruction
+from ..ir.kernel import Kernel
+from ..levels import Level
+from .provenance import ProvenanceEvent, ProvenanceRecorder
+
+
+def _instruction_mentions(instruction: Instruction, reg: str) -> bool:
+    if instruction.dst is not None and str(instruction.dst) == reg:
+        return True
+    return any(str(src) == reg for src in instruction.srcs)
+
+
+def _format_source_annotation(ann) -> str:
+    if ann.level is Level.ORF and ann.orf_entry is not None:
+        text = f"ORF[{ann.orf_entry}]"
+    elif ann.level is Level.LRF and ann.lrf_bank is not None:
+        text = f"LRF[{ann.lrf_bank}]"
+    else:
+        text = ann.level.name
+    if ann.orf_write_entry is not None:
+        text += f" (+write ORF[{ann.orf_write_entry}])"
+    return text
+
+
+def _format_dest_annotation(ann) -> str:
+    parts = []
+    for level in ann.levels:
+        if level is Level.ORF and ann.orf_entry is not None:
+            parts.append(f"ORF[{ann.orf_entry}]")
+        elif level is Level.LRF and ann.lrf_bank is not None:
+            parts.append(f"LRF[{ann.lrf_bank}]")
+        else:
+            parts.append(level.name)
+    return "+".join(parts) if parts else "(none)"
+
+
+def _format_event(event: ProvenanceEvent) -> str:
+    positions = ",".join(str(p) for p in event.positions)
+    detail = " ".join(
+        f"{key}={value}" for key, value in sorted(event.detail.items())
+    )
+    level = f" {event.level}" if event.level else ""
+    text = (
+        f"[strand {event.strand}] {event.kind:<9} {event.target} "
+        f"{event.reg}{level} @[{positions}]"
+    )
+    if detail:
+        text += f"  {detail}"
+    return text
+
+
+def explain_report(
+    kernel: Kernel,
+    config: AllocationConfig,
+    reg: Optional[str] = None,
+    position: Optional[int] = None,
+    model: Optional[EnergyModel] = None,
+) -> str:
+    """Allocate a clone of ``kernel`` under ``config`` with provenance
+    recording and render the decision chain as text."""
+    recorder = ProvenanceRecorder()
+    clone = kernel.clone()
+    result = allocate_kernel(clone, config, model, recorder=recorder)
+
+    instructions = {
+        ref.position: instruction
+        for ref, instruction in clone.instructions()
+    }
+
+    lines: List[str] = []
+    lines.append(f"kernel {kernel.name}: allocation provenance")
+    lines.append(
+        f"config: orf_entries={config.orf_entries}"
+        f" use_lrf={config.use_lrf} split_lrf={config.split_lrf}"
+        f" partial_ranges={config.enable_partial_ranges}"
+        f" read_operands={config.enable_read_operands}"
+        f" forward_branches={config.allow_forward_branches}"
+    )
+    summary = result.summary()
+    lines.append(
+        "summary: "
+        + " ".join(f"{key}={summary[key]}" for key in sorted(summary))
+    )
+
+    # Strand map: where ORF/LRF contents are invalidated, and why.
+    lines.append("")
+    lines.append("strands (ORF/LRF contents do not survive boundaries):")
+    partition = result.partition
+    for strand in partition.strands:
+        first = strand.first_position
+        last = strand.last_position
+        cause = partition.cut_before.get(first)
+        if cause is None:
+            cause = partition.entry_cuts.get(first)
+        cause_text = (
+            f" boundary={cause.name.lower()}" if cause is not None else ""
+        )
+        lines.append(
+            f"  strand {strand.strand_id}: @{first}..@{last}"
+            f" ({len(strand.positions)} instr){cause_text}"
+        )
+
+    # Decision trail, filtered.
+    matched_positions: Set[int] = set()
+    if reg is not None:
+        for pos, instruction in instructions.items():
+            if _instruction_mentions(instruction, reg):
+                matched_positions.add(pos)
+
+    def _keep(event: ProvenanceEvent) -> bool:
+        if position is not None and position not in event.positions:
+            return False
+        if reg is None:
+            return True
+        if event.reg == reg:
+            return True
+        return any(p in matched_positions for p in event.positions)
+
+    kept = [event for event in recorder.events if _keep(event)]
+    lines.append("")
+    filter_text = []
+    if reg is not None:
+        filter_text.append(f"reg={reg}")
+    if position is not None:
+        filter_text.append(f"pos={position}")
+    suffix = f" ({' '.join(filter_text)})" if filter_text else ""
+    lines.append(
+        f"decision trail{suffix}: {len(kept)} of "
+        f"{len(recorder.events)} events"
+    )
+    for event in kept:
+        lines.append("  " + _format_event(event))
+
+    # Final annotations at the positions the filter touched.
+    report_positions = sorted(
+        matched_positions
+        | {p for event in kept for p in event.positions}
+        | ({position} if position is not None else set())
+    )
+    if not report_positions and reg is None and position is None:
+        report_positions = sorted(instructions)
+    if report_positions:
+        lines.append("")
+        lines.append("final operand annotations:")
+        for pos in report_positions:
+            instruction = instructions.get(pos)
+            if instruction is None:
+                continue
+            lines.append(f"  @{pos} {instruction}")
+            if instruction.dst is not None and instruction.dst_ann:
+                lines.append(
+                    f"      dst {instruction.dst} -> "
+                    f"{_format_dest_annotation(instruction.dst_ann)}"
+                )
+            if instruction.src_anns:
+                for slot, src in enumerate(instruction.srcs):
+                    ann = instruction.src_anns[slot]
+                    lines.append(
+                        f"      src[{slot}] {src} <- "
+                        f"{_format_source_annotation(ann)}"
+                    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,82 @@
+"""Per-stage cProfile capture behind ``--profile-out``.
+
+A :class:`StageProfiler`, when installed via :func:`install`, is
+consulted by ``RunMetrics.stage`` so every named engine stage runs
+under its own :class:`cProfile.Profile`.  ``cProfile`` cannot nest —
+enabling a second profiler raises — so only the outermost stage of any
+nested pair is profiled (the ``_active`` guard).  Disabled (the
+default), the hook is a single module-global ``None`` check.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class StageProfiler:
+    """One cProfile.Profile per stage name, accumulated across calls."""
+
+    def __init__(self, top: int = 25) -> None:
+        self.top = top
+        self._profiles: Dict[str, cProfile.Profile] = {}
+        self._active = False
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        if self._active:
+            # cProfile cannot nest; inner stages run unprofiled.
+            yield
+            return
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = cProfile.Profile()
+            self._profiles[name] = profile
+        self._active = True
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._active = False
+
+    def report(self) -> str:
+        sections = []
+        for name in sorted(self._profiles):
+            buffer = io.StringIO()
+            stats = pstats.Stats(self._profiles[name], stream=buffer)
+            stats.sort_stats("cumulative").print_stats(self.top)
+            sections.append(
+                f"==== stage: {name} ====\n{buffer.getvalue().strip()}\n"
+            )
+        if not sections:
+            return "(no stages profiled)\n"
+        return "\n".join(sections)
+
+    def write(self, path: str) -> None:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.report())
+
+
+_PROFILER: Optional[StageProfiler] = None
+
+
+def install(profiler: StageProfiler) -> None:
+    global _PROFILER
+    _PROFILER = profiler
+
+
+def uninstall() -> None:
+    global _PROFILER
+    _PROFILER = None
+
+
+def current() -> Optional[StageProfiler]:
+    return _PROFILER

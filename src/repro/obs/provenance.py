@@ -1,0 +1,104 @@
+"""Allocation provenance: a decision-by-decision trail of the greedy
+register-file allocator (paper §4.2–§4.6).
+
+The allocator (``repro.alloc.allocator``) optionally carries a
+:class:`ProvenanceRecorder`; at every decision point it emits one
+:class:`ProvenanceEvent` describing what was considered and why the
+outcome happened — candidate scoring, bank/entry placement, partial-
+range trims, read-operand coverage, and skips with their reason.
+Recording is strictly additive: the allocator's results are identical
+with and without a recorder attached.
+
+This module holds only the event/recorder data model; it deliberately
+imports nothing from ``repro.alloc`` so the allocator can depend on it
+without a cycle.  The human-facing report lives in
+:mod:`repro.obs.explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Event kinds, in the order the allocator emits them for one candidate.
+EVENT_KINDS = ("candidate", "skip", "trim", "place", "fail")
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """One allocator decision.
+
+    ``kind``
+        ``candidate`` — a web/read-operand was scored and enqueued;
+        ``skip`` — rejected outright (reason in ``detail``);
+        ``trim`` — partial-range retry after dropping the last read;
+        ``place`` — entries assigned at ``level``;
+        ``fail`` — no placement after exhausting trims.
+    ``target``
+        ``"web"`` (a register's def-to-reads range, §4.2) or
+        ``"read_operand"`` (read-slot staging, §4.4).
+    ``positions``
+        The static instruction positions this decision covers.
+    """
+
+    kind: str
+    strand: int
+    target: str
+    reg: str
+    level: Optional[str] = None
+    positions: Tuple[int, ...] = ()
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "strand": self.strand,
+            "target": self.target,
+            "reg": self.reg,
+            "level": self.level,
+            "positions": list(self.positions),
+            "detail": dict(self.detail),
+        }
+
+
+class ProvenanceRecorder:
+    """Append-only list of :class:`ProvenanceEvent`."""
+
+    def __init__(self) -> None:
+        self.events: List[ProvenanceEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        strand: int,
+        target: str,
+        reg: str,
+        *,
+        level: Optional[str] = None,
+        positions: Iterable[int] = (),
+        **detail: Any,
+    ) -> None:
+        self.events.append(
+            ProvenanceEvent(
+                kind=kind,
+                strand=strand,
+                target=target,
+                # Accept Register objects from the allocator; store the
+                # architectural name so filters and JSON stay plain.
+                reg=str(reg),
+                level=level,
+                positions=tuple(positions),
+                detail=detail,
+            )
+        )
+
+    def for_reg(self, reg: str) -> List[ProvenanceEvent]:
+        return [event for event in self.events if event.reg == reg]
+
+    def for_position(self, position: int) -> List[ProvenanceEvent]:
+        return [
+            event for event in self.events if position in event.positions
+        ]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self.events]

@@ -1,0 +1,250 @@
+"""Unified metrics registry: counters, gauges, and fixed-bucket
+histograms, with Prometheus text exposition (stdlib only).
+
+This subsumes the flat counter/gauge dicts that :class:`RunMetrics`
+(``repro.engine.metrics``) has carried since schema 1 and adds the
+missing aggregate: **histograms** with fixed upper-bound buckets, used
+for service request latencies and engine stage durations.  Buckets are
+fixed at creation so merging snapshots and rendering cumulative
+Prometheus ``_bucket`` series is exact, never interpolated.
+
+:func:`render_prometheus` turns a ``RunMetrics.to_dict()`` snapshot
+into Prometheus text exposition format v0.0.4 — the format served by
+``GET /metrics`` under content negotiation (JSON stays the default).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 250µs .. 10s, roughly 1-2.5-5 per
+#: decade — wide enough for cold service requests, fine enough for warm
+#: memo hits.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``bounds`` are inclusive upper bounds in ascending order; one
+    overflow bucket (``+Inf``) is implicit at the end.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(ordered, ordered[1:])):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bound, ending with the +Inf total."""
+        out: List[int] = []
+        running = 0
+        for bucket in self.bucket_counts:
+            running += bucket
+            out.append(running)
+        return out
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated quantile: the upper bound of the bucket holding the
+        target rank (the overflow bucket reports the last finite bound)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.count + 0.5))
+        running = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            running += bucket
+            if running >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1]
+        return self.bounds[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": round(self.total, 9),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        histogram = cls(data["bounds"])
+        counts = list(data.get("bucket_counts", []))
+        if len(counts) != len(histogram.bucket_counts):
+            raise ValueError("bucket_counts does not match bounds")
+        histogram.bucket_counts = [int(c) for c in counts]
+        histogram.total = float(data.get("sum", 0.0))
+        histogram.count = int(data.get("count", 0))
+        return histogram
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.total += other.total
+        self.count += other.count
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms under one roof."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get-or-create: the first caller fixes the bucket layout."""
+        existing = self.histograms.get(name)
+        if existing is None:
+            existing = Histogram(buckets)
+            self.histograms[name] = existing
+        return existing
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+
+# -- Prometheus text exposition v0.0.4 ------------------------------------
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _sanitize_name(name: str) -> str:
+    out = []
+    for index, char in enumerate(name):
+        if char.isalnum() or char in "_:":
+            if index == 0 and char.isdigit():
+                out.append("_")
+            out.append(char)
+        else:
+            out.append("_")
+    return "".join(out) or "_"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], namespace: str = "repro"
+) -> str:
+    """Render a ``RunMetrics.to_dict()`` snapshot as Prometheus text.
+
+    Counters become ``{ns}_{name}_total``, gauges stay plain, stage
+    timings fold into one ``{ns}_stage_seconds_total{stage="..."}``
+    family, and each histogram becomes the standard cumulative
+    ``_bucket``/``_sum``/``_count`` triple.
+    """
+    ns = _sanitize_name(namespace)
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        metric = f"{ns}_{_sanitize_name(name)}_total"
+        lines.append(f"# HELP {metric} {_escape_help(name)} event count")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        metric = f"{ns}_{_sanitize_name(name)}"
+        lines.append(f"# HELP {metric} {_escape_help(name)} gauge")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    stages = snapshot.get("stages", {})
+    if stages:
+        metric = f"{ns}_stage_seconds_total"
+        lines.append(
+            f"# HELP {metric} cumulative wall-clock seconds per stage"
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for name in sorted(stages):
+            label = _escape_label_value(name)
+            lines.append(
+                f'{metric}{{stage="{label}"}} '
+                f"{_format_value(stages[name])}"
+            )
+
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = f"{ns}_{_sanitize_name(name)}"
+        lines.append(f"# HELP {metric} {_escape_help(name)} histogram")
+        lines.append(f"# TYPE {metric} histogram")
+        bounds = data["bounds"]
+        running = 0
+        for bound, bucket in zip(bounds, data["bucket_counts"]):
+            running += bucket
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {running}'
+            )
+        running += data["bucket_counts"][len(bounds)]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {running}')
+        lines.append(f"{metric}_sum {_format_value(data['sum'])}")
+        lines.append(f"{metric}_count {data['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""

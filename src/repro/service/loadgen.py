@@ -7,7 +7,7 @@ requests that must come back 400 — then fires it twice (cold, then
 warm through the server's result memo) from ``concurrency`` persistent
 async connections.
 
-Measures per-request latency (p50/p99), throughput, dedup hit rate
+Measures per-request latency (p50/p95/p99), throughput, dedup hit rate
 (in-flight + memo + disk, as a delta over ``/metrics``), and verifies
 that every unique successful response is byte-identical to the direct
 engine path (:func:`repro.service.pipeline.run_service_job` in this
@@ -21,11 +21,15 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.exporters import write_chrome_trace
+from ..obs.tracer import TRACER
 from .client import AsyncServiceClient, ServiceClient
 from .pipeline import run_service_job
 from .protocol import normalize_request
 
-BENCH_SCHEMA = 1
+#: Schema 2 added ``p95_ms`` to phase stats; unknown keys are ignored
+#: by readers, so schema-1 consumers keep working.
+BENCH_SCHEMA = 2
 
 DEFAULT_BENCHMARKS = ("vectoradd", "reduction", "matrixmul", "histogram")
 
@@ -156,21 +160,26 @@ async def _run_phase(
                     return
                 spec = plan[index]
                 started = time.perf_counter()
-                try:
-                    status, payload = await client.request_raw(
-                        "POST", f"/v1/{spec['op']}", spec["body"]
-                    )
-                    results[index] = {
-                        "status": status,
-                        "latency_s": time.perf_counter() - started,
-                        "payload": payload,
-                    }
-                except Exception as error:  # noqa: BLE001 - recorded
-                    results[index] = {
-                        "status": None,
-                        "latency_s": time.perf_counter() - started,
-                        "error": f"{type(error).__name__}: {error}",
-                    }
+                with TRACER.span(
+                    "loadgen.request", op=spec["op"], index=index
+                ) as span:
+                    try:
+                        status, payload = await client.request_raw(
+                            "POST", f"/v1/{spec['op']}", spec["body"]
+                        )
+                        results[index] = {
+                            "status": status,
+                            "latency_s": time.perf_counter() - started,
+                            "payload": payload,
+                        }
+                        if span is not None:
+                            span.attributes["status"] = status
+                    except Exception as error:  # noqa: BLE001 - recorded
+                        results[index] = {
+                            "status": None,
+                            "latency_s": time.perf_counter() - started,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
         finally:
             await client.close()
 
@@ -212,6 +221,7 @@ def _phase_stats(
         "wall_s": round(wall, 6),
         "requests_per_s": round(len(results) / wall, 2) if wall else 0.0,
         "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
         "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
     }
 
@@ -273,8 +283,11 @@ def run_loadgen(
     timeout: float = 60.0,
     benchmarks=DEFAULT_BENCHMARKS,
     verify: bool = True,
+    trace_out: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Drive a running service and return the benchmark payload."""
+    if trace_out:
+        TRACER.configure(enabled=True)
     plan = build_plan(requests, concurrency, benchmarks)
     control = ServiceClient(host, port, timeout=timeout)
     metrics_before = control.metrics()
@@ -342,6 +355,8 @@ def run_loadgen(
             and dedup_hits > 0
         ),
     }
+    if trace_out:
+        write_chrome_trace(trace_out, TRACER.drain())
     return payload
 
 
@@ -362,12 +377,13 @@ def format_loadgen(payload: Dict[str, Any]) -> str:
         f"({payload['requests']} requests x2 phases, "
         f"concurrency {payload['concurrency']})",
         f"{'phase':>6}{'reqs':>7}{'wall s':>9}{'req/s':>9}"
-        f"{'p50 ms':>9}{'p99 ms':>9}",
+        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}",
     ]
     for name, stats in (("cold", cold), ("warm", warm)):
         lines.append(
             f"{name:>6}{stats['requests']:>7}{stats['wall_s']:>9.2f}"
             f"{stats['requests_per_s']:>9.1f}{stats['p50_ms']:>9.2f}"
+            f"{stats.get('p95_ms', 0.0):>9.2f}"
             f"{stats['p99_ms']:>9.2f}"
         )
     lines.append(

@@ -4,8 +4,10 @@ Endpoints::
 
     POST /v1/allocate   IR text/benchmark + software scheme -> annotations
     POST /v1/evaluate   IR text/benchmark + any scheme      -> engine record
-    GET  /healthz       liveness + drain state
-    GET  /metrics       RunMetrics JSON (schema 2: stages/counters/gauges)
+    GET  /healthz       liveness + drain state + version/uptime/schema
+    GET  /metrics       RunMetrics JSON (schema 3: stages/counters/
+                        gauges/histograms); Prometheus text on
+                        ``Accept: text/plain`` or ``?format=prometheus``
 
 A request flows: normalise (400 on anything malformed, parse errors
 included) → result memo (in-memory, then
@@ -33,13 +35,17 @@ import asyncio
 import signal
 import sys
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from .. import __version__
 from ..engine.cache import DiskCache
-from ..engine.metrics import RunMetrics
+from ..engine.metrics import SCHEMA_VERSION, RunMetrics
+from ..obs.exporters import write_chrome_trace
+from ..obs.registry import PROMETHEUS_CONTENT_TYPE
+from ..obs.tracer import TRACER, traced_call
 from .batcher import JobBatcher
 from .httpd import AsyncHttpServer, HttpRequest, HttpResponse, json_response
 from .pipeline import RESULT_SCHEMA, _probe, run_service_job
@@ -69,6 +75,10 @@ class ServiceConfig:
     #: Print the bound address on startup (the CLI sets this; tests
     #: read ``server.port`` instead).
     announce: bool = False
+    #: Enable span tracing; write a Chrome trace-event JSON here on exit.
+    trace_out: Optional[str] = None
+    #: Stream spans to this JSONL file as they finish.
+    trace_jsonl: Optional[str] = None
 
 
 class ServiceServer:
@@ -95,6 +105,14 @@ class ServiceServer:
         self.started = threading.Event()
         self.port: Optional[int] = None
         self._startup_error: Optional[BaseException] = None
+        self._started_monotonic = time.monotonic()
+        # Pre-register the request latency histogram so /metrics always
+        # exposes it, even before the first request lands.
+        self.metrics.histogram("http_request_seconds")
+        if config.trace_out or config.trace_jsonl:
+            TRACER.configure(
+                enabled=True, jsonl_path=config.trace_jsonl
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -202,12 +220,34 @@ class ServiceServer:
     # -- request handling --------------------------------------------------
 
     async def handle(self, request: HttpRequest) -> HttpResponse:
+        started = time.perf_counter()
+        path = request.target.split("?", 1)[0]
+        with TRACER.span(
+            "service.request", method=request.method, path=path
+        ) as span:
+            response = await self._route(request, path)
+            if span is not None:
+                span.attributes["status"] = response.status
+        self.metrics.observe(
+            "http_request_seconds", time.perf_counter() - started
+        )
+        return response
+
+    async def _route(
+        self, request: HttpRequest, path: str
+    ) -> HttpResponse:
         self.metrics.count("http_requests")
-        route = (request.method, request.target.split("?", 1)[0])
+        route = (request.method, path)
         try:
             if route == ("GET", "/healthz"):
                 return json_response(200, self._health_payload())
             if route == ("GET", "/metrics"):
+                if self._wants_prometheus(request):
+                    return HttpResponse(
+                        200,
+                        self._prometheus_text().encode("utf-8"),
+                        content_type=PROMETHEUS_CONTENT_TYPE,
+                    )
                 return json_response(200, self._metrics_payload())
             if route[1] in ("/v1/allocate", "/v1/evaluate"):
                 if request.method != "POST":
@@ -268,12 +308,33 @@ class ServiceServer:
         return None
 
     async def _run_job(self, job: ServiceJob) -> Dict[str, Any]:
-        """The batcher's execute callable: executor round-trip + store."""
+        """The batcher's execute callable: executor round-trip + store.
+
+        With tracing on, the job crosses the pool via ``traced_call``:
+        the worker records its own spans and returns them next to the
+        result, which stays byte-identical to the untraced path.
+        """
         assert self._loop is not None and self._executor is not None
         with self.metrics.stage("execute"):
-            result = await self._loop.run_in_executor(
-                self._executor, run_service_job, job.payload
-            )
+            if TRACER.enabled:
+                with TRACER.span(
+                    "service.execute",
+                    op=job.op,
+                    fingerprint=job.fingerprint[:16],
+                ):
+                    wrapped = await self._loop.run_in_executor(
+                        self._executor,
+                        traced_call,
+                        TRACER.current_carrier(),
+                        run_service_job,
+                        job.payload,
+                    )
+                TRACER.ingest(wrapped["spans"])
+                result = wrapped["result"]
+            else:
+                result = await self._loop.run_in_executor(
+                    self._executor, run_service_job, job.payload
+                )
         self.metrics.count("jobs_executed")
         self._memo[job.fingerprint] = result
         if self.cache is not None:
@@ -281,6 +342,23 @@ class ServiceServer:
         return result
 
     # -- introspection -----------------------------------------------------
+
+    def _wants_prometheus(self, request: HttpRequest) -> bool:
+        """Content negotiation for /metrics: Prometheus text on an
+        explicit ``Accept: text/plain`` or ``?format=prometheus``;
+        JSON (the historical format) otherwise."""
+        target = request.target
+        if "?" in target:
+            query = target.split("?", 1)[1]
+            if "format=prometheus" in query.split("&"):
+                return True
+        accept = request.headers.get("accept", "")
+        return "text/plain" in accept
+
+    def _prometheus_text(self) -> str:
+        # Refresh the gauges exactly like the JSON payload does.
+        self._metrics_payload()
+        return self.metrics.to_prometheus()
 
     def _health_payload(self) -> Dict[str, Any]:
         batcher = self._batcher
@@ -290,6 +368,10 @@ class ServiceServer:
             "executor": self.executor_kind,
             "in_flight": batcher.pending if batcher else 0,
             "queue_depth": batcher.queue_depth if batcher else 0,
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "metrics_schema": SCHEMA_VERSION,
         }
 
     def _metrics_payload(self) -> Dict[str, Any]:
@@ -334,5 +416,8 @@ def serve_forever(
         pass
     if metrics_out:
         server.metrics.write(metrics_out)
+    if config.trace_out:
+        write_chrome_trace(config.trace_out, TRACER.drain())
+        print(f"wrote trace to {config.trace_out}", file=sys.stderr)
     print(server.metrics.summary(), file=sys.stderr)
     return 0

@@ -33,6 +33,7 @@ from ..hierarchy.counters import AccessCounters
 from ..hierarchy.hw_lrf import HardwareThreeLevel
 from ..hierarchy.rfc import RegisterFileCache
 from ..ir.kernel import Kernel
+from ..obs.tracer import TRACER
 from .accounting import (
     BaselineAccounting,
     HardwareAccounting,
@@ -84,11 +85,14 @@ def build_traces(
     kernel: Kernel, warp_inputs: Sequence[WarpInput]
 ) -> TraceSet:
     """Execute every warp and materialise its instruction stream."""
-    traces = [
-        list(WarpExecutor(kernel, warp_input).run())
-        for warp_input in warp_inputs
-    ]
-    return TraceSet(kernel, traces)
+    with TRACER.span(
+        "sim.trace", kernel=kernel.name, warps=len(warp_inputs)
+    ):
+        traces = [
+            list(WarpExecutor(kernel, warp_input).run())
+            for warp_input in warp_inputs
+        ]
+        return TraceSet(kernel, traces)
 
 
 def build_divergent_traces(kernel: Kernel, warp_inputs) -> TraceSet:
@@ -195,11 +199,17 @@ def evaluate_traces(
             memo=allocation_memo,
         )
 
-    if use_compiled:
-        counters = _account_compiled(traces, scheme, allocation)
-        baseline = _cached_baseline(traces)
-    else:
-        counters, baseline = _account_scalar(traces, scheme, allocation)
+    with TRACER.span(
+        "sim.account",
+        kernel=kernel.name,
+        scheme=scheme.name,
+        compiled=use_compiled,
+    ):
+        if use_compiled:
+            counters = _account_compiled(traces, scheme, allocation)
+            baseline = _cached_baseline(traces)
+        else:
+            counters, baseline = _account_scalar(traces, scheme, allocation)
 
     return KernelEvaluation(
         kernel_name=kernel.name,

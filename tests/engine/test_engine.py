@@ -261,11 +261,15 @@ def test_metrics_schema(tmp_path):
     metrics.count("record_misses")
     metrics.gauge("queue_depth", 4.0)
     data = metrics.to_dict()
-    assert data["schema"] == 2
-    assert set(data) == {"schema", "stages", "counters", "gauges"}
+    assert data["schema"] == 3
+    assert set(data) == {
+        "schema", "stages", "counters", "gauges", "histograms"
+    }
     assert "traces" in data["stages"]
     assert data["counters"] == {"record_memo_hits": 3, "record_misses": 1}
     assert data["gauges"] == {"queue_depth": 4.0}
+    # Every stage also feeds a latency histogram (schema 3).
+    assert "stage_traces_seconds" in data["histograms"]
     path = tmp_path / "metrics.json"
     metrics.write(str(path))
     assert json.loads(path.read_text()) == data

@@ -1,0 +1,79 @@
+"""Allocation provenance: decision trail recording and `repro explain`."""
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.obs.explain import explain_report
+from repro.obs.provenance import EVENT_KINDS, ProvenanceRecorder
+from repro.workloads import generate_workload
+
+#: The fuzz_320 misread configuration (see tests/sim/test_fuzz_regressions).
+FUZZ_320_CONFIG = AllocationConfig(
+    orf_entries=1,
+    use_lrf=False,
+    split_lrf=False,
+    allow_forward_branches=True,
+)
+
+
+def test_recorder_captures_decision_trail():
+    spec = generate_workload(7, num_warps=1)
+    recorder = ProvenanceRecorder()
+    allocate_kernel(
+        spec.kernel.clone(),
+        AllocationConfig.best_paper_config(),
+        recorder=recorder,
+    )
+    assert recorder.events, "allocator recorded no decisions"
+    kinds = {event.kind for event in recorder.events}
+    assert kinds <= set(EVENT_KINDS)
+    assert "place" in kinds or "skip" in kinds
+    placed = [e for e in recorder.events if e.kind == "place"]
+    for event in placed:
+        assert event.target in ("web", "read_operand")
+        assert event.level in ("ORF", "LRF")
+        assert event.positions
+        assert event.reg.startswith(("R", "P"))
+    # The per-register / per-position filters slice the same trail.
+    if placed:
+        sample = placed[0]
+        assert sample in recorder.for_reg(sample.reg)
+        assert sample in recorder.for_position(sample.positions[0])
+    assert len(recorder.to_dicts()) == len(recorder.events)
+
+
+def test_recorder_does_not_change_allocation_results():
+    spec = generate_workload(320, num_warps=1)
+    plain = spec.kernel.clone()
+    recorded = spec.kernel.clone()
+    allocate_kernel(plain, FUZZ_320_CONFIG)
+    recorder = ProvenanceRecorder()
+    allocate_kernel(recorded, FUZZ_320_CONFIG, recorder=recorder)
+    assert recorder.events
+
+    def annotations(kernel):
+        return [
+            (ref.position, inst.ends_strand, inst.dst_ann, inst.src_anns)
+            for ref, inst in kernel.instructions()
+        ]
+
+    assert annotations(plain) == annotations(recorded)
+
+
+def test_explain_report_surfaces_fuzz_320_misread_chain():
+    spec = generate_workload(320, num_warps=1)
+    report = explain_report(spec.kernel, FUZZ_320_CONFIG, reg="R18")
+    # The decision trail must show the overlapping ORF residency that
+    # makes @16 read a stale value: the R18 web and the R17 read
+    # operand both landing in ORF entry 0.
+    assert "@16" in report
+    assert "R18" in report
+    assert "ORF" in report
+    assert "place" in report
+    assert "read_operand" in report
+
+
+def test_explain_report_filters_by_position():
+    spec = generate_workload(320, num_warps=1)
+    full = explain_report(spec.kernel, FUZZ_320_CONFIG)
+    only_16 = explain_report(spec.kernel, FUZZ_320_CONFIG, position=16)
+    assert len(only_16) <= len(full)
+    assert "@16" in only_16

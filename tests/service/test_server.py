@@ -240,13 +240,83 @@ def test_draining_rejects_new_work_with_503():
         assert client.evaluate(**EVAL_BODY)["served_from"] == "computed"
 
 
-def test_metrics_endpoint_is_schema_2():
+def test_metrics_endpoint_is_schema_3():
     with running_server() as server:
         client = client_for(server)
         client.evaluate(**EVAL_BODY)
         metrics = client.metrics()
-        assert metrics["schema"] == 2
-        assert set(metrics) == {"schema", "stages", "counters", "gauges"}
+        assert metrics["schema"] == 3
+        assert set(metrics) == {
+            "schema", "stages", "counters", "gauges", "histograms"
+        }
         assert metrics["counters"]["evaluate_responses"] == 1
         assert "service_in_flight" in metrics["gauges"]
         assert "execute" in metrics["stages"]
+        # Request latency histogram is pre-registered at boot.
+        histogram = metrics["histograms"]["http_request_seconds"]
+        assert histogram["count"] >= 1
+        assert len(histogram["bucket_counts"]) == len(histogram["bounds"]) + 1
+
+        # A schema-2 consumer that only reads the original keys keeps
+        # working: the new top-level key is additive.
+        legacy_view = {
+            k: metrics[k]
+            for k in ("schema", "stages", "counters", "gauges")
+        }
+        assert legacy_view["counters"]["evaluate_responses"] == 1
+
+
+def test_healthz_reports_uptime_and_schema():
+    with running_server() as server:
+        health = client_for(server).healthz()
+        assert health["status"] == "ok"
+        assert health["metrics_schema"] == 3
+        assert health["uptime_seconds"] >= 0.0
+        assert "version" in health
+
+
+def test_metrics_prometheus_negotiation():
+    with running_server() as server:
+        client = client_for(server)
+        client.evaluate(**EVAL_BODY)
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            connection.request(
+                "GET", "/metrics", headers={"Accept": "text/plain"}
+            )
+            response = connection.getresponse()
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "text/plain; version=0.0.4"
+            )
+        finally:
+            connection.close()
+        assert "# TYPE repro_http_request_seconds histogram" in body
+        assert 'repro_http_request_seconds_bucket{le="+Inf"}' in body
+        assert "repro_evaluate_responses_total 1" in body
+
+        # The query-parameter form negotiates the same representation.
+        status, text_payload = _raw_text(
+            server.port, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert "repro_http_request_seconds_count" in text_payload
+
+        # Default (no Accept header) stays JSON for existing scrapers.
+        status, payload = client.request_raw("GET", "/metrics")
+        assert status == 200
+        assert payload["schema"] == 3
+
+
+def _raw_text(port, path):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()

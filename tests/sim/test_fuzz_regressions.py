@@ -1,0 +1,58 @@
+"""Pinned fuzz-found allocator regressions.
+
+Each entry here is a *known-bad* seed/config pair found by the
+property-based fuzz (tests/test_properties.py) and pinned as
+``xfail(strict=True)``: the test starts passing the day the underlying
+bug is fixed, which flips it to XPASS and fails the run — the pin must
+then be promoted to a plain regression test.
+"""
+
+import sys
+
+import pytest
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.obs.explain import explain_report
+from repro.sim.divergence import DivergentWarpInput, run_divergent_warp
+from repro.sim.verify import AllocationVerificationError
+from repro.sim.verify_divergent import verify_divergent_trace
+from repro.workloads import generate_workload
+
+#: Seed 320 under a single-entry ORF with no LRF and forward branches
+#: allowed: the R18 web ([16,16]) and the R17 read operand ([10,16])
+#: are both placed in ORF entry 0 of strand 2, so the divergent re-read
+#: at @16 (`imax R18, R11, R17`) observes R18's value instead of R17's.
+FUZZ_320_CONFIG = AllocationConfig(
+    orf_entries=1,
+    use_lrf=False,
+    split_lrf=False,
+    allow_forward_branches=True,
+)
+
+
+@pytest.mark.xfail(
+    strict=True,
+    raises=AllocationVerificationError,
+    reason="fuzz_320: overlapping ORF[0] residency misreads @16 imax R18",
+)
+def test_fuzz_320_single_entry_orf_misread():
+    spec = generate_workload(320, num_warps=1)
+    result = allocate_kernel(spec.kernel, FUZZ_320_CONFIG)
+    base = dict(spec.warp_inputs[0].live_in_values)
+    threads = []
+    for lane in range(4):
+        values = dict(base)
+        key = sorted(values, key=lambda r: r.index)[0]
+        values[key] = values[key] + 13 * lane
+        threads.append(values)
+    events = run_divergent_warp(spec.kernel, DivergentWarpInput(threads))
+    try:
+        verify_divergent_trace(spec.kernel, result.partition, events, 4)
+    except AllocationVerificationError:
+        # Dump the allocator's decision chain for the offending
+        # register so the failure is diagnosable straight from the log.
+        print(
+            explain_report(spec.kernel, FUZZ_320_CONFIG, reg="R18"),
+            file=sys.stderr,
+        )
+        raise
