@@ -652,10 +652,16 @@ def _try_allocate_read_operand(
             return
         begin = covered[0].position
         end = covered[-1].position
-        entries = orf.find_free_group(begin, end, candidate.width_words)
+        # Read-operand ranges are *closed* occupancy: the entry is
+        # filled in the first read's read phase and must survive until
+        # the last read's read phase, so they conflict with any web
+        # window touching either boundary (fuzz seed 320).
+        entries = orf.find_free_group(
+            begin, end, candidate.width_words, closed=True
+        )
         if entries is not None:
             for entry in entries:
-                orf.allocate(entry, begin, end)
+                orf.allocate(entry, begin, end, closed=True)
             assignment = ReadOperandAssignment(
                 candidate=candidate,
                 entries=tuple(entries),

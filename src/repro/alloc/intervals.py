@@ -6,6 +6,25 @@ are disjoint.  Intervals are expressed in global layout positions,
 which strictly increase along every dynamic path within a strand
 (strands contain no backward branches), so interval disjointness is a
 sound — mildly conservative across hammock arms — sharing condition.
+
+Two window flavours exist, distinguished by ``closed``:
+
+* **Value windows** (webs, ``closed=False``): occupancy starts at the
+  *write phase* of the defining slot and ends at the *read phase* of
+  the last covered read.  Reads happen before writes within a slot, so
+  a value last read at slot N and a value defined at slot N may share
+  an entry — unless both begin at N (both write the entry in N's write
+  phase).
+* **Read-operand windows** (Section 4.4 groups, ``closed=True``):
+  occupancy spans the whole group inclusively.  The entry is filled in
+  the *read phase* of the first read and must still be observable in
+  the read phase of the last read; under SIMT divergence the boundary
+  slots can be revisited on another path before the group is done
+  (fuzz seed 320: a web defined at the group's final slot clobbered
+  the entry between divergent arm executions).  A closed window
+  therefore conflicts with *any* window it touches, in either
+  direction — placed read-operand ranges are entry occupancy for webs,
+  and vice versa.
 """
 
 from __future__ import annotations
@@ -13,35 +32,46 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+#: One occupancy window: (begin, end, closed).
+Window = Tuple[int, int, bool]
+
+
+def windows_conflict(a: Window, b: Window) -> bool:
+    """True if two occupancy windows cannot share one entry.
+
+    This predicate is the single source of truth for entry sharing;
+    the allocator enforces it and the property tests re-check the
+    allocator's output against it.
+    """
+    begin_a, end_a, closed_a = a
+    begin_b, end_b, closed_b = b
+    if closed_a or closed_b:
+        # Inclusive overlap: a closed (read-operand) window owns its
+        # boundary slots outright.
+        return begin_a <= end_b and begin_b <= end_a
+    # Two value windows: write-phase begin vs. read-phase end allows
+    # boundary sharing, except when both write the entry in the same
+    # slot's write phase.
+    return begin_a == begin_b or (begin_a < end_b and begin_b < end_a)
+
 
 @dataclass
 class _Entry:
-    occupied: List[Tuple[int, int]] = field(default_factory=list)
+    occupied: List[Window] = field(default_factory=list)
 
-    def available(self, begin: int, end: int) -> bool:
-        """True if (begin, end] does not overlap any occupied window.
-
-        A value occupies its entry from the *write phase* of its
-        defining slot to the *read phase* of its last-read slot.  Reads
-        happen before writes within a slot, so a value last read at
-        slot N and a value defined at slot N can share the entry:
-        windows conflict only when each begins strictly before the
-        other ends — except that two windows beginning at the same slot
-        always conflict (both write the entry in that slot's write
-        phase).
-        """
-        return all(
-            begin != other_begin
-            and (begin >= other_end or other_begin >= end)
-            for other_begin, other_end in self.occupied
+    def available(self, begin: int, end: int, closed: bool = False) -> bool:
+        """True if the window may be added without a sharing conflict."""
+        candidate = (begin, end, closed)
+        return not any(
+            windows_conflict(candidate, other) for other in self.occupied
         )
 
-    def allocate(self, begin: int, end: int) -> None:
-        if not self.available(begin, end):
+    def allocate(self, begin: int, end: int, closed: bool = False) -> None:
+        if not self.available(begin, end, closed):
             raise ValueError(
                 f"interval [{begin}, {end}] overlaps an existing allocation"
             )
-        self.occupied.append((begin, end))
+        self.occupied.append((begin, end, closed))
 
 
 class EntryFile:
@@ -56,17 +86,19 @@ class EntryFile:
     def num_entries(self) -> int:
         return len(self._entries)
 
-    def find_free(self, begin: int, end: int) -> Optional[int]:
+    def find_free(
+        self, begin: int, end: int, closed: bool = False
+    ) -> Optional[int]:
         """Lowest-index entry free over [begin, end], or None."""
         if begin > end:
             raise ValueError(f"empty interval [{begin}, {end}]")
         for index, entry in enumerate(self._entries):
-            if entry.available(begin, end):
+            if entry.available(begin, end, closed):
                 return index
         return None
 
     def find_free_group(
-        self, begin: int, end: int, count: int
+        self, begin: int, end: int, count: int, closed: bool = False
     ) -> Optional[List[int]]:
         """``count`` distinct free entries over [begin, end], or None.
 
@@ -77,14 +109,18 @@ class EntryFile:
         free = [
             index
             for index, entry in enumerate(self._entries)
-            if entry.available(begin, end)
+            if entry.available(begin, end, closed)
         ]
         if len(free) < count:
             return None
         return free[:count]
 
-    def allocate(self, entry_index: int, begin: int, end: int) -> None:
-        self._entries[entry_index].allocate(begin, end)
+    def allocate(
+        self, entry_index: int, begin: int, end: int, closed: bool = False
+    ) -> None:
+        self._entries[entry_index].allocate(begin, end, closed)
 
-    def is_available(self, entry_index: int, begin: int, end: int) -> bool:
-        return self._entries[entry_index].available(begin, end)
+    def is_available(
+        self, entry_index: int, begin: int, end: int, closed: bool = False
+    ) -> bool:
+        return self._entries[entry_index].available(begin, end, closed)

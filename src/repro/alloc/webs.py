@@ -23,6 +23,18 @@ value and feed read operand allocation (Section 4.4, Figure 8b).  Such
 a read may be redirected to the ORF only if the group's first read —
 the one that fetches from the MRF and fills the ORF entry — executes on
 every intra-strand path leading to it ("definitely precedes" it).
+
+Divergence adds a second soundness condition beyond dataflow.  Under
+SIMT execution the taken side of a guarded forward branch runs first,
+so between a fill (definition or read-operand fetch) and a later read
+the warp may execute the *other* hammock arm.  If that interleaved
+region crosses a strand boundary, the warp is descheduled there and
+the ORF/LRF contents are lost before the read executes, even though
+both endpoints sit in the same strand (fuzz seed 320 at the default
+config: the R11 read at the hammock's fall arm is serviced after the
+taken arm's strand-ending ``ldg``).  :class:`_DivergenceHazards`
+detects the class statically and such reads are excluded from
+coverability.
 """
 
 from __future__ import annotations
@@ -30,6 +42,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.postdom import PostDominatorTree
 from ..analysis.reaching import Definition, ReachingDefinitions, ReadSite
 from ..ir.instructions import FunctionalUnit, Instruction, Opcode
 from ..ir.kernel import InstructionRef, Kernel
@@ -47,6 +61,11 @@ class WebRead:
     #: True if the value may arrive from outside the strand on some
     #: path, forcing this read to come from the MRF.
     mixed: bool
+    #: True if divergent taken-side-first interleaving can deschedule
+    #: the warp between the fill and this read (another hammock arm
+    #: containing a strand boundary runs in between), forcing this
+    #: read to come from the MRF.
+    divergence_unsafe: bool = False
 
     @property
     def position(self) -> int:
@@ -80,16 +99,22 @@ class Web:
 
     @property
     def coverable_reads(self) -> List[WebRead]:
-        """Reads redirectable to the ORF/LRF (non-mixed), by position."""
+        """Reads redirectable to the ORF/LRF, by position."""
         return sorted(
-            (read for read in self.reads if not read.mixed),
+            (
+                read
+                for read in self.reads
+                if not read.mixed and not read.divergence_unsafe
+            ),
             key=lambda read: read.position,
         )
 
     @property
     def needs_mrf_write(self) -> bool:
         """True if the value must reach the MRF even when allocated."""
-        return self.live_out or any(read.mixed for read in self.reads)
+        return self.live_out or any(
+            read.mixed or read.divergence_unsafe for read in self.reads
+        )
 
     @property
     def all_private(self) -> bool:
@@ -239,6 +264,116 @@ class _LocalReaching:
 
 
 # ---------------------------------------------------------------------------
+# divergence hazards
+# ---------------------------------------------------------------------------
+
+
+class _DivergenceHazards:
+    """Static model of divergent taken-side-first interleaving.
+
+    Every guarded forward branch is a potential hammock: the taken
+    region ``[taken, reconv)`` executes before the fall region
+    ``[fall, taken)``, where ``reconv`` is the first position of the
+    branch block's immediate post-dominator (the reconvergence point).
+    A fill at ``p`` cannot service a read at ``q`` from the ORF/LRF if
+    any position range executed between them — under that reordering —
+    leaves the read's strand: the warp is descheduled there and the
+    upper levels are flushed.
+    """
+
+    def __init__(self, kernel: Kernel, partition: StrandPartition) -> None:
+        self._strand_of = partition.strand_of_position
+        first_pos: Dict[int, int] = {}
+        position = 0
+        for block_index, block in enumerate(kernel.blocks):
+            first_pos[block_index] = position
+            position += len(block.instructions)
+        num_positions = position
+        postdom = PostDominatorTree(ControlFlowGraph(kernel))
+        #: (branch position, taken-region begin, reconvergence position)
+        self._hammocks: List[Tuple[int, int, int]] = []
+        for ref, instruction in kernel.instructions():
+            if instruction.opcode is not Opcode.BRA:
+                continue
+            if instruction.guard is None:
+                continue
+            target = first_pos[kernel.block_index(instruction.target)]
+            if target <= ref.position:
+                # Backward branches end strands; no in-strand range can
+                # span them.
+                continue
+            ipd = postdom.immediate_post_dominator(ref.block_index)
+            reconv = first_pos[ipd] if ipd is not None else num_positions
+            self._hammocks.append((ref.position, target, reconv))
+
+    def unsafe(self, avail_positions, read_position: int) -> bool:
+        """True if some fill-to-read span is broken by interleaving."""
+        q = read_position
+        strand_id = self._strand_of.get(q)
+        for b, taken, reconv in self._hammocks:
+            if b >= q:
+                continue
+            for p in avail_positions:
+                if p >= q or reconv <= p:
+                    continue
+                segments = _intervening_segments(p, q, b, taken, reconv)
+                if segments is None:
+                    continue
+                if any(
+                    self._leaves_strand(lo, hi, strand_id)
+                    for lo, hi in segments
+                ):
+                    return True
+        return False
+
+    def _leaves_strand(self, begin: int, end: int, strand_id) -> bool:
+        strand_of = self._strand_of
+        return any(
+            strand_of.get(s) != strand_id for s in range(begin, end)
+        )
+
+
+def _intervening_segments(
+    p: int, q: int, b: int, taken: int, reconv: int
+) -> Optional[List[Tuple[int, int]]]:
+    """Position ranges executed between fill ``p`` and read ``q``.
+
+    Models one hammock's reordering (taken region ``[taken, reconv)``
+    before fall region ``[fall, taken)``); returns None when the
+    hammock cannot interleave anything between the pair.  Ranges are
+    half-open and mildly conservative: linear spans may include
+    positions on statically skipped paths.
+    """
+    fall = b + 1
+    in_fall_q = fall <= q < taken
+    in_taken_q = taken <= q < reconv
+    if p <= b:
+        if in_taken_q:
+            # The taken side runs first, straight from the fill.
+            return [(p, b + 1), (taken, q)]
+        if in_fall_q:
+            # The whole taken region runs before the fall arm.
+            return [(p, b + 1), (taken, reconv), (fall, q)]
+        return [(p, q)]
+    in_fall_p = fall <= p < taken
+    in_taken_p = taken <= p < reconv
+    if in_taken_p:
+        if in_taken_q:
+            return [(p, q)]
+        if in_fall_q:
+            # Rest of the taken arm, then the fall arm up to the read.
+            return [(p, reconv), (fall, q)]
+        return [(p, reconv), (fall, taken), (reconv, q)]
+    if in_fall_p:
+        if in_fall_q:
+            # Same arm; the taken side ran entirely before the fill.
+            return [(p, q)]
+        return [(p, taken), (reconv, q)]
+    # p >= reconv: the hammock is entirely before the fill.
+    return None
+
+
+# ---------------------------------------------------------------------------
 # web construction
 # ---------------------------------------------------------------------------
 
@@ -254,6 +389,7 @@ class _WebBuilder:
         self.partition = partition
         self.reaching = reaching
         self.local = _LocalReaching(kernel, partition, reaching)
+        self.hazards = _DivergenceHazards(kernel, partition)
         self._instructions: Dict[int, Instruction] = {
             ref.position: instruction
             for ref, instruction in kernel.instructions()
@@ -360,12 +496,19 @@ class _WebBuilder:
 
         for site, web_ids, mixed in read_info:
             root = find(next(iter(web_ids)))
+            web = web_of_root[root]
             instruction = self._instructions[site.ref.position]
-            web_of_root[root].reads.append(
+            def_positions = tuple(
+                d.ref.position for d in web.defs if d.ref is not None
+            )
+            web.reads.append(
                 WebRead(
                     site=site,
                     shared_unit=instruction.unit.is_shared,
                     mixed=mixed,
+                    divergence_unsafe=self.hazards.unsafe(
+                        def_positions, site.ref.position
+                    ),
                 )
             )
         for web in webs:
@@ -410,6 +553,13 @@ class _WebBuilder:
             coverable = _definitely_preceded_subset(
                 strand, reads, successors
             )
+            if coverable:
+                fill = (coverable[0].position,)
+                coverable = [coverable[0]] + [
+                    read
+                    for read in coverable[1:]
+                    if not self.hazards.unsafe(fill, read.position)
+                ]
             candidates.append(
                 ReadOperandCandidate(
                     strand_id=strand.strand_id,

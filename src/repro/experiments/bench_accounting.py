@@ -1,15 +1,21 @@
 """Scalar-vs-compiled accounting benchmark (``repro bench-accounting``).
 
-Times the two accounting paths of :func:`repro.sim.evaluate_traces`
-over the standard workload suite — the scalar event-walk oracle against
-the compiled columnar/histogram path — and writes the measurements as
-JSON (``BENCH_accounting.json``).
+Times the two accounting paths over the standard workload suite — the
+scalar event-walk oracle against the compiled columnar/histogram path
+(software schemes via :func:`repro.sim.evaluate_traces`, hardware
+schemes batched through :func:`repro.sim.runner.evaluate_traces_batch`
+so all 12 sweep configurations share one event-program pass per unique
+trace) — and writes the measurements as JSON (``BENCH_accounting.json``).
 
 Method: allocations are prewarmed into a shared memo so both passes
 time *accounting*, not the allocator; the engine record memo is never
 involved (cold-engine, single-process numbers); the compiled pass runs
 on freshly built trace sets, so one-time trace compilation is inside
 the measured region; each pass is repeated and the best wall time kept.
+
+Schema 2 adds machine-comparable normalized costs: per family, the
+nanoseconds spent per dynamic instruction per scheme
+(``*_ns_per_instr``), alongside the raw wall seconds.
 """
 
 from __future__ import annotations
@@ -23,13 +29,13 @@ from ..sim.runner import (
     TraceSet,
     allocate_for_traces,
     build_traces,
-    evaluate_traces,
+    evaluate_traces_batch,
 )
 from ..sim.schemes import Scheme, SchemeKind
 from ..workloads.shapes import WorkloadSpec
 from ..workloads.suites import all_workloads
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: ORF/RFC sizes swept per scheme family — the Figure 11/12 x-axis.
 ENTRY_SWEEP = (1, 2, 3, 4, 6, 8)
@@ -83,13 +89,12 @@ def _time_pass(
 ) -> float:
     started = time.perf_counter()
     for traces in suite:
-        for scheme in schemes:
-            evaluate_traces(
-                traces,
-                scheme,
-                allocation_memo=memo,
-                use_compiled=use_compiled,
-            )
+        evaluate_traces_batch(
+            traces,
+            schemes,
+            allocation_memo=memo,
+            use_compiled=use_compiled,
+        )
     return time.perf_counter() - started
 
 
@@ -110,10 +115,17 @@ def _bench_family(
         _time_pass(_build_suite(scale), schemes, memo, use_compiled=True)
         for _ in range(repeats)
     )
+    # Normalized cost (schema 2): nanoseconds per dynamic instruction
+    # per scheme — comparable across machines and suite scales.
+    accounted = sum(
+        traces.dynamic_instructions for traces in scalar_suite
+    ) * len(schemes)
     return {
         "schemes": len(schemes),
         "scalar_s": round(scalar_s, 6),
         "compiled_s": round(compiled_s, 6),
+        "scalar_ns_per_instr": round(scalar_s / accounted * 1e9, 2),
+        "compiled_ns_per_instr": round(compiled_s / accounted * 1e9, 2),
         "speedup": round(scalar_s / compiled_s, 2) if compiled_s else 0.0,
     }
 
@@ -174,8 +186,10 @@ def format_bench_accounting(payload: Dict) -> str:
         row = payload[family]
         lines.append(
             f"  {family:<9} {row['schemes']:>3} schemes   "
-            f"scalar {row['scalar_s']:8.3f}s   "
-            f"compiled {row['compiled_s']:8.3f}s   "
+            f"scalar {row['scalar_s']:8.3f}s "
+            f"({row['scalar_ns_per_instr']:8.1f} ns/instr)   "
+            f"compiled {row['compiled_s']:8.3f}s "
+            f"({row['compiled_ns_per_instr']:8.1f} ns/instr)   "
             f"{row['speedup']:6.2f}x"
         )
     return "\n".join(lines)

@@ -15,12 +15,43 @@ because wire energy differs (Table 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 from ..levels import ALL_LEVELS, Level
 
 #: Counter key: (level, is_read, shared_unit).
 CounterKey = Tuple[Level, bool, bool]
+
+#: Dense slot layout for the columnar hardware walks: every counter a
+#: hardware model can touch, in a fixed order.  ``shared`` is the
+#: fastest-varying bit, so ``slot(level, is_read, False) + 1`` is the
+#: shared-datapath variant of the same counter.
+COUNTER_SLOTS: Tuple[CounterKey, ...] = tuple(
+    (level, is_read, shared)
+    for level in (Level.LRF, Level.ORF, Level.MRF)
+    for is_read in (True, False)
+    for shared in (False, True)
+)
+
+#: CounterKey -> dense slot index (inverse of ``COUNTER_SLOTS``).
+SLOT_INDEX: Dict[CounterKey, int] = {
+    key: index for index, key in enumerate(COUNTER_SLOTS)
+}
+
+
+def counters_from_slots(slots: Sequence[float]) -> AccessCounters:
+    """Rehydrate an :class:`AccessCounters` from a dense slot vector.
+
+    Zero slots are dropped so the result is key-for-key comparable with
+    counters built incrementally by the scalar drivers (which never
+    materialise untouched keys).
+    """
+    counters = AccessCounters()
+    counts = counters.counts
+    for key, value in zip(COUNTER_SLOTS, slots):
+        if value:
+            counts[key] = value
+    return counters
 
 
 @dataclass

@@ -19,11 +19,11 @@ Static liveness elides dead write-backs at every step.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import FrozenSet
+from typing import FrozenSet, List
 
 from ..ir.registers import Register
 from ..levels import Level
-from .counters import AccessCounters
+from .counters import SLOT_INDEX, AccessCounters
 
 
 class HardwareThreeLevel:
@@ -161,3 +161,132 @@ class HardwareThreeLevel:
     @property
     def resident_registers(self) -> FrozenSet[Register]:
         return frozenset(self._lrf) | frozenset(self._rfc)
+
+
+# ---------------------------------------------------------------------------
+# columnar walk
+# ---------------------------------------------------------------------------
+
+_LRF_R = SLOT_INDEX[(Level.LRF, True, False)]
+_LRF_W = SLOT_INDEX[(Level.LRF, False, False)]
+_ORF_R = SLOT_INDEX[(Level.ORF, True, False)]
+_ORF_W = SLOT_INDEX[(Level.ORF, False, False)]
+_MRF_R = SLOT_INDEX[(Level.MRF, True, False)]
+_MRF_W = SLOT_INDEX[(Level.MRF, False, False)]
+
+
+def columnar_three_level_walk(
+    program,
+    words,
+    rfc_capacity: int,
+    lrf_capacity: int = 1,
+    flush_on_backward_branch: bool = False,
+) -> List[int]:
+    """Replay one compiled event program through the LRF+RFC+MRF model.
+
+    Same contract as :func:`repro.hierarchy.rfc.columnar_rfc_walk`,
+    for :class:`HardwareThreeLevel`: two id-list FIFOs with residency
+    bitmasks, live-LRF evictions cascading into the RFC, and the
+    shared-consumed LRF bypass taken from the program's per-event flag.
+    """
+    slots = [0] * len(SLOT_INDEX)
+    lrf: List[int] = []
+    lrf_mask = 0
+    rfc: List[int] = []
+    rfc_mask = 0
+
+    def write_rfc(rid: int, shared: int, live: int) -> None:
+        nonlocal rfc_mask
+        if not rfc_mask >> rid & 1:
+            while len(rfc) >= rfc_capacity:
+                evicted = rfc.pop(0)
+                rfc_mask &= ~(1 << evicted)
+                if live >> evicted & 1:
+                    width = words[evicted]
+                    slots[_ORF_R] += width
+                    slots[_MRF_W] += width
+            rfc.append(rid)
+            rfc_mask |= 1 << rid
+        slots[_ORF_W + shared] += words[rid]
+
+    for (
+        shared,
+        reads,
+        desched_mask,
+        backward_mask,
+        write_id,
+        write_words,
+        long_latency,
+        live_after,
+        shared_consumed,
+    ) in program:
+        if desched_mask is not None:
+            for rid in lrf:
+                if desched_mask >> rid & 1:
+                    width = words[rid]
+                    slots[_LRF_R] += width
+                    slots[_MRF_W] += width
+            for rid in rfc:
+                if desched_mask >> rid & 1:
+                    width = words[rid]
+                    slots[_ORF_R] += width
+                    slots[_MRF_W] += width
+            lrf.clear()
+            rfc.clear()
+            lrf_mask = rfc_mask = 0
+
+        for rid, width in reads:
+            if lrf_mask >> rid & 1 and not shared:
+                slots[_LRF_R + shared] += width
+            elif rfc_mask >> rid & 1:
+                slots[_ORF_R + shared] += width
+            else:
+                slots[_MRF_R + shared] += width
+
+        if backward_mask is not None and flush_on_backward_branch:
+            for rid in lrf:
+                if backward_mask >> rid & 1:
+                    width = words[rid]
+                    slots[_LRF_R] += width
+                    slots[_MRF_W] += width
+            for rid in rfc:
+                if backward_mask >> rid & 1:
+                    width = words[rid]
+                    slots[_ORF_R] += width
+                    slots[_MRF_W] += width
+            lrf.clear()
+            rfc.clear()
+            lrf_mask = rfc_mask = 0
+
+        if write_id >= 0:
+            if long_latency:
+                if lrf_mask >> write_id & 1:
+                    lrf_mask &= ~(1 << write_id)
+                    lrf.remove(write_id)
+                if rfc_mask >> write_id & 1:
+                    rfc_mask &= ~(1 << write_id)
+                    rfc.remove(write_id)
+                slots[_MRF_W + shared] += write_words
+            elif shared_consumed or shared:
+                if lrf_mask >> write_id & 1:
+                    lrf_mask &= ~(1 << write_id)
+                    lrf.remove(write_id)
+                write_rfc(write_id, shared, live_after)
+            else:
+                if rfc_mask >> write_id & 1:
+                    rfc_mask &= ~(1 << write_id)
+                    rfc.remove(write_id)
+                if lrf_mask >> write_id & 1:
+                    slots[_LRF_W + shared] += write_words
+                else:
+                    while len(lrf) >= lrf_capacity:
+                        evicted = lrf.pop(0)
+                        lrf_mask &= ~(1 << evicted)
+                        if live_after >> evicted & 1:
+                            slots[_LRF_R] += words[evicted]
+                            write_rfc(evicted, 0, live_after)
+                    lrf.append(write_id)
+                    lrf_mask |= 1 << write_id
+                    slots[_LRF_W + shared] += write_words
+
+    return slots

@@ -23,11 +23,11 @@ eviction/flush point.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import FrozenSet
+from typing import FrozenSet, List
 
 from ..ir.registers import Register
 from ..levels import Level
-from .counters import AccessCounters
+from .counters import SLOT_INDEX, AccessCounters
 
 
 class RegisterFileCache:
@@ -122,3 +122,97 @@ class RegisterFileCache:
     @property
     def resident_registers(self) -> FrozenSet[Register]:
         return frozenset(self._resident)
+
+
+# ---------------------------------------------------------------------------
+# columnar walk
+# ---------------------------------------------------------------------------
+
+#: Dense counter slots (see counters.COUNTER_SLOTS): ``_X_base + shared``
+#: selects the shared-datapath variant.
+_ORF_R = SLOT_INDEX[(Level.ORF, True, False)]
+_ORF_W = SLOT_INDEX[(Level.ORF, False, False)]
+_MRF_R = SLOT_INDEX[(Level.MRF, True, False)]
+_MRF_W = SLOT_INDEX[(Level.MRF, False, False)]
+
+
+def columnar_rfc_walk(
+    program,
+    words,
+    capacity: int,
+    flush_on_backward_branch: bool = False,
+) -> List[int]:
+    """Replay one compiled event program through the RFC model.
+
+    ``program`` is a :func:`repro.sim.compiled.hardware_event_program`
+    — the scheme-independent decode of one unique warp trace, with
+    registers lowered to small integer ids and liveness to bitmasks —
+    and ``words`` maps register id to word count.  The FIFO is a plain
+    list of ids plus a residency bitmask; counters accumulate into a
+    dense slot vector (:data:`repro.hierarchy.counters.COUNTER_SLOTS`).
+
+    Behaviourally identical to driving :class:`RegisterFileCache`
+    through :class:`repro.sim.accounting.HardwareAccounting` over the
+    same trace; the scalar pair remains the differential oracle.
+    """
+    slots = [0] * len(SLOT_INDEX)
+    fifo: List[int] = []
+    resident = 0
+
+    for (
+        shared,
+        reads,
+        desched_mask,
+        backward_mask,
+        write_id,
+        write_words,
+        long_latency,
+        live_after,
+        _shared_consumed,
+    ) in program:
+        if desched_mask is not None:
+            for rid in fifo:
+                if desched_mask >> rid & 1:
+                    width = words[rid]
+                    slots[_ORF_R] += width
+                    slots[_MRF_W] += width
+            fifo.clear()
+            resident = 0
+
+        for rid, width in reads:
+            if resident >> rid & 1:
+                slots[_ORF_R + shared] += width
+            else:
+                slots[_MRF_R + shared] += width
+
+        if backward_mask is not None and flush_on_backward_branch:
+            for rid in fifo:
+                if backward_mask >> rid & 1:
+                    width = words[rid]
+                    slots[_ORF_R] += width
+                    slots[_MRF_W] += width
+            fifo.clear()
+            resident = 0
+
+        if write_id >= 0:
+            if long_latency:
+                if resident >> write_id & 1:
+                    resident &= ~(1 << write_id)
+                    fifo.remove(write_id)
+                slots[_MRF_W + shared] += write_words
+            elif resident >> write_id & 1:
+                # Overwrite in place; FIFO position unchanged.
+                slots[_ORF_W + shared] += write_words
+            else:
+                while len(fifo) >= capacity:
+                    evicted = fifo.pop(0)
+                    resident &= ~(1 << evicted)
+                    if live_after >> evicted & 1:
+                        width = words[evicted]
+                        slots[_ORF_R] += width
+                        slots[_MRF_W] += width
+                fifo.append(write_id)
+                resident |= 1 << write_id
+                slots[_ORF_W + shared] += write_words
+
+    return slots

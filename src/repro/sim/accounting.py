@@ -51,6 +51,12 @@ class PointLiveness:
     def after(self, ref: InstructionRef) -> FrozenSet[Register]:
         return self._after[ref.position]
 
+    def before_position(self, position: int) -> FrozenSet[Register]:
+        return self._before[position]
+
+    def after_position(self, position: int) -> FrozenSet[Register]:
+        return self._after[position]
+
 
 def shared_consumed_positions(kernel: Kernel) -> FrozenSet[int]:
     """Positions of instructions whose result may feed a shared unit.

@@ -19,12 +19,24 @@ This module lowers a :class:`~repro.sim.runner.TraceSet` into:
 Stateless accounting then collapses from O(dynamic instructions) per
 scheme to a single shared O(dynamic) aggregation pass plus O(static
 instructions) per scheme (:func:`baseline_counters`,
-:func:`software_counters`).  The stateful hardware models keep their
-scalar walk but are fed a :class:`StaticOperandTable` so the per-event
-operand queries become list indexing, and they too benefit from warp
-deduplication (each unique trace is simulated once; the paper's cache
-models are deterministic, so a duplicate warp contributes an identical
-counter delta).
+:func:`software_counters`).
+
+The *stateful* hardware models (FIFO caches with liveness-gated
+write-back) cannot be folded into the histogram, but their per-event
+decode is scheme-independent: which registers are read and written,
+whether the two-level scheduler deschedules the warp (a function of
+the (position, guard) stream and the static dependence table alone),
+and whether a taken branch is backward.  :func:`hardware_event_program`
+lowers each unique trace once into a compact **event program** —
+registers as small integer ids, liveness sets as bitmasks, deschedule
+and flush points resolved — and :func:`hardware_counters` replays that
+shared program through the columnar cache walks
+(:func:`repro.hierarchy.rfc.columnar_rfc_walk`,
+:func:`repro.hierarchy.hw_lrf.columnar_three_level_walk`) for every
+requested hardware scheme in one pass per unique trace, scaling each
+result by the trace's multiplicity.  Counters accumulate in dense slot
+vectors (:data:`repro.hierarchy.counters.COUNTER_SLOTS`) and are
+rehydrated at the end.
 
 The scalar drivers in :mod:`repro.sim.accounting` remain the oracle:
 ``tests/sim/test_compiled.py`` proves the compiled path produces
@@ -41,10 +53,18 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from ..hierarchy.counters import AccessCounters, CounterKey
+from ..hierarchy.counters import (
+    SLOT_INDEX,
+    AccessCounters,
+    CounterKey,
+    counters_from_slots,
+)
+from ..hierarchy.hw_lrf import columnar_three_level_walk
+from ..hierarchy.rfc import columnar_rfc_walk
 from ..ir.kernel import Kernel
 from ..levels import Level
 from .accounting import PointLiveness, shared_consumed_positions
+from .schemes import Scheme, SchemeKind
 
 #: Histogram key: (static position, guard_passed, branch_taken).
 HistogramKey = Tuple[int, bool, bool]
@@ -76,6 +96,10 @@ class CompiledTrace:
     exec_masks: array
     multiplicity: int = 1
     _digest: Optional[str] = field(default=None, repr=False, compare=False)
+    #: Cached scheme-independent event program (hardware accounting).
+    _hw_program: Optional[List] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.positions)
@@ -362,3 +386,207 @@ def merge_scaled(
     counts = into.counts
     for key, count in delta.counts.items():
         counts[key] = counts.get(key, 0) + count * multiplicity
+
+
+# -- columnar hardware accounting ------------------------------------------
+
+
+class HardwareStaticTable:
+    """Int-lowered static facts for the columnar hardware walks.
+
+    Registers are renamed to dense ids (``words[id]`` holds the word
+    count); per position the table carries the read id/width pairs, the
+    written id (-1 for none), datapath class, latency class, backward
+    branch targets, the shared-consumed LRF bypass flag, and the
+    live-before/live-after sets as bitmasks over register ids.  Only
+    registers the kernel reads or writes get ids: liveness masks are
+    consulted exclusively for cache-resident registers, and residency
+    only ever holds written registers.
+    """
+
+    __slots__ = (
+        "words",
+        "read_items",
+        "write_id",
+        "write_words",
+        "shared",
+        "long_latency",
+        "shared_consumed",
+        "backward_branch",
+        "live_before_masks",
+        "live_after_masks",
+    )
+
+    def __init__(self, kernel: Kernel) -> None:
+        liveness, shared_positions = kernel_analyses(kernel)
+        table = operand_table(kernel)
+        reg_ids: Dict = {}
+        self.words: List[int] = []
+
+        def rid(reg) -> int:
+            index = reg_ids.get(reg)
+            if index is None:
+                index = len(reg_ids)
+                reg_ids[reg] = index
+                self.words.append(reg.num_words)
+            return index
+
+        num_positions = len(table.shared)
+        self.read_items: List[Tuple[Tuple[int, int], ...]] = []
+        self.write_id: List[int] = []
+        for position in range(num_positions):
+            self.read_items.append(
+                tuple(
+                    (rid(reg), reg.num_words)
+                    for reg in table.read_regs[position]
+                )
+            )
+            written = table.write_reg[position]
+            self.write_id.append(-1 if written is None else rid(written))
+        self.write_words = table.write_words
+        self.shared = table.shared
+        self.long_latency = table.long_latency
+        self.backward_branch = table.backward_branch
+        self.shared_consumed = [
+            position in shared_positions
+            for position in range(num_positions)
+        ]
+
+        def mask(regs) -> int:
+            result = 0
+            for reg in regs:
+                index = reg_ids.get(reg)
+                if index is not None:
+                    result |= 1 << index
+            return result
+
+        self.live_before_masks = [
+            mask(liveness.before_position(position))
+            for position in range(num_positions)
+        ]
+        self.live_after_masks = [
+            mask(liveness.after_position(position))
+            for position in range(num_positions)
+        ]
+
+
+def hardware_static_table(kernel: Kernel) -> HardwareStaticTable:
+    """The kernel's hardware walk table (cached on the instance)."""
+    cached = kernel.__dict__.get("_hw_static_table")
+    if cached is None:
+        cached = HardwareStaticTable(kernel)
+        kernel.__dict__["_hw_static_table"] = cached
+    return cached
+
+
+def hardware_event_program(
+    compiled_trace: CompiledTrace, table: HardwareStaticTable
+) -> List[Tuple]:
+    """Lower one unique trace to its scheme-independent event program.
+
+    Resolves everything the hardware walks share across schemes — per
+    event: datapath class, read (id, words) pairs, the deschedule
+    flush mask (None when the two-level scheduler keeps the warp
+    scheduled), the backward-branch flush mask (None unless a backward
+    branch was taken), the written id (-1 when nothing is written:
+    no destination or guard squash), its width and latency class, and
+    the live-after mask for eviction write-back decisions.
+
+    Deschedule points replicate
+    :class:`repro.sim.accounting.HardwareAccounting`: dependence is
+    checked against the *static* written register even when the guard
+    fails, while a result joins the pending set only when the guard
+    passed and the operation is long-latency.  Cached per trace.
+    """
+    cached = compiled_trace._hw_program
+    if cached is not None:
+        return cached
+
+    read_items = table.read_items
+    write_ids = table.write_id
+    program: List[Tuple] = []
+    pending = 0
+    for position, guard, branch in zip(
+        compiled_trace.positions,
+        compiled_trace.guards,
+        compiled_trace.branches,
+    ):
+        reads = read_items[position]
+        static_write = write_ids[position]
+        desched = False
+        if pending:
+            if any(pending >> rid & 1 for rid, _ in reads) or (
+                static_write >= 0 and pending >> static_write & 1
+            ):
+                desched = True
+                pending = 0
+        long_latency = table.long_latency[position]
+        write_id = static_write if guard else -1
+        if write_id >= 0 and long_latency:
+            pending |= 1 << write_id
+        backward = branch and table.backward_branch[position]
+        live_after = table.live_after_masks[position]
+        program.append(
+            (
+                int(table.shared[position]),
+                reads,
+                table.live_before_masks[position] if desched else None,
+                live_after if backward else None,
+                write_id,
+                table.write_words[position],
+                long_latency,
+                live_after,
+                table.shared_consumed[position],
+            )
+        )
+    compiled_trace._hw_program = program
+    return program
+
+
+def hardware_counters(
+    compiled: CompiledTraceSet, schemes: List[Scheme]
+) -> Dict[Scheme, AccessCounters]:
+    """Account every hardware scheme in one pass per unique trace.
+
+    Each unique trace's event program is built (or fetched) once and
+    replayed through the columnar cache walk of every requested scheme;
+    per-trace slot vectors are scaled by multiplicity into per-scheme
+    accumulators.  All schemes must be hardware kinds.
+    """
+    for scheme in schemes:
+        if not scheme.kind.is_hardware:
+            raise ValueError(f"{scheme.name} is not a hardware scheme")
+    table = hardware_static_table(compiled.kernel)
+    num_slots = len(SLOT_INDEX)
+    totals: Dict[Scheme, List[int]] = {
+        scheme: [0] * num_slots for scheme in schemes
+    }
+    for compiled_trace in compiled.unique:
+        program = hardware_event_program(compiled_trace, table)
+        multiplicity = compiled_trace.multiplicity
+        for scheme in schemes:
+            if scheme.kind is SchemeKind.HW_TWO_LEVEL:
+                slots = columnar_rfc_walk(
+                    program,
+                    table.words,
+                    scheme.entries_per_thread,
+                    flush_on_backward_branch=(
+                        scheme.flush_on_backward_branch
+                    ),
+                )
+            else:
+                slots = columnar_three_level_walk(
+                    program,
+                    table.words,
+                    scheme.entries_per_thread,
+                    flush_on_backward_branch=(
+                        scheme.flush_on_backward_branch
+                    ),
+                )
+            accumulator = totals[scheme]
+            for index in range(num_slots):
+                accumulator[index] += slots[index] * multiplicity
+    return {
+        scheme: counters_from_slots(slots)
+        for scheme, slots in totals.items()
+    }

@@ -47,9 +47,7 @@ from .compiled import (
     baseline_counters,
     compile_traces,
     compiled_enabled,
-    kernel_analyses,
-    merge_scaled,
-    operand_table,
+    hardware_counters,
     software_counters,
 )
 from .executor import TraceEvent, WarpExecutor, WarpInput
@@ -221,6 +219,72 @@ def evaluate_traces(
     )
 
 
+def evaluate_traces_batch(
+    traces: TraceSet,
+    schemes: Sequence[Scheme],
+    *,
+    energy_model: Optional[EnergyModel] = None,
+    allocation_memo: Optional[AllocationMemo] = None,
+    use_compiled: Optional[bool] = None,
+) -> List[KernelEvaluation]:
+    """Account one workload under many schemes, sharing work.
+
+    Semantically ``[evaluate_traces(traces, s) for s in schemes]`` —
+    and exactly that when the compiled path is off — but on the
+    compiled path all hardware schemes are evaluated in a single pass
+    per unique trace (:func:`repro.sim.compiled.hardware_counters`),
+    sharing the per-event decode and deschedule resolution instead of
+    walking the trace once per scheme.
+    """
+    if use_compiled is None:
+        use_compiled = compiled_enabled()
+    if not use_compiled:
+        return [
+            evaluate_traces(
+                traces,
+                scheme,
+                energy_model=energy_model,
+                allocation_memo=allocation_memo,
+                use_compiled=False,
+            )
+            for scheme in schemes
+        ]
+
+    hardware = [s for s in schemes if s.kind.is_hardware]
+    batched: dict = {}
+    if hardware:
+        with TRACER.span(
+            "sim.account_batch",
+            kernel=traces.kernel.name,
+            schemes=len(hardware),
+        ):
+            batched = hardware_counters(compile_traces(traces), hardware)
+
+    evaluations: List[KernelEvaluation] = []
+    for scheme in schemes:
+        if scheme.kind.is_hardware:
+            evaluations.append(
+                KernelEvaluation(
+                    kernel_name=traces.kernel.name,
+                    scheme=scheme,
+                    counters=batched[scheme].copy(),
+                    baseline=_cached_baseline(traces),
+                    dynamic_instructions=traces.dynamic_instructions,
+                )
+            )
+        else:
+            evaluations.append(
+                evaluate_traces(
+                    traces,
+                    scheme,
+                    energy_model=energy_model,
+                    allocation_memo=allocation_memo,
+                    use_compiled=True,
+                )
+            )
+    return evaluations
+
+
 def _account_scalar(
     traces: TraceSet,
     scheme: Scheme,
@@ -255,7 +319,6 @@ def _account_compiled(
     allocation: Optional[AllocationResult],
 ) -> AccessCounters:
     """Account via the compiled trace form (see module docstring)."""
-    kernel = traces.kernel
     compiled = compile_traces(traces)
 
     if scheme.kind is SchemeKind.BASELINE:
@@ -264,29 +327,10 @@ def _account_compiled(
         assert allocation is not None
         return software_counters(compiled, allocation.kernel)
 
-    # Hardware schemes: stateful cache models stay on the scalar walk,
-    # but each *unique* warp trace is simulated once (the models are
-    # deterministic and start cold per warp, so duplicates contribute
-    # identical deltas) with precomputed operand tables and cached
-    # liveness analyses.
-    liveness, shared_positions = kernel_analyses(kernel)
-    table = operand_table(kernel)
-    counters = AccessCounters()
-    for index, compiled_trace in enumerate(compiled.unique):
-        trace = traces.warp_traces[compiled.first_warp[index]]
-        delta = AccessCounters()
-        driver = _make_driver(
-            scheme,
-            kernel,
-            delta,
-            liveness,
-            shared_positions,
-            None,
-            operands=table,
-        )
-        account_trace(driver, trace)
-        merge_scaled(counters, delta, compiled_trace.multiplicity)
-    return counters
+    # Hardware schemes: replay each unique trace's precompiled event
+    # program through the columnar cache walk (a batch of one; see
+    # evaluate_traces_batch for the shared-decode multi-scheme form).
+    return hardware_counters(compiled, [scheme])[scheme]
 
 
 def _make_driver(

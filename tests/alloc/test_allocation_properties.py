@@ -1,0 +1,89 @@
+"""Hypothesis property: allocator output never double-books an entry.
+
+The fuzz_320 bug class was two live placements sharing ORF entry 0
+over overlapping live ranges (a web and a read-operand group).  The
+fix routes every placement through ``windows_conflict``
+(repro.alloc.intervals); this test closes the loop by re-deriving the
+occupancy window of every placement in the allocator's *output* —
+webs as value windows, read-operand groups as closed windows — and
+re-checking pairwise disjointness per (strand, entry).  It does not
+trust the allocator's internal EntryFile bookkeeping: windows are
+rebuilt from the assignments themselves, so a bookkeeping bypass
+(the original bug) is caught, not masked.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import AllocationConfig, allocate_kernel
+from repro.alloc.allocator import _web_interval
+from repro.alloc.intervals import windows_conflict
+from repro.levels import Level
+from repro.workloads import generate_workload
+
+_CONFIGS = [
+    AllocationConfig(orf_entries=1, use_lrf=False, split_lrf=False,
+                     allow_forward_branches=True),
+    AllocationConfig(orf_entries=2, use_lrf=False, split_lrf=False),
+    AllocationConfig(orf_entries=3),
+    AllocationConfig.best_paper_config(),
+]
+
+
+def _orf_windows(result):
+    """(strand, entry) -> occupancy windows rebuilt from assignments."""
+    windows = {}
+    for assignment in result.web_assignments:
+        if assignment.level is not Level.ORF:
+            continue
+        web = assignment.web
+        begin, end = _web_interval(web, list(assignment.covered_reads))
+        for entry in assignment.entries:
+            key = (web.strand_id, entry)
+            windows.setdefault(key, []).append(
+                ((begin, end, False), f"web {web.reg}")
+            )
+    for assignment in result.read_assignments:
+        covered = assignment.covered_reads
+        begin = covered[0].position
+        end = covered[-1].position
+        candidate = assignment.candidate
+        for entry in assignment.entries:
+            key = (candidate.strand_id, entry)
+            windows.setdefault(key, []).append(
+                ((begin, end, True), f"readop {candidate.reg}")
+            )
+    return windows
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    config=st.sampled_from(_CONFIGS),
+)
+def test_no_two_live_placements_share_an_entry(seed, config):
+    """No two live placements share an ORF entry over an overlapping
+    live range (seed-320 bug class, both directions)."""
+    spec = generate_workload(seed, num_warps=1)
+    result = allocate_kernel(spec.kernel, config)
+    for (strand_id, entry), placed in _orf_windows(result).items():
+        for i, (window_a, what_a) in enumerate(placed):
+            for window_b, what_b in placed[i + 1:]:
+                assert not windows_conflict(window_a, window_b), (
+                    f"strand {strand_id} ORF[{entry}]: {what_a} "
+                    f"{window_a} overlaps {what_b} {window_b}"
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2000))
+def test_entry_count_is_respected(seed):
+    """A placement never names an entry outside the configured ORF."""
+    config = AllocationConfig(orf_entries=2, use_lrf=False,
+                              split_lrf=False)
+    spec = generate_workload(seed, num_warps=1)
+    result = allocate_kernel(spec.kernel, config)
+    for assignment in result.web_assignments:
+        if assignment.level is Level.ORF:
+            assert all(0 <= e < 2 for e in assignment.entries)
+    for assignment in result.read_assignments:
+        assert all(0 <= e < 2 for e in assignment.entries)

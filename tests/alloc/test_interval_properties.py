@@ -1,15 +1,19 @@
 """Property tests (hypothesis) for EntryFile interval sharing.
 
-The allocator's soundness rests on three interval invariants
-(``repro.alloc.intervals``): two values written in the same slot can
+The allocator's soundness rests on the interval invariants of
+``repro.alloc.intervals``: two values written in the same slot can
 never share an entry; a value last read at slot N and a value defined
-at slot N *can* (reads precede writes within a slot); and group
-allocation for wide values never hands out the same entry twice.
+at slot N *can* (reads precede writes within a slot); a *closed*
+read-operand window owns its boundary slots outright (fuzz seed 320);
+and group allocation for wide values never hands out the same entry
+twice.  ``windows_conflict`` is the single source of truth; these
+tests pin ``_Entry``/``EntryFile`` to it and the conflict relation's
+own algebra (symmetry, reflexivity-for-closed).
 """
 
 from hypothesis import given, settings, strategies as st
 
-from repro.alloc.intervals import EntryFile, _Entry
+from repro.alloc.intervals import EntryFile, _Entry, windows_conflict
 
 # Layout positions are small non-negative ints; keep the domain tight
 # so hypothesis explores collisions rather than sparse misses.
@@ -66,17 +70,40 @@ def test_back_to_back_windows_share(interval, tail):
             assert fresh.available(earlier, begin)
 
 
-@given(_interval_list(), _interval())
-def test_availability_is_symmetric_pairwise(intervals, probe):
+@given(_interval_list(), _interval(), st.booleans())
+def test_availability_matches_windows_conflict(intervals, probe, closed):
     """available() gives one verdict per occupied window; the verdict
-    must match the documented rule exactly."""
+    must match ``windows_conflict`` exactly."""
     begin, end = probe
     entry = _filled(intervals)
-    expected = all(
-        begin != ob and (begin >= oe or ob >= end)
-        for ob, oe in entry.occupied
+    expected = not any(
+        windows_conflict((begin, end, closed), other)
+        for other in entry.occupied
     )
-    assert entry.available(begin, end) == expected
+    assert entry.available(begin, end, closed=closed) == expected
+
+
+@given(_interval(), _interval(), st.booleans(), st.booleans())
+def test_windows_conflict_is_symmetric(a, b, closed_a, closed_b):
+    wa = (a[0], a[1], closed_a)
+    wb = (b[0], b[1], closed_b)
+    assert windows_conflict(wa, wb) == windows_conflict(wb, wa)
+
+
+@given(_interval(), st.integers(min_value=0, max_value=40), st.booleans())
+def test_closed_window_owns_its_boundaries(interval, tail, other_closed):
+    """A closed (read-operand) window conflicts with any window touching
+    either endpoint — the seed-320 sharing is rejected in both
+    directions, whatever the other window's flavour."""
+    begin, end = interval
+    entry = _Entry()
+    entry.allocate(begin, end, closed=True)
+    # Back-to-back at the end slot: rejected (the group's last read
+    # still occupies the entry in that slot's read phase).
+    assert not entry.available(end, end + tail, closed=other_closed)
+    # And at the begin slot, from the left.
+    earlier = max(0, begin - tail)
+    assert not entry.available(earlier, begin, closed=other_closed)
 
 
 @given(_interval_list(), _interval(), st.integers(min_value=1, max_value=6))

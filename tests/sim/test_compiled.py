@@ -22,11 +22,13 @@ from repro.sim.compiled import (
     baseline_counters,
     compile_traces,
     compiled_enabled,
+    hardware_counters,
     kernel_analyses,
     merge_scaled,
     operand_table,
     software_counters,
 )
+from repro.sim.runner import evaluate_traces_batch
 from repro.workloads import all_workloads
 
 #: Every scheme kind the paper evaluates, including the Section 7
@@ -39,6 +41,14 @@ ALL_KIND_SCHEMES = [
     Scheme(SchemeKind.HW_TWO_LEVEL, 3),
     Scheme(SchemeKind.HW_THREE_LEVEL, 3),
     Scheme(SchemeKind.HW_TWO_LEVEL, 3, flush_on_backward_branch=True),
+]
+
+#: The 12 hardware schemes of the bench harness (Figure 11/12 sweep):
+#: every entry size under both hardware kinds.
+HW_SWEEP_SCHEMES = [
+    Scheme(kind, entries)
+    for entries in (1, 2, 3, 4, 6, 8)
+    for kind in (SchemeKind.HW_TWO_LEVEL, SchemeKind.HW_THREE_LEVEL)
 ]
 
 #: A kernel with a guard-squashed non-branch write: @P0 iadd executes
@@ -140,6 +150,108 @@ class TestDifferentialEquivalence:
             )
         ]
         _assert_paths_agree(traces, schemes)
+
+
+class TestBatchedHardware:
+    """The one-pass hardware walk: 12 schemes, exact counter equality."""
+
+    @pytest.mark.parametrize(
+        "scheme", HW_SWEEP_SCHEMES, ids=lambda s: s.name
+    )
+    def test_sweep_matches_scalar_oracle(self, scheme):
+        """Every hardware scheme of the sweep, batched in one pass,
+        equals the scalar oracle exactly — per counter key."""
+        for spec in all_workloads(0.4):
+            traces = build_traces(spec.kernel, spec.warp_inputs)
+            batched = hardware_counters(
+                compile_traces(traces), HW_SWEEP_SCHEMES
+            )
+            scalar = evaluate_traces(traces, scheme, use_compiled=False)
+            assert batched[scheme] == scalar.counters, spec.name
+
+    def test_sweep_on_divergent_traces(self):
+        kernel = parse_kernel(DIVERGENT_ASM)
+        warp_inputs = [
+            DivergentWarpInput(
+                [
+                    {gpr(0): 10 * t + 3 * w, gpr(1): 900 + t}
+                    for t in range(8)
+                ]
+            )
+            for w in range(3)
+        ]
+        traces = build_divergent_traces(kernel, warp_inputs)
+        batched = hardware_counters(
+            compile_traces(traces), HW_SWEEP_SCHEMES
+        )
+        for scheme in HW_SWEEP_SCHEMES:
+            scalar = evaluate_traces(traces, scheme, use_compiled=False)
+            assert batched[scheme] == scalar.counters, scheme.name
+
+    def test_sweep_on_guard_squashed_traces(self):
+        from repro.sim import Memory
+
+        kernel = parse_kernel(GUARDED_ASM)
+        memory = Memory(global_mem={0: 10, 64: 200})
+        traces = build_traces(
+            kernel,
+            [
+                WarpInput({gpr(0): base, gpr(1): 900}, memory=memory)
+                for base in (0, 64)
+            ],
+        )
+        batched = hardware_counters(
+            compile_traces(traces), HW_SWEEP_SCHEMES
+        )
+        for scheme in HW_SWEEP_SCHEMES:
+            scalar = evaluate_traces(traces, scheme, use_compiled=False)
+            assert batched[scheme] == scalar.counters, scheme.name
+
+    def test_backward_flush_variant(self, loop_kernel, loop_inputs):
+        """flush_on_backward_branch is honoured by the columnar walks."""
+        traces = build_traces(loop_kernel, loop_inputs)
+        schemes = [
+            Scheme(kind, 3, flush_on_backward_branch=flush)
+            for kind in (SchemeKind.HW_TWO_LEVEL, SchemeKind.HW_THREE_LEVEL)
+            for flush in (False, True)
+        ]
+        batched = hardware_counters(compile_traces(traces), schemes)
+        for scheme in schemes:
+            scalar = evaluate_traces(traces, scheme, use_compiled=False)
+            assert batched[scheme] == scalar.counters, scheme.name
+
+    def test_batch_agrees_with_single(self, loop_kernel, loop_inputs):
+        """evaluate_traces_batch == [evaluate_traces] for a mixed list."""
+        traces = build_traces(loop_kernel, loop_inputs)
+        schemes = ALL_KIND_SCHEMES
+        batch = evaluate_traces_batch(traces, schemes)
+        singles = [evaluate_traces(traces, s) for s in schemes]
+        for batched, single in zip(batch, singles):
+            assert batched.scheme == single.scheme
+            assert batched.counters == single.counters, single.scheme.name
+            assert batched.baseline == single.baseline
+            assert (
+                batched.dynamic_instructions
+                == single.dynamic_instructions
+            )
+
+    def test_batch_scalar_fallback(self, loop_kernel, loop_inputs):
+        traces = build_traces(loop_kernel, loop_inputs)
+        compiled = evaluate_traces_batch(
+            traces, HW_SWEEP_SCHEMES, use_compiled=True
+        )
+        scalar = evaluate_traces_batch(
+            traces, HW_SWEEP_SCHEMES, use_compiled=False
+        )
+        for a, b in zip(compiled, scalar):
+            assert a.counters == b.counters, a.scheme.name
+
+    def test_rejects_non_hardware_schemes(self, loop_kernel, loop_inputs):
+        traces = build_traces(loop_kernel, loop_inputs)
+        with pytest.raises(ValueError):
+            hardware_counters(
+                compile_traces(traces), [Scheme(SchemeKind.BASELINE)]
+            )
 
 
 class TestCompilation:

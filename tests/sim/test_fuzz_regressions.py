@@ -1,27 +1,29 @@
 """Pinned fuzz-found allocator regressions.
 
-Each entry here is a *known-bad* seed/config pair found by the
-property-based fuzz (tests/test_properties.py) and pinned as
-``xfail(strict=True)``: the test starts passing the day the underlying
-bug is fixed, which flips it to XPASS and fails the run — the pin must
-then be promoted to a plain regression test.
-"""
+Each entry here is a seed/config pair originally found by the
+property-based fuzz (tests/test_properties.py).  While a bug is open
+the pair is pinned as ``xfail(strict=True)``; once fixed, the pin is
+promoted to a plain regression test (with divergent verification as
+the oracle) so the bug cannot silently return.
 
-import sys
+``FUZZ_CORPUS`` is the full set of pinned seeds; the CI
+differential-equivalence job drives every corpus seed through
+divergent verification via :func:`test_fuzz_corpus_divergent_verifies`.
+"""
 
 import pytest
 
 from repro.alloc import AllocationConfig, allocate_kernel
-from repro.obs.explain import explain_report
 from repro.sim.divergence import DivergentWarpInput, run_divergent_warp
-from repro.sim.verify import AllocationVerificationError
 from repro.sim.verify_divergent import verify_divergent_trace
 from repro.workloads import generate_workload
 
 #: Seed 320 under a single-entry ORF with no LRF and forward branches
 #: allowed: the R18 web ([16,16]) and the R17 read operand ([10,16])
-#: are both placed in ORF entry 0 of strand 2, so the divergent re-read
-#: at @16 (`imax R18, R11, R17`) observes R18's value instead of R17's.
+#: were both placed in ORF entry 0 of strand 2, so the divergent
+#: re-read at @16 (`imax R18, R11, R17`) observed a stale entry.  Fixed
+#: by treating read-operand ranges as closed entry occupancy
+#: (repro.alloc.intervals.windows_conflict).
 FUZZ_320_CONFIG = AllocationConfig(
     orf_entries=1,
     use_lrf=False,
@@ -29,30 +31,55 @@ FUZZ_320_CONFIG = AllocationConfig(
     allow_forward_branches=True,
 )
 
+#: Allocation configs the corpus seeds are verified under — the
+#: single-entry config that exposed seed 320 plus the paper's default
+#: and best configurations.
+CORPUS_CONFIGS = [
+    FUZZ_320_CONFIG,
+    AllocationConfig(orf_entries=3),
+    AllocationConfig.best_paper_config(),
+]
 
-@pytest.mark.xfail(
-    strict=True,
-    raises=AllocationVerificationError,
-    reason="fuzz_320: overlapping ORF[0] residency misreads @16 imax R18",
-)
-def test_fuzz_320_single_entry_orf_misread():
-    spec = generate_workload(320, num_warps=1)
-    result = allocate_kernel(spec.kernel, FUZZ_320_CONFIG)
+#: Fuzz seeds pinned as regression oracles.  320 is the original
+#: interval-sharing bug; the others exercise divergent hammocks,
+#: guarded writes, and tight single-entry pressure from the same
+#: generator family.
+FUZZ_CORPUS = [7, 42, 101, 211, 320, 555, 777, 1009]
+
+
+def _divergent_events(spec, num_lanes=4):
+    """Per-lane inputs that force divergence where the kernel branches."""
     base = dict(spec.warp_inputs[0].live_in_values)
     threads = []
-    for lane in range(4):
+    for lane in range(num_lanes):
         values = dict(base)
         key = sorted(values, key=lambda r: r.index)[0]
         values[key] = values[key] + 13 * lane
         threads.append(values)
-    events = run_divergent_warp(spec.kernel, DivergentWarpInput(threads))
-    try:
-        verify_divergent_trace(spec.kernel, result.partition, events, 4)
-    except AllocationVerificationError:
-        # Dump the allocator's decision chain for the offending
-        # register so the failure is diagnosable straight from the log.
-        print(
-            explain_report(spec.kernel, FUZZ_320_CONFIG, reg="R18"),
-            file=sys.stderr,
-        )
-        raise
+    return run_divergent_warp(spec.kernel, DivergentWarpInput(threads))
+
+
+def test_fuzz_320_single_entry_orf_misread():
+    """Seed 320 regression: no ORF entry interval-sharing misread."""
+    spec = generate_workload(320, num_warps=1)
+    result = allocate_kernel(spec.kernel, FUZZ_320_CONFIG)
+    events = _divergent_events(spec)
+    stats = verify_divergent_trace(
+        spec.kernel, result.partition, events, 4
+    )
+    assert stats.lane_reads_checked > 0
+
+
+@pytest.mark.parametrize("seed", FUZZ_CORPUS)
+@pytest.mark.parametrize(
+    "config", CORPUS_CONFIGS, ids=["orf1", "default", "best"]
+)
+def test_fuzz_corpus_divergent_verifies(seed, config):
+    """Every corpus seed allocates soundly under divergent execution."""
+    spec = generate_workload(seed, num_warps=1)
+    result = allocate_kernel(spec.kernel, config)
+    events = _divergent_events(spec)
+    stats = verify_divergent_trace(
+        spec.kernel, result.partition, events, 4
+    )
+    assert stats.instructions == len(events)
