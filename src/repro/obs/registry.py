@@ -175,6 +175,30 @@ def _escape_label_value(value: str) -> str:
     )
 
 
+def labeled_name(name: str, **labels: object) -> str:
+    """A metric name carrying Prometheus-style labels.
+
+    The cluster coordinator counts per-shard events under names like
+    ``cluster_shard_requests{shard="0"}``; in the JSON metrics payload
+    the label block is simply part of the counter key (additive for
+    schema-3 readers), while :func:`render_prometheus` splits it back
+    out so the exposition carries a real ``shard`` label.
+    """
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}" if inner else name
+
+
+def _split_labels(name: str) -> Tuple[str, str]:
+    """``base{...}`` → (base, ``{...}``); label-free names pass through."""
+    if name.endswith("}") and "{" in name:
+        base, _, labels = name.partition("{")
+        return base, "{" + labels
+    return name, ""
+
+
 def _escape_help(value: str) -> str:
     return value.replace("\\", "\\\\").replace("\n", "\\n")
 
@@ -202,19 +226,29 @@ def render_prometheus(
     ns = _sanitize_name(namespace)
     lines: List[str] = []
 
+    seen_counter_bases = set()
     for name in sorted(snapshot.get("counters", {})):
         value = snapshot["counters"][name]
-        metric = f"{ns}_{_sanitize_name(name)}_total"
-        lines.append(f"# HELP {metric} {_escape_help(name)} event count")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(value)}")
+        base, labels = _split_labels(name)
+        metric = f"{ns}_{_sanitize_name(base)}_total"
+        if base not in seen_counter_bases:
+            seen_counter_bases.add(base)
+            lines.append(
+                f"# HELP {metric} {_escape_help(base)} event count"
+            )
+            lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{labels} {_format_value(value)}")
 
+    seen_gauge_bases = set()
     for name in sorted(snapshot.get("gauges", {})):
         value = snapshot["gauges"][name]
-        metric = f"{ns}_{_sanitize_name(name)}"
-        lines.append(f"# HELP {metric} {_escape_help(name)} gauge")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(value)}")
+        base, labels = _split_labels(name)
+        metric = f"{ns}_{_sanitize_name(base)}"
+        if base not in seen_gauge_bases:
+            seen_gauge_bases.add(base)
+            lines.append(f"# HELP {metric} {_escape_help(base)} gauge")
+            lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{labels} {_format_value(value)}")
 
     stages = snapshot.get("stages", {})
     if stages:

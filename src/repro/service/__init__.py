@@ -19,14 +19,20 @@ The package layers, bottom up:
   graceful drain;
 * :mod:`repro.service.client` — sync and async client libraries;
 * :mod:`repro.service.loadgen` — the load-generator benchmark behind
-  ``repro loadgen``.
+  ``repro loadgen``;
+* :mod:`repro.service.cluster` — the scale-out tier: a consistent-hash
+  routing coordinator over N shard servers (``repro cluster``).
 """
 
 from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .cluster import ClusterConfig, ClusterCoordinator, ConsistentHashRing
 from .server import ServiceConfig, ServiceServer
 
 __all__ = [
     "AsyncServiceClient",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ConsistentHashRing",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

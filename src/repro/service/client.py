@@ -13,6 +13,14 @@ Both return decoded JSON payloads.  Non-2xx responses raise
 type/message, and ``retry_after`` when the server asked to back off
 (429).  The ``*_raw`` variants return ``(status, payload)`` without
 raising — the load generator uses those to count expected failures.
+
+With ``retries`` > 0, the high-level call surfaces retry shed load
+(429) and drain/failover blips (503, connection errors) with capped
+exponential backoff.  The server's ``Retry-After`` is honoured when
+present; otherwise the delay is ``base * 2**attempt`` (capped) with
+jitter drawn from a **seeded** ``random.Random`` — never the
+module-level ``random`` state — so loadgen plans and test runs stay
+reproducible end to end.
 """
 
 from __future__ import annotations
@@ -20,11 +28,35 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..sim.schemes import Scheme
 from .protocol import scheme_to_json
+
+#: Statuses worth retrying: shed load and not-yet/no-longer-available.
+RETRYABLE_STATUSES = (429, 503)
+
+
+def backoff_delay(
+    attempt: int,
+    retry_after: Optional[float],
+    *,
+    base_s: float,
+    cap_s: float,
+    rng: random.Random,
+) -> float:
+    """Delay before retry ``attempt`` (0-based).
+
+    An explicit server ``Retry-After`` wins (capped); otherwise capped
+    exponential backoff with deterministic half-width jitter from the
+    caller's seeded RNG.
+    """
+    if retry_after is not None:
+        return max(0.0, min(float(retry_after), cap_s))
+    window = min(cap_s, base_s * (2.0 ** attempt))
+    return window * (0.5 + 0.5 * rng.random())
 
 
 class ServiceError(Exception):
@@ -88,10 +120,28 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8077,
         timeout: float = 60.0,
+        *,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random(backoff_seed)
+
+    def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        return backoff_delay(
+            attempt,
+            retry_after,
+            base_s=self.backoff_base_s,
+            cap_s=self.backoff_cap_s,
+            rng=self._rng,
+        )
 
     def request_raw(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
@@ -121,13 +171,32 @@ class ServiceClient:
     def _call(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Any:
-        status, payload = self.request_raw(method, path, body)
-        if status >= 400:
-            raise _error_from_payload(status, payload)
-        return payload
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                status, payload = self.request_raw(method, path, body)
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+            else:
+                if status < 400:
+                    return payload
+                error = _error_from_payload(status, payload)
+                if (
+                    attempt >= self.retries
+                    or status not in RETRYABLE_STATUSES
+                ):
+                    raise error
+                retry_after = error.retry_after
+            time.sleep(self._delay(attempt, retry_after))
+            attempt += 1
 
     def healthz(self) -> Dict[str, Any]:
         return self._call("GET", "/healthz")
+
+    def cluster_healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/cluster/healthz")
 
     def metrics(self) -> Dict[str, Any]:
         return self._call("GET", "/metrics")
@@ -192,12 +261,27 @@ class AsyncServiceClient:
         host: str = "127.0.0.1",
         port: int = 8077,
         timeout: float = 60.0,
+        *,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random(backoff_seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        """Open the keep-alive connection eagerly (loadgen pre-warms
+        its connections so connect latency never lands inside a
+        measured phase)."""
+        await self._connect()
 
     async def _connect(self) -> None:
         if self._writer is None or self._writer.is_closing():
@@ -277,7 +361,33 @@ class AsyncServiceClient:
     async def call(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Any:
-        status, payload = await self.request_raw(method, path, body)
-        if status >= 400:
-            raise _error_from_payload(status, payload)
-        return payload
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                status, payload = await self.request_raw(
+                    method, path, body
+                )
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+            else:
+                if status < 400:
+                    return payload
+                error = _error_from_payload(status, payload)
+                if (
+                    attempt >= self.retries
+                    or status not in RETRYABLE_STATUSES
+                ):
+                    raise error
+                retry_after = error.retry_after
+            await asyncio.sleep(
+                backoff_delay(
+                    attempt,
+                    retry_after,
+                    base_s=self.backoff_base_s,
+                    cap_s=self.backoff_cap_s,
+                    rng=self._rng,
+                )
+            )
+            attempt += 1

@@ -1,0 +1,176 @@
+"""``repro cluster``: launch N shard subprocesses + the coordinator.
+
+Each shard is a full ``repro serve`` process (its own event loop,
+executor pool, result memo, and optional disk-cache directory), tagged
+with its ring identity via ``--shard-of K/N``.  The coordinator runs
+in this process and blocks until SIGTERM/SIGINT; shards are then
+terminated and reaped.
+
+Alternatively, ``--shard-addr host:port`` (repeatable) attaches the
+coordinator to shards launched elsewhere (other machines, a process
+supervisor) — in that topology this process spawns nothing and tears
+down nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..client import wait_until_healthy
+from .coordinator import ClusterConfig, coordinate_forever
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (racy by nature, fine for tests
+    and local clusters)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def repro_env() -> dict:
+    """Environment for child processes with ``repro`` importable."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            f"{src_dir}{os.pathsep}{existing}" if existing else src_dir
+        )
+    return env
+
+
+def shard_command(
+    index: int,
+    count: int,
+    host: str,
+    port: int,
+    *,
+    jobs: int,
+    executor: str,
+    cache_dir: Optional[str],
+) -> List[str]:
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", host,
+        "--port", str(port),
+        "--jobs", str(jobs),
+        "--executor", executor,
+        "--shard-of", f"{index}/{count}",
+    ]
+    if cache_dir:
+        command += ["--cache-dir", str(Path(cache_dir) / f"shard-{index}")]
+    return command
+
+
+def spawn_shards(
+    count: int,
+    host: str,
+    *,
+    jobs: int,
+    executor: str,
+    cache_dir: Optional[str],
+    port_base: int = 0,
+    wait_secs: float = 60.0,
+) -> Tuple[List[subprocess.Popen], List[str]]:
+    """Start ``count`` shard processes and wait until all are healthy.
+
+    On any startup failure every spawned process is terminated before
+    the error propagates.
+    """
+    ports = [
+        port_base + index if port_base else free_port(host)
+        for index in range(count)
+    ]
+    processes: List[subprocess.Popen] = []
+    env = repro_env()
+    try:
+        for index, port in enumerate(ports):
+            processes.append(
+                subprocess.Popen(
+                    shard_command(
+                        index, count, host, port,
+                        jobs=jobs, executor=executor, cache_dir=cache_dir,
+                    ),
+                    env=env,
+                )
+            )
+        for index, port in enumerate(ports):
+            if not wait_until_healthy(host, port, timeout=wait_secs):
+                raise RuntimeError(
+                    f"shard {index}/{count} on {host}:{port} did not "
+                    f"become healthy within {wait_secs}s"
+                )
+    except BaseException:
+        terminate_shards(processes)
+        raise
+    return processes, [f"{host}:{port}" for port in ports]
+
+
+def terminate_shards(
+    processes: Sequence[subprocess.Popen], grace_s: float = 15.0
+) -> None:
+    """SIGTERM (graceful drain), then SIGKILL stragglers."""
+    for process in processes:
+        if process.poll() is None:
+            try:
+                process.send_signal(signal.SIGTERM)
+            except OSError:
+                pass
+    deadline = time.monotonic() + grace_s
+    for process in processes:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=5.0)
+
+
+def launch_cluster(
+    config: ClusterConfig,
+    *,
+    spawn: int = 0,
+    shard_jobs: int = 2,
+    shard_executor: str = "process",
+    cache_dir: Optional[str] = None,
+    shard_port_base: int = 0,
+    wait_secs: float = 60.0,
+    metrics_out: Optional[str] = None,
+) -> int:
+    """Blocking CLI entry behind ``repro cluster``.
+
+    With ``spawn`` > 0, shard subprocesses are started first and the
+    config's shard list is replaced with their addresses; with
+    pre-set ``config.shards`` the coordinator simply attaches.
+    """
+    processes: List[subprocess.Popen] = []
+    if spawn > 0:
+        processes, addresses = spawn_shards(
+            spawn,
+            config.host,
+            jobs=shard_jobs,
+            executor=shard_executor,
+            cache_dir=cache_dir,
+            port_base=shard_port_base,
+            wait_secs=wait_secs,
+        )
+        config.shards = tuple(addresses)
+    if not config.shards:
+        raise SystemExit(
+            "repro cluster: error: need --shards N (spawn) or at least "
+            "one --shard-addr"
+        )
+    try:
+        return coordinate_forever(config, metrics_out=metrics_out)
+    finally:
+        terminate_shards(processes)

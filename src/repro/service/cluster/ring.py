@@ -1,0 +1,94 @@
+"""Consistent hash ring over shard members (stdlib only).
+
+Each member is projected onto the ring at ``vnodes`` pseudo-random
+points (SHA-256 of ``"{member}#{i}"``), and a key routes to the first
+member point at or after the key's own hash, wrapping around.  The
+construction gives the three properties the cluster leans on:
+
+* **determinism** — placement is a pure function of the member set,
+  so every coordinator (and every rebuild of the same coordinator)
+  routes a fingerprint identically;
+* **uniformity** — with enough virtual nodes, keys spread close to
+  evenly across members;
+* **bounded movement** — adding or removing one member only moves the
+  keys that land on that member; everything else stays put, which is
+  what keeps shard-local memo/disk caches warm across topology
+  changes.
+
+``lookup_n`` walks the ring collecting *distinct* members, yielding
+the preference order used for hot-key replication and for failing
+over to the next healthy shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+DEFAULT_VNODES = 128
+
+
+def _point(key: str) -> int:
+    """64-bit ring position from a SHA-256 prefix."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Immutable ring over a set of member names."""
+
+    __slots__ = ("vnodes", "_members", "_points", "_hashes")
+
+    def __init__(
+        self, members: Iterable[str], vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        unique = sorted(set(members))
+        if not unique:
+            raise ValueError("ring needs at least one member")
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._members: Tuple[str, ...] = tuple(unique)
+        points: List[Tuple[int, str]] = []
+        for member in unique:
+            for index in range(vnodes):
+                points.append((_point(f"{member}#{index}"), member))
+        # Sorting by (hash, member) makes collisions deterministic.
+        points.sort()
+        self._points = points
+        self._hashes = [position for position, _ in points]
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return self._members
+
+    def lookup(self, key: str) -> str:
+        """The member owning ``key``."""
+        index = bisect_right(self._hashes, _point(key)) % len(self._points)
+        return self._points[index][1]
+
+    def lookup_n(self, key: str, n: int) -> List[str]:
+        """The first ``n`` *distinct* members in ring order from
+        ``key`` — the key's placement preference list."""
+        want = min(max(n, 0), len(self._members))
+        found: List[str] = []
+        if not want:
+            return found
+        start = bisect_right(self._hashes, _point(key))
+        total = len(self._points)
+        for step in range(total):
+            member = self._points[(start + step) % total][1]
+            if member not in found:
+                found.append(member)
+                if len(found) == want:
+                    break
+        return found
+
+    def distribution(self, keys: Sequence[str]) -> dict:
+        """Member → key count over ``keys`` (test/inspection helper)."""
+        counts = {member: 0 for member in self._members}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

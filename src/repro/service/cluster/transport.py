@@ -1,0 +1,192 @@
+"""Persistent keep-alive HTTP transport from coordinator to shards.
+
+The coordinator forwards request bodies *verbatim* and returns shard
+response bodies *verbatim* — no JSON decode/encode on the hot path —
+so the transport works in raw bytes: :class:`ShardConnection` is a
+minimal HTTP/1.1 client on asyncio streams (``Content-Length`` framing
+only, mirroring :mod:`repro.service.httpd`), and :class:`ShardPool`
+keeps a bounded set of those connections per shard, reusing them
+across requests.
+
+A keep-alive connection can go stale between requests (the shard
+restarted or closed it idle).  The pool distinguishes a *reused*
+connection failing on first use from a *fresh* connection failing:
+the former is silently retried once on a brand-new connection; only
+the latter propagates, so callers never see phantom errors from
+ordinary connection churn.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+#: Matches the server's stream read limit.
+_READ_LIMIT = 64 * 1024
+
+ShardResponse = Tuple[int, Dict[str, str], bytes]
+
+_RETRYABLE = (
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    BrokenPipeError,
+    OSError,
+)
+
+
+class ShardConnection:
+    """One keep-alive HTTP/1.1 connection to a shard."""
+
+    __slots__ = ("host", "port", "_reader", "_writer")
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def open(self, timeout: float) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(
+                self.host, self.port, limit=_READ_LIMIT
+            ),
+            timeout,
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._writer is None or self._writer.is_closing()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> ShardResponse:
+        """One exchange; raises ``ConnectionError``/``OSError`` family
+        on transport failure (the pool maps those to retries)."""
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("shard closed connection")
+        try:
+            status = int(status_line.decode("latin-1").split(" ", 2)[1])
+        except (IndexError, ValueError):
+            raise ConnectionError(
+                f"malformed status line {status_line!r}"
+            ) from None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("shard closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return status, headers, payload
+
+
+class ShardPool:
+    """Bounded pool of persistent connections to one shard."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_connections: int = 32,
+        connect_timeout_s: float = 5.0,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self._capacity = asyncio.Semaphore(max_connections)
+        self._idle: Deque[ShardConnection] = deque()
+        self.connections_opened = 0
+
+    @property
+    def idle_connections(self) -> int:
+        return len(self._idle)
+
+    async def _fresh(self) -> ShardConnection:
+        connection = ShardConnection(self.host, self.port)
+        await connection.open(self.connect_timeout_s)
+        self.connections_opened += 1
+        return connection
+
+    def _checkout_idle(self) -> Optional[ShardConnection]:
+        while self._idle:
+            connection = self._idle.popleft()
+            if not connection.closed:
+                return connection
+        return None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        timeout: Optional[float] = None,
+    ) -> ShardResponse:
+        """One exchange on a pooled connection.
+
+        ``timeout`` bounds the whole exchange (the connection is torn
+        down on expiry so a half-read response never poisons the
+        pool).  Transport errors on a reused connection retry once on
+        a fresh one; fresh-connection errors propagate.
+        """
+        async with self._capacity:
+            connection = self._checkout_idle()
+            reused = connection is not None
+            if connection is None:
+                connection = await self._fresh()
+            try:
+                response = await asyncio.wait_for(
+                    connection.request(method, path, body), timeout
+                )
+            except asyncio.TimeoutError:
+                connection.close()
+                raise
+            except _RETRYABLE:
+                connection.close()
+                if not reused:
+                    raise
+                # Stale keep-alive: one silent retry on a fresh socket.
+                connection = await self._fresh()
+                try:
+                    response = await asyncio.wait_for(
+                        connection.request(method, path, body), timeout
+                    )
+                except BaseException:
+                    connection.close()
+                    raise
+            if not connection.closed:
+                self._idle.append(connection)
+            return response
+
+    def close(self) -> None:
+        while self._idle:
+            self._idle.popleft().close()

@@ -5,31 +5,46 @@ benchmarks × schemes (with deliberate repeats so dedup has something
 to hit), IR-text allocate/evaluate requests, and a sprinkle of invalid
 requests that must come back 400 — then fires it twice (cold, then
 warm through the server's result memo) from ``concurrency`` persistent
-async connections.
+async connections.  Connections are opened *before* the first phase
+starts and reused across both phases, so connection-setup noise never
+lands inside a measured percentile.
 
 Measures per-request latency (p50/p95/p99), throughput, dedup hit rate
 (in-flight + memo + disk, as a delta over ``/metrics``), and verifies
 that every unique successful response is byte-identical to the direct
 engine path (:func:`repro.service.pipeline.run_service_job` in this
 process).  Writes the whole payload to ``BENCH_service.json``.
+
+**Sharded mode** (``repro loadgen --shards N``) expects the target to
+be a cluster coordinator (see :mod:`repro.service.cluster`).  The same
+plan is first driven against a fresh single-server baseline spawned
+for the occasion, then against the cluster, in one run — the payload
+gains per-shard phase percentiles, per-shard dedup counters (from the
+``/v1/cluster/healthz`` rollup), and a ``comparison`` section with the
+warm-throughput ratio and the dedup-rate delta vs the baseline.
+
+Schema history: schema 2 added ``p95_ms``; **schema 3** adds the
+optional ``cluster`` / ``baseline`` / ``comparison`` sections and the
+``shards`` field.  All additions are new keys — schema-2 consumers
+that ignore unknown keys keep working unchanged.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import subprocess
+import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs.exporters import write_chrome_trace
 from ..obs.tracer import TRACER
-from .client import AsyncServiceClient, ServiceClient
+from .client import AsyncServiceClient, ServiceClient, wait_until_healthy
 from .pipeline import run_service_job
 from .protocol import normalize_request
 
-#: Schema 2 added ``p95_ms`` to phase stats; unknown keys are ignored
-#: by readers, so schema-1 consumers keep working.
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 DEFAULT_BENCHMARKS = ("vectoradd", "reduction", "matrixmul", "histogram")
 
@@ -64,6 +79,9 @@ _INVALID_BODIES = (
     {"benchmark": "no-such-benchmark"},
     {"benchmark": "vectoradd", "scheme": {"kind": "warp-drive"}},
 )
+
+#: Response fields added by the serving tier, not the computation.
+_ENVELOPE_KEYS = ("fingerprint", "served_from", "shard")
 
 
 def build_plan(
@@ -138,54 +156,48 @@ def build_plan(
 
 
 async def _run_phase(
-    host: str,
-    port: int,
+    clients: List[AsyncServiceClient],
     plan: List[Dict[str, Any]],
-    concurrency: int,
-    timeout: float,
 ) -> Tuple[List[Dict[str, Any]], float]:
-    """Fire the plan; returns (per-request results, wall seconds)."""
+    """Fire the plan over pre-connected clients; returns
+    (per-request results, wall seconds)."""
     results: List[Optional[Dict[str, Any]]] = [None] * len(plan)
     queue: "asyncio.Queue[int]" = asyncio.Queue()
     for index in range(len(plan)):
         queue.put_nowait(index)
 
-    async def worker() -> None:
-        client = AsyncServiceClient(host, port, timeout=timeout)
-        try:
-            while True:
+    async def worker(client: AsyncServiceClient) -> None:
+        while True:
+            try:
+                index = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            spec = plan[index]
+            started = time.perf_counter()
+            with TRACER.span(
+                "loadgen.request", op=spec["op"], index=index
+            ) as span:
                 try:
-                    index = queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    return
-                spec = plan[index]
-                started = time.perf_counter()
-                with TRACER.span(
-                    "loadgen.request", op=spec["op"], index=index
-                ) as span:
-                    try:
-                        status, payload = await client.request_raw(
-                            "POST", f"/v1/{spec['op']}", spec["body"]
-                        )
-                        results[index] = {
-                            "status": status,
-                            "latency_s": time.perf_counter() - started,
-                            "payload": payload,
-                        }
-                        if span is not None:
-                            span.attributes["status"] = status
-                    except Exception as error:  # noqa: BLE001 - recorded
-                        results[index] = {
-                            "status": None,
-                            "latency_s": time.perf_counter() - started,
-                            "error": f"{type(error).__name__}: {error}",
-                        }
-        finally:
-            await client.close()
+                    status, payload = await client.request_raw(
+                        "POST", f"/v1/{spec['op']}", spec["body"]
+                    )
+                    results[index] = {
+                        "status": status,
+                        "latency_s": time.perf_counter() - started,
+                        "payload": payload,
+                    }
+                    if span is not None:
+                        span.attributes["status"] = status
+                except Exception as error:  # noqa: BLE001 - recorded
+                    results[index] = {
+                        "status": None,
+                        "latency_s": time.perf_counter() - started,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
 
     started = time.perf_counter()
     await asyncio.gather(
-        *[worker() for _ in range(concurrency)], return_exceptions=True
+        *[worker(client) for client in clients], return_exceptions=True
     )
     wall = time.perf_counter() - started
     # Index-aligned with the plan; anything a crashed worker left
@@ -199,6 +211,34 @@ async def _run_phase(
     return filled, wall
 
 
+async def _run_phases(
+    host: str,
+    port: int,
+    plan: List[Dict[str, Any]],
+    concurrency: int,
+    timeout: float,
+    phases: int = 2,
+) -> List[Tuple[List[Dict[str, Any]], float]]:
+    """Run the plan ``phases`` times over one set of keep-alive
+    connections, opened before the first phase's clock starts."""
+    clients = [
+        AsyncServiceClient(host, port, timeout=timeout)
+        for _ in range(concurrency)
+    ]
+    try:
+        for client in clients:
+            try:
+                await client.connect()
+            except OSError:
+                pass  # workers reconnect lazily; failures get recorded
+        return [
+            await _run_phase(clients, plan) for _ in range(phases)
+        ]
+    finally:
+        for client in clients:
+            await client.close()
+
+
 def _percentile(sorted_values: List[float], fraction: float) -> float:
     if not sorted_values:
         return 0.0
@@ -208,22 +248,57 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    return {
+        "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1e3, 3),
+    }
+
+
 def _phase_stats(
     results: List[Dict[str, Any]], wall: float
 ) -> Dict[str, Any]:
-    latencies = sorted(
+    latencies = [
         result["latency_s"]
         for result in results
         if result["status"] is not None
-    )
+    ]
     return {
         "requests": len(results),
         "wall_s": round(wall, 6),
         "requests_per_s": round(len(results) / wall, 2) if wall else 0.0,
-        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
-        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
-        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        **_latency_summary(latencies),
     }
+
+
+def _per_shard_stats(
+    phases: Dict[str, List[Dict[str, Any]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Group request latencies by the responding shard's identity
+    (the ``shard`` field shards stamp on job responses)."""
+    shards: Dict[str, Dict[str, Any]] = {}
+    for phase_name, results in phases.items():
+        for result in results:
+            payload = result.get("payload")
+            if not isinstance(payload, dict):
+                continue
+            shard = payload.get("shard")
+            if shard is None:
+                continue
+            entry = shards.setdefault(str(shard), {})
+            entry.setdefault(phase_name, []).append(result["latency_s"])
+    out: Dict[str, Dict[str, Any]] = {}
+    for shard, per_phase in sorted(shards.items()):
+        out[shard] = {
+            phase_name: {
+                "requests": len(latencies),
+                **_latency_summary(latencies),
+            }
+            for phase_name, latencies in per_phase.items()
+        }
+    return out
 
 
 _DEDUP_COUNTERS = (
@@ -240,6 +315,17 @@ def _dedup_delta(before: Dict, after: Dict) -> Dict[str, int]:
     return {
         name: counters(after).get(name, 0) - counters(before).get(name, 0)
         for name in _DEDUP_COUNTERS
+    }
+
+
+def _dedup_payload(
+    counters: Dict[str, int], ok_responses: int
+) -> Dict[str, Any]:
+    hits = sum(counters.values())
+    return {
+        **counters,
+        "total_hits": hits,
+        "rate": round(hits / ok_responses, 4) if ok_responses else 0.0,
     }
 
 
@@ -264,7 +350,7 @@ def _verify_results(
         remote = {
             key: value
             for key, value in response.items()
-            if key not in ("fingerprint", "served_from")
+            if key not in _ENVELOPE_KEYS
         }
         compared += 1
         if json.dumps(local, sort_keys=True) != json.dumps(
@@ -274,34 +360,12 @@ def _verify_results(
     return {"compared": compared, "mismatches": mismatches}
 
 
-def run_loadgen(
-    host: str = "127.0.0.1",
-    port: int = 8077,
-    *,
-    requests: int = 300,
-    concurrency: int = 8,
-    timeout: float = 60.0,
-    benchmarks=DEFAULT_BENCHMARKS,
-    verify: bool = True,
-    trace_out: Optional[str] = None,
-) -> Dict[str, Any]:
-    """Drive a running service and return the benchmark payload."""
-    if trace_out:
-        TRACER.configure(enabled=True)
-    plan = build_plan(requests, concurrency, benchmarks)
-    control = ServiceClient(host, port, timeout=timeout)
-    metrics_before = control.metrics()
-
-    async def both_phases():
-        cold = await _run_phase(host, port, plan, concurrency, timeout)
-        warm = await _run_phase(host, port, plan, concurrency, timeout)
-        return cold, warm
-
-    (cold_results, cold_wall), (warm_results, warm_wall) = asyncio.run(
-        both_phases()
-    )
-    metrics_after = control.metrics()
-
+def _tally(
+    plan: List[Dict[str, Any]],
+    cold_results: List[Dict[str, Any]],
+    warm_results: List[Dict[str, Any]],
+) -> Tuple[int, int, Dict[str, int], int]:
+    """(dropped, unexpected, status_counts, ok_responses)."""
     all_results = cold_results + warm_results
     dropped = sum(1 for r in all_results if r["status"] is None)
     unexpected = 0
@@ -314,12 +378,236 @@ def run_loadgen(
             )
             if status is not None and status != plan[index]["expect"]:
                 unexpected += 1
+    ok_responses = sum(1 for r in all_results if r["status"] == 200)
+    return dropped, unexpected, status_counts, ok_responses
 
-    dedup = _dedup_delta(metrics_before, metrics_after)
-    dedup_hits = sum(dedup.values())
-    ok_responses = sum(
-        1 for r in all_results if r["status"] == 200
+
+# -- single-server baseline (sharded mode) ---------------------------------
+
+
+class _BaselineServer:
+    """A fresh single-process server for the in-run baseline.
+
+    Preferred: a ``repro serve`` subprocess (own interpreter, fair
+    comparison against out-of-process shards).  Fallback where
+    subprocesses are unavailable: a thread-hosted
+    :class:`~repro.service.server.ServiceServer` in this process.
+    """
+
+    def __init__(self, jobs: int, wait_secs: float = 60.0) -> None:
+        from .cluster.launcher import free_port, repro_env
+
+        self.port = free_port()
+        self.kind = "subprocess"
+        self._process: Optional[subprocess.Popen] = None
+        self._thread = None
+        self._server = None
+        try:
+            self._process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--port", str(self.port), "--jobs", str(jobs),
+                ],
+                env=repro_env(),
+            )
+        except OSError:
+            self._process = None
+        if self._process is not None and wait_until_healthy(
+            "127.0.0.1", self.port, timeout=wait_secs
+        ):
+            return
+        if self._process is not None:
+            self._process.terminate()
+            self._process = None
+        self._start_thread_fallback(jobs, wait_secs)
+
+    def _start_thread_fallback(self, jobs: int, wait_secs: float) -> None:
+        import threading
+
+        from .server import ServiceConfig, ServiceServer
+
+        self.kind = "thread"
+        self._server = ServiceServer(ServiceConfig(port=0, jobs=jobs))
+        self._thread = threading.Thread(
+            target=self._server.run_forever, daemon=True
+        )
+        self._thread.start()
+        if not self._server.started.wait(wait_secs) or (
+            self._server._startup_error is not None
+        ):
+            raise RuntimeError("baseline server failed to start")
+        self.port = self._server.port
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait(timeout=5)
+        if self._server is not None:
+            self._server.request_shutdown()
+            self._thread.join(15)
+
+
+def _run_baseline(
+    plan: List[Dict[str, Any]],
+    concurrency: int,
+    timeout: float,
+    jobs: int,
+) -> Dict[str, Any]:
+    """Drive the plan (cold + warm) against a fresh single server."""
+    server = _BaselineServer(jobs)
+    try:
+        control = ServiceClient("127.0.0.1", server.port, timeout=timeout)
+        before = control.metrics()
+        (cold_results, cold_wall), (warm_results, warm_wall) = asyncio.run(
+            _run_phases(
+                "127.0.0.1", server.port, plan, concurrency, timeout
+            )
+        )
+        after = control.metrics()
+    finally:
+        server.stop()
+    dropped, unexpected, status_counts, ok_responses = _tally(
+        plan, cold_results, warm_results
     )
+    return {
+        "kind": server.kind,
+        "jobs": jobs,
+        "phases": {
+            "cold": _phase_stats(cold_results, cold_wall),
+            "warm": _phase_stats(warm_results, warm_wall),
+        },
+        "status_counts": dict(sorted(status_counts.items())),
+        "dropped": dropped,
+        "unexpected_statuses": unexpected,
+        "dedup": _dedup_payload(
+            _dedup_delta(before, after), ok_responses
+        ),
+    }
+
+
+# -- cluster rollup helpers ------------------------------------------------
+
+
+def _rollup_dedup(rollup: Dict[str, Any]) -> Dict[str, Dict[str, int]]:
+    """Per-shard dedup counters from a ``/v1/cluster/healthz`` payload."""
+    out: Dict[str, Dict[str, int]] = {}
+    for label, entry in rollup.get("shards", {}).items():
+        dedup = entry.get("dedup") or {}
+        out[label] = {
+            name: int(dedup.get(name, 0)) for name in _DEDUP_COUNTERS
+        }
+    return out
+
+
+def _front_cache_hits(rollup: Dict[str, Any]) -> int:
+    return int(
+        rollup.get("coordinator", {})
+        .get("counters", {})
+        .get("cluster_front_cache_hits", 0)
+    )
+
+
+def _cluster_dedup(
+    before: Dict[str, Any], after: Dict[str, Any], ok_responses: int
+) -> Tuple[Dict[str, Any], Dict[str, Dict[str, int]]]:
+    """(aggregate dedup payload, per-shard dedup deltas).
+
+    Aggregate hits = shard-side in-flight/memo/disk hits plus the
+    coordinator's front-cache hits (responses served from coordinator
+    memory are dedup hits too — the bytes are exactly what the owning
+    shard last returned for that fingerprint).
+    """
+    shards_before = _rollup_dedup(before)
+    shards_after = _rollup_dedup(after)
+    per_shard: Dict[str, Dict[str, int]] = {}
+    totals = {name: 0 for name in _DEDUP_COUNTERS}
+    for label, counters in shards_after.items():
+        base = shards_before.get(
+            label, {name: 0 for name in _DEDUP_COUNTERS}
+        )
+        delta = {
+            name: counters[name] - base.get(name, 0)
+            for name in _DEDUP_COUNTERS
+        }
+        per_shard[label] = delta
+        for name in _DEDUP_COUNTERS:
+            totals[name] += delta[name]
+    front = _front_cache_hits(after) - _front_cache_hits(before)
+    aggregate = dict(totals)
+    aggregate["front_cache_hits"] = front
+    hits = sum(totals.values()) + front
+    aggregate["total_hits"] = hits
+    aggregate["rate"] = (
+        round(hits / ok_responses, 4) if ok_responses else 0.0
+    )
+    return aggregate, per_shard
+
+
+# -- entry points ----------------------------------------------------------
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    *,
+    requests: int = 300,
+    concurrency: int = 8,
+    timeout: float = 60.0,
+    benchmarks=DEFAULT_BENCHMARKS,
+    verify: bool = True,
+    trace_out: Optional[str] = None,
+    shards: Optional[int] = None,
+    baseline_jobs: int = 2,
+) -> Dict[str, Any]:
+    """Drive a running service and return the benchmark payload.
+
+    With ``shards``, the target must be a cluster coordinator with
+    that many shards; a single-server baseline runs first in the same
+    invocation so the payload carries an apples-to-apples comparison.
+    """
+    if trace_out:
+        TRACER.configure(enabled=True)
+    plan = build_plan(requests, concurrency, benchmarks)
+    control = ServiceClient(host, port, timeout=timeout)
+
+    baseline: Optional[Dict[str, Any]] = None
+    cluster_before: Optional[Dict[str, Any]] = None
+    if shards:
+        cluster_before = control.cluster_healthz()
+        found = len(cluster_before.get("shards", {}))
+        if found != shards:
+            raise SystemExit(
+                f"repro loadgen: error: coordinator at {host}:{port} "
+                f"reports {found} shard(s), expected {shards}"
+            )
+        baseline = _run_baseline(plan, concurrency, timeout, baseline_jobs)
+        metrics_before = None
+    else:
+        metrics_before = control.metrics()
+
+    (cold_results, cold_wall), (warm_results, warm_wall) = asyncio.run(
+        _run_phases(host, port, plan, concurrency, timeout)
+    )
+
+    dropped, unexpected, status_counts, ok_responses = _tally(
+        plan, cold_results, warm_results
+    )
+
+    per_shard_dedup: Dict[str, Dict[str, int]] = {}
+    if shards:
+        cluster_after = control.cluster_healthz()
+        dedup, per_shard_dedup = _cluster_dedup(
+            cluster_before, cluster_after, ok_responses
+        )
+    else:
+        metrics_after = control.metrics()
+        dedup = _dedup_payload(
+            _dedup_delta(metrics_before, metrics_after), ok_responses
+        )
 
     verification = {"compared": 0, "mismatches": 0}
     if verify:
@@ -333,6 +621,7 @@ def run_loadgen(
         "schema": BENCH_SCHEMA,
         "requests": requests,
         "concurrency": concurrency,
+        "shards": shards,
         "phases": {
             "cold": _phase_stats(cold_results, cold_wall),
             "warm": _phase_stats(warm_results, warm_wall),
@@ -340,21 +629,45 @@ def run_loadgen(
         "status_counts": dict(sorted(status_counts.items())),
         "dropped": dropped,
         "unexpected_statuses": unexpected,
-        "dedup": {
-            **dedup,
-            "total_hits": dedup_hits,
-            "rate": round(dedup_hits / ok_responses, 4)
-            if ok_responses
-            else 0.0,
-        },
+        "dedup": dedup,
         "verify": verification,
-        "ok": (
-            dropped == 0
-            and unexpected == 0
-            and verification["mismatches"] == 0
-            and dedup_hits > 0
-        ),
     }
+    ok = (
+        dropped == 0
+        and unexpected == 0
+        and verification["mismatches"] == 0
+        and dedup["total_hits"] > 0
+    )
+    if shards:
+        shard_stats = _per_shard_stats(
+            {"cold": cold_results, "warm": warm_results}
+        )
+        for label, counters in per_shard_dedup.items():
+            shard_stats.setdefault(label, {})["dedup"] = counters
+        payload["cluster"] = {
+            "shards": shards,
+            "per_shard": shard_stats,
+        }
+        payload["baseline"] = baseline
+        baseline_warm = baseline["phases"]["warm"]["requests_per_s"]
+        cluster_warm = payload["phases"]["warm"]["requests_per_s"]
+        ratio = (
+            round(cluster_warm / baseline_warm, 3) if baseline_warm else 0.0
+        )
+        rate_delta = round(
+            dedup["rate"] - baseline["dedup"]["rate"], 4
+        )
+        payload["comparison"] = {
+            "warm_throughput_ratio": ratio,
+            "dedup_rate_delta": rate_delta,
+        }
+        ok = (
+            ok
+            and baseline["dropped"] == 0
+            and ratio >= 1.5
+            and abs(rate_delta) <= 0.02
+        )
+    payload["ok"] = ok
     if trace_out:
         write_chrome_trace(trace_out, TRACER.drain())
     return payload
@@ -367,25 +680,35 @@ def write_loadgen(path: str, payload: Dict[str, Any]) -> str:
     return path
 
 
-def format_loadgen(payload: Dict[str, Any]) -> str:
-    cold = payload["phases"]["cold"]
-    warm = payload["phases"]["warm"]
-    dedup = payload["dedup"]
-    verify = payload["verify"]
-    lines = [
-        "service loadgen "
-        f"({payload['requests']} requests x2 phases, "
-        f"concurrency {payload['concurrency']})",
-        f"{'phase':>6}{'reqs':>7}{'wall s':>9}{'req/s':>9}"
-        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}",
-    ]
-    for name, stats in (("cold", cold), ("warm", warm)):
+def _format_phase_rows(
+    lines: List[str], phases: Dict[str, Any]
+) -> None:
+    for name in ("cold", "warm"):
+        stats = phases[name]
         lines.append(
             f"{name:>6}{stats['requests']:>7}{stats['wall_s']:>9.2f}"
             f"{stats['requests_per_s']:>9.1f}{stats['p50_ms']:>9.2f}"
             f"{stats.get('p95_ms', 0.0):>9.2f}"
             f"{stats['p99_ms']:>9.2f}"
         )
+
+
+def format_loadgen(payload: Dict[str, Any]) -> str:
+    dedup = payload["dedup"]
+    verify = payload["verify"]
+    lines = [
+        "service loadgen "
+        f"({payload['requests']} requests x2 phases, "
+        f"concurrency {payload['concurrency']}"
+        + (
+            f", {payload['shards']} shards)"
+            if payload.get("shards")
+            else ")"
+        ),
+        f"{'phase':>6}{'reqs':>7}{'wall s':>9}{'req/s':>9}"
+        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}",
+    ]
+    _format_phase_rows(lines, payload["phases"])
     lines.append(
         f"dropped={payload['dropped']} "
         f"unexpected={payload['unexpected_statuses']} "
@@ -394,8 +717,42 @@ def format_loadgen(payload: Dict[str, Any]) -> str:
     lines.append(
         "dedup: "
         + " ".join(f"{k}={dedup[k]}" for k in _DEDUP_COUNTERS)
+        + (
+            f" front_cache_hits={dedup['front_cache_hits']}"
+            if "front_cache_hits" in dedup
+            else ""
+        )
         + f" rate={dedup['rate']:.2%}"
     )
+    if payload.get("cluster"):
+        for shard, stats in payload["cluster"]["per_shard"].items():
+            parts = [f"shard {shard}:"]
+            for phase in ("cold", "warm"):
+                if phase in stats:
+                    parts.append(
+                        f"{phase} {stats[phase]['requests']} reqs "
+                        f"p50 {stats[phase]['p50_ms']:.2f}ms "
+                        f"p99 {stats[phase]['p99_ms']:.2f}ms"
+                    )
+            if "dedup" in stats:
+                parts.append(
+                    f"dedup {sum(stats['dedup'].values())} hits"
+                )
+            lines.append("  " + " | ".join(parts))
+        baseline = payload["baseline"]
+        lines.append(
+            f"baseline ({baseline['kind']}, jobs={baseline['jobs']}): "
+            f"warm {baseline['phases']['warm']['requests_per_s']:.1f} "
+            f"req/s, dedup rate {baseline['dedup']['rate']:.2%}, "
+            f"dropped={baseline['dropped']}"
+        )
+        comparison = payload["comparison"]
+        lines.append(
+            f"comparison: warm throughput "
+            f"{comparison['warm_throughput_ratio']:.2f}x baseline "
+            f"(floor 1.5x), dedup rate delta "
+            f"{comparison['dedup_rate_delta']:+.2%} (budget ±2%)"
+        )
     lines.append(
         f"verify: {verify['compared']} compared, "
         f"{verify['mismatches']} mismatches"

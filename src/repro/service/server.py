@@ -79,6 +79,10 @@ class ServiceConfig:
     trace_out: Optional[str] = None
     #: Stream spans to this JSONL file as they finish.
     trace_jsonl: Optional[str] = None
+    #: Cluster identity (``"K/N"`` from ``--shard-of``); reported in
+    #: ``/healthz`` and stamped on job responses so the coordinator and
+    #: loadgen can attribute work per shard.  ``None`` = standalone.
+    shard: Optional[str] = None
 
 
 class ServiceServer:
@@ -289,6 +293,8 @@ class ServiceServer:
         payload = dict(result)
         payload["fingerprint"] = job.fingerprint
         payload["served_from"] = served_from
+        if self.config.shard is not None:
+            payload["shard"] = self.config.shard
         return json_response(200, payload)
 
     def _lookup(self, fingerprint: str) -> Optional[Dict[str, Any]]:
@@ -365,6 +371,7 @@ class ServiceServer:
         return {
             "status": "draining" if self.draining else "ok",
             "version": __version__,
+            "shard": self.config.shard,
             "executor": self.executor_kind,
             "in_flight": batcher.pending if batcher else 0,
             "queue_depth": batcher.queue_depth if batcher else 0,

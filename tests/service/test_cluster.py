@@ -1,0 +1,284 @@
+"""Cluster coordinator tests over real sockets, in-process shards.
+
+Each test boots N :class:`ServiceServer` shards (thread executor) and
+one :class:`ClusterCoordinator` on ephemeral ports, all in background
+threads, and talks real HTTP through the coordinator.  Allocate
+requests on the loadgen kernel keep the compute cheap; routing,
+failover, hot-key replication, and the rollup endpoint are what's
+under test.
+"""
+
+import contextlib
+import threading
+import time
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.cluster import ClusterConfig, ClusterCoordinator
+from repro.service.loadgen import LOADGEN_KERNEL
+from repro.service.server import ServiceConfig, ServiceServer
+
+
+def allocate_body(entries: int = 3):
+    return {
+        "kernel": LOADGEN_KERNEL,
+        "scheme": {
+            "kind": "sw_lrf",
+            "entries_per_thread": entries,
+            "split_lrf": True,
+        },
+    }
+
+
+def _safe_shutdown(server):
+    """Idempotent shutdown (a test may have stopped the server already,
+    leaving its event loop closed)."""
+    try:
+        server.request_shutdown()
+    except RuntimeError:
+        pass
+
+
+@contextlib.contextmanager
+def running_cluster(num_shards=2, **overrides):
+    """(coordinator, shards): everything up, torn down afterwards."""
+    with contextlib.ExitStack() as stack:
+        shards = []
+        for index in range(num_shards):
+            server = ServiceServer(
+                ServiceConfig(
+                    port=0,
+                    jobs=2,
+                    executor="thread",
+                    shard=f"{index}/{num_shards}",
+                )
+            )
+            thread = threading.Thread(
+                target=server.run_forever, daemon=True
+            )
+            thread.start()
+            assert server.started.wait(10), "shard did not start"
+            assert server._startup_error is None
+            stack.callback(thread.join, 10)
+            stack.callback(_safe_shutdown, server)
+            shards.append(server)
+        defaults = dict(
+            port=0,
+            shards=tuple(f"127.0.0.1:{s.port}" for s in shards),
+            probe_interval_s=0.1,
+        )
+        defaults.update(overrides)
+        coordinator = ClusterCoordinator(ClusterConfig(**defaults))
+        thread = threading.Thread(
+            target=coordinator.run_forever, daemon=True
+        )
+        thread.start()
+        assert coordinator.started.wait(10), "coordinator did not start"
+        assert coordinator._startup_error is None
+        stack.callback(thread.join, 10)
+        stack.callback(_safe_shutdown, coordinator)
+        yield coordinator, shards
+
+
+def client_for(coordinator) -> ServiceClient:
+    return ServiceClient(port=coordinator.port)
+
+
+def counters(coordinator):
+    return coordinator.metrics.to_dict()["counters"]
+
+
+def test_coordinator_healthz_and_routing_determinism():
+    with running_cluster(num_shards=2) as (coordinator, _):
+        client = client_for(coordinator)
+        health = client.healthz()
+        assert health["role"] == "coordinator"
+        assert health["shards"] == 2
+        assert health["healthy_shards"] == 2
+
+        first = client.allocate(**allocate_body())
+        assert first["served_from"] == "computed"
+        owner = first["shard"]
+        assert owner in ("0/2", "1/2")
+        for _ in range(3):
+            repeat = client.allocate(**allocate_body())
+            # Same fingerprint → same shard → shard-local memo hit.
+            assert repeat["shard"] == owner
+            assert repeat["served_from"] == "cache"
+        assert counters(coordinator)["cluster_route_cache_hits"] >= 3
+
+
+def test_distinct_bodies_spread_and_dedup_survives():
+    with running_cluster(num_shards=2) as (coordinator, _):
+        client = client_for(coordinator)
+        owners = {
+            entries: client.allocate(**allocate_body(entries))["shard"]
+            for entries in range(1, 9)
+        }
+        assert set(owners.values()) == {"0/2", "1/2"}, (
+            "8 distinct fingerprints all routed to one shard"
+        )
+        rollup = client.cluster_healthz()
+        assert sorted(rollup["shards"]) == ["0/2", "1/2"]
+        for entries, owner in owners.items():
+            assert (
+                client.allocate(**allocate_body(entries))["shard"] == owner
+            )
+        rollup = client.cluster_healthz()
+        hits = sum(
+            entry["dedup"]["service_memo_hits"]
+            for entry in rollup["shards"].values()
+        )
+        assert hits >= 8
+
+
+def test_bad_requests_pass_through_and_fault_cache_replays():
+    with running_cluster(num_shards=2) as (coordinator, _):
+        client = client_for(coordinator)
+        for _ in range(2):
+            status, payload = client.request_raw(
+                "POST", "/v1/evaluate", {"benchmark": "no-such-benchmark"}
+            )
+            assert status == 400
+            assert payload["error"]["type"] == "bad_request"
+        status, payload = client.request_raw("POST", "/v1/allocate", None)
+        assert status == 400
+        # The second identical bad body was answered from the route
+        # cache without re-normalising.
+        assert counters(coordinator)["cluster_route_cache_hits"] >= 1
+        assert counters(coordinator)["http_400"] >= 3
+        status, _ = client.request_raw("GET", "/v1/allocate")
+        assert status == 405
+        status, _ = client.request_raw("GET", "/v1/nope")
+        assert status == 404
+
+
+def test_shard_death_fails_over_and_reports_unhealthy():
+    # A huge probe interval keeps the background prober out of the
+    # picture: the *forward* must discover the death and fail over.
+    with running_cluster(num_shards=2, probe_interval_s=3600.0) as (
+        coordinator,
+        shards,
+    ):
+        client = client_for(coordinator)
+        # Pin down which shard owns this body, then kill it.
+        victim_label = client.allocate(**allocate_body())["shard"]
+        victim = shards[int(victim_label.split("/")[0])]
+        survivor_label = f"{1 - int(victim_label.split('/')[0])}/2"
+        victim.request_shutdown()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                ServiceClient(port=victim.port, timeout=1.0).healthz()
+            except OSError:
+                break
+            except ServiceError:
+                pass  # 503 while draining: socket still open
+            time.sleep(0.05)
+
+        # The owning shard is gone: the job must fail over to the
+        # survivor — a 200, not a 5xx storm.
+        response = client.allocate(**allocate_body())
+        assert response["shard"] == survivor_label
+        assert counters(coordinator).get("cluster_retries", 0) >= 1
+
+        rollup = client.cluster_healthz()
+        assert rollup["status"] == "degraded"
+        by_label = {
+            entry["address"]: entry["healthy"]
+            for entry in rollup["shards"].values()
+        }
+        assert by_label[f"127.0.0.1:{victim.port}"] is False
+        assert by_label[f"127.0.0.1:{shards[1 - shards.index(victim)].port}"]
+        assert client.healthz()["healthy_shards"] == 1
+
+        # And new, never-seen work still lands somewhere healthy.
+        fresh = client.allocate(**allocate_body(entries=7))
+        assert fresh["shard"] == survivor_label
+
+
+def test_hot_key_replicates_across_shards():
+    with running_cluster(
+        num_shards=2,
+        hot_threshold=2,
+        hot_window_s=60.0,
+        replication=2,
+        front_cache_entries=0,  # keep every request hitting shards
+    ) as (coordinator, _):
+        client = client_for(coordinator)
+        for _ in range(12):
+            assert client.allocate(**allocate_body())["served_from"] in (
+                "computed",
+                "cache",
+            )
+        tally = counters(coordinator)
+        assert tally.get("cluster_hot_keys_promoted", 0) >= 1
+        touched = [
+            name
+            for name in tally
+            if name.startswith("cluster_shard_requests{")
+        ]
+        assert len(touched) == 2, (
+            f"hot key stayed on one shard: {tally}"
+        )
+
+
+def test_front_cache_serves_hot_repeats_from_memory():
+    with running_cluster(
+        num_shards=2,
+        hot_threshold=2,
+        hot_window_s=60.0,
+        front_cache_threshold=2,
+    ) as (coordinator, _):
+        client = client_for(coordinator)
+        first = client.allocate(**allocate_body())
+        for _ in range(5):
+            repeat = client.allocate(**allocate_body())
+            assert {
+                key: value
+                for key, value in repeat.items()
+                if key not in ("served_from",)
+            } == {
+                key: value
+                for key, value in first.items()
+                if key not in ("served_from",)
+            }
+        assert counters(coordinator)["cluster_front_cache_hits"] >= 1
+
+
+def test_draining_coordinator_rejects_new_work():
+    with running_cluster(num_shards=1) as (coordinator, _):
+        client = client_for(coordinator)
+        assert client.allocate(**allocate_body())["served_from"]
+        coordinator.draining = True
+        status, payload = client.request_raw(
+            "POST", "/v1/allocate", allocate_body()
+        )
+        assert status == 503
+        assert payload["error"]["type"] == "draining"
+        coordinator.draining = False
+
+
+def test_prometheus_exposition_carries_shard_label():
+    with running_cluster(num_shards=2) as (coordinator, _):
+        client = client_for(coordinator)
+        client.allocate(**allocate_body())
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", coordinator.port
+        )
+        try:
+            connection.request(
+                "GET", "/metrics", headers={"Accept": "text/plain"}
+            )
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert "version=0.0.4" in response.getheader("Content-Type")
+        assert 'repro_cluster_shard_requests_total{shard="' in text
+        # HELP/TYPE appear once per family even with multiple labels.
+        assert (
+            text.count("# TYPE repro_cluster_shard_requests_total counter")
+            == 1
+        )

@@ -1,0 +1,93 @@
+"""Consistent-hash-ring properties the cluster tier depends on.
+
+Three load-bearing guarantees: placement is *balanced* (no shard gets
+a pathological share of the keyspace), *stable* (rebuilding the ring
+from the same membership — in any order — places every key
+identically), and *minimally disruptive* (membership changes move only
+the keys that must move, never reshuffle bystanders).
+"""
+
+from repro.service.cluster.ring import ConsistentHashRing
+
+KEYS = [f"fingerprint-{index:05d}" for index in range(4000)]
+
+
+def members(count: int):
+    return [f"10.0.0.{index}:8077" for index in range(count)]
+
+
+def placements(ring: ConsistentHashRing):
+    return {key: ring.lookup(key) for key in KEYS}
+
+
+def test_uniformity_one_to_eight_shards():
+    for count in range(1, 9):
+        ring = ConsistentHashRing(members(count))
+        distribution = ring.distribution(KEYS)
+        assert sum(distribution.values()) == len(KEYS)
+        fair = len(KEYS) / count
+        for member in members(count):
+            share = distribution.get(member, 0)
+            assert 0.5 * fair <= share <= 1.5 * fair, (
+                f"{count} shards: {member} holds {share} keys "
+                f"(fair share {fair:.0f})"
+            )
+
+
+def test_placement_stable_across_rebuilds():
+    baseline = placements(ConsistentHashRing(members(5)))
+    shuffled = list(reversed(members(5)))
+    assert placements(ConsistentHashRing(shuffled)) == baseline
+    assert placements(ConsistentHashRing(members(5) * 2)) == baseline
+
+
+def test_join_moves_keys_only_to_the_new_member():
+    before = placements(ConsistentHashRing(members(4)))
+    grown = members(4) + ["10.0.1.99:8077"]
+    after = placements(ConsistentHashRing(grown))
+    moved = 0
+    for key in KEYS:
+        if after[key] != before[key]:
+            moved += 1
+            assert after[key] == "10.0.1.99:8077", (
+                f"{key} moved between pre-existing members "
+                f"({before[key]} -> {after[key]})"
+            )
+    fair = len(KEYS) / len(grown)
+    assert 0 < moved <= 2.0 * fair
+
+
+def test_leave_moves_only_the_departed_members_keys():
+    departed = members(5)[2]
+    before = placements(ConsistentHashRing(members(5)))
+    remaining = [m for m in members(5) if m != departed]
+    after = placements(ConsistentHashRing(remaining))
+    for key in KEYS:
+        if before[key] == departed:
+            assert after[key] != departed
+        else:
+            assert after[key] == before[key], (
+                f"{key} moved despite its owner staying "
+                f"({before[key]} -> {after[key]})"
+            )
+
+
+def test_lookup_n_distinct_preference_order():
+    ring = ConsistentHashRing(members(4))
+    for key in KEYS[:200]:
+        order = ring.lookup_n(key, 4)
+        assert len(order) == 4
+        assert len(set(order)) == 4
+        assert order[0] == ring.lookup(key)
+        # Asking for fewer yields the same prefix.
+        assert ring.lookup_n(key, 2) == order[:2]
+
+
+def test_lookup_n_caps_at_membership():
+    ring = ConsistentHashRing(members(3))
+    assert len(ring.lookup_n("anything", 10)) == 3
+
+
+def test_single_member_owns_everything():
+    ring = ConsistentHashRing(members(1))
+    assert set(placements(ring).values()) == {members(1)[0]}
