@@ -58,3 +58,11 @@ def test_bench_accounting_suite(results_dir):
     out = results_dir / "BENCH_accounting.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     assert payload["software"]["speedup"] >= 3.0
+    # Schema 3: batched allocation must beat per-config allocation
+    # across the 18-config software sweep (2x floor at reduced scale;
+    # the pinned full-scale run records >= 3x).
+    allocation = payload["allocation"]
+    assert allocation["configs"] == 18
+    assert allocation["speedup"] >= 2.0
+    assert allocation["analysis_s"] > 0
+    assert allocation["levels_s"] > 0

@@ -7,6 +7,13 @@ from .allocator import (
     ReadOperandAssignment,
     WebAssignment,
     allocate_kernel,
+    allocate_kernels_batch,
+)
+from .analysis import (
+    KernelAnalysis,
+    analyze_kernel,
+    clear_analysis_cache,
+    kernel_analysis,
 )
 from .intervals import EntryFile
 from .serialize import (
@@ -35,6 +42,11 @@ __all__ = [
     "AnnotationFormatError",
     "AllocationResult",
     "EntryFile",
+    "KernelAnalysis",
+    "analyze_kernel",
+    "allocate_kernels_batch",
+    "clear_analysis_cache",
+    "kernel_analysis",
     "ReadOperandAssignment",
     "ReadOperandCandidate",
     "StrandValues",

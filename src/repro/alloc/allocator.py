@@ -11,6 +11,12 @@
    (Section 4.4) as configured;
 4. annotate every instruction operand with its hierarchy level.
 
+Steps 1–2 are scheme-independent and factored into
+:mod:`repro.alloc.analysis` (:class:`KernelAnalysis`, cached by kernel
+content fingerprint); steps 3–4 are the per-config *levels pass*.
+``allocate_kernels_batch`` exploits the split: one analysis, one levels
+pass per configuration — the workhorse of multi-config sweeps.
+
 The allocator never changes program semantics: it only decides where
 each value lives.  Any value whose location would be ambiguous at a
 read (mixed reaching definitions, Figure 10) is kept available in the
@@ -23,8 +29,6 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.cfg import ControlFlowGraph
-from ..analysis.reaching import ReachingDefinitions
 from ..energy.model import EnergyModel
 from ..ir.instructions import DestAnnotation, SourceAnnotation
 from ..ir.kernel import Kernel
@@ -32,7 +36,7 @@ from ..levels import Level
 from ..obs.provenance import ProvenanceRecorder
 from ..obs.tracer import TRACER
 from ..strands.model import StrandPartition
-from ..strands.partition import partition_strands
+from .analysis import KernelAnalysis, kernel_analysis
 from .intervals import EntryFile
 from .savings import (
     priority,
@@ -44,7 +48,6 @@ from .webs import (
     StrandValues,
     Web,
     WebRead,
-    build_strand_values,
 )
 
 
@@ -197,40 +200,108 @@ def allocate_kernel(
     config: AllocationConfig,
     model: Optional[EnergyModel] = None,
     recorder: Optional[ProvenanceRecorder] = None,
+    analysis: Optional[KernelAnalysis] = None,
 ) -> AllocationResult:
     """Run the full allocation pipeline on a kernel (annotates in place).
 
+    The scheme-independent phase comes from the shared analysis cache
+    (:func:`repro.alloc.analysis.kernel_analysis`); only the per-config
+    levels pass runs here.  ``analysis`` may supply the phase
+    explicitly (it must describe a structurally identical kernel under
+    ``config``'s persistence flag); batch sweeps pass one analysis to
+    many configs.
+
     ``recorder`` (kept out of :class:`AllocationConfig`, which is
     hashed into memo keys) collects a provenance trail of every
-    allocation decision; attaching one never changes the result.
+    allocation decision; attaching one never changes the result — nor
+    the shared analysis, which records nothing.
     """
     with TRACER.span("alloc.kernel", kernel=kernel.name):
-        kernel.reset_annotations()
-        with TRACER.span("alloc.partition"):
-            cfg = ControlFlowGraph(kernel)
-            partition = partition_strands(
-                kernel,
-                cfg,
-                assume_persistent=config.assume_persistent_strands,
+        if analysis is None:
+            analysis = kernel_analysis(
+                kernel, config.assume_persistent_strands
             )
-        with TRACER.span("alloc.webs"):
-            reaching = ReachingDefinitions(kernel, cfg)
-            strand_values = build_strand_values(
-                kernel, partition, reaching
+        elif analysis.assume_persistent != config.assume_persistent_strands:
+            raise ValueError(
+                "analysis was computed with assume_persistent="
+                f"{analysis.assume_persistent} but config requires "
+                f"{config.assume_persistent_strands}"
             )
-        if model is None:
-            model = config.energy_model()
+        return _levels_pass(kernel, analysis, config, model, recorder)
 
-        result = AllocationResult(kernel, config, partition, strand_values)
-        for _, instruction in kernel.instructions():
-            instruction.ensure_default_annotations()
 
-        with TRACER.span("alloc.levels"):
-            for values in strand_values:
-                _allocate_strand(
-                    kernel, values, config, model, result, recorder
+def allocate_kernels_batch(
+    kernel: Kernel,
+    configs: Sequence[AllocationConfig],
+    model: Optional[EnergyModel] = None,
+    recorders: Optional[Sequence[Optional[ProvenanceRecorder]]] = None,
+) -> List[AllocationResult]:
+    """Allocate one kernel under many configs, sharing the analysis.
+
+    Semantically ``[allocate_kernel(kernel.clone(), c) for c in
+    configs]`` — each config annotates its own pristine clone — but the
+    scheme-independent phase runs once per distinct
+    ``assume_persistent_strands`` flavour instead of once per config.
+    ``model`` (optional) applies to every config; ``recorders``, when
+    given, is parallel to ``configs`` and attaches per-config
+    provenance without touching the shared analysis.
+    """
+    if recorders is not None and len(recorders) != len(configs):
+        raise ValueError("recorders must parallel configs")
+    results: List[AllocationResult] = []
+    analyses: Dict[bool, KernelAnalysis] = {}
+    with TRACER.span(
+        "alloc.levels_batch", kernel=kernel.name, configs=len(configs)
+    ):
+        for index, config in enumerate(configs):
+            flag = config.assume_persistent_strands
+            analysis = analyses.get(flag)
+            if analysis is None:
+                analysis = kernel_analysis(kernel, flag)
+                analyses[flag] = analysis
+            results.append(
+                allocate_kernel(
+                    kernel.clone(),
+                    config,
+                    model=model,
+                    recorder=recorders[index] if recorders else None,
+                    analysis=analysis,
                 )
-        return result
+            )
+    return results
+
+
+def _levels_pass(
+    kernel: Kernel,
+    analysis: KernelAnalysis,
+    config: AllocationConfig,
+    model: Optional[EnergyModel],
+    recorder: Optional[ProvenanceRecorder],
+) -> AllocationResult:
+    """The per-config phase: stamp strand bits, place values, annotate.
+
+    ``kernel`` must be structurally identical to ``analysis.kernel``;
+    every ref in the analysis resolves by position.  The analysis is
+    read-only here — partitions and strand values are shared across
+    all configs built from them.
+    """
+    kernel.reset_annotations()
+    ending = analysis.partition.ends_strand_positions
+    for ref, instruction in kernel.instructions():
+        instruction.ends_strand = ref.position in ending
+        instruction.ensure_default_annotations()
+    if model is None:
+        model = config.energy_model()
+
+    result = AllocationResult(
+        kernel, config, analysis.partition, analysis.strand_values
+    )
+    with TRACER.span("alloc.levels"):
+        for values in analysis.strand_values:
+            _allocate_strand(
+                kernel, values, config, model, result, recorder
+            )
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -295,7 +366,12 @@ def _lrf_pass(
     num_banks = config.lrf_banks if config.split_lrf else 1
     banks = EntryFile(num_banks)
 
-    heap: List[Tuple[float, int, Web, List[WebRead], Optional[int]]] = []
+    # Entries carry the push-time savings: covered never changes
+    # between push and pop, so recomputing at pop would yield the
+    # identical float.
+    heap: List[
+        Tuple[float, int, Web, List[WebRead], Optional[int], float]
+    ] = []
     for seq, web in enumerate(values.webs):
         if web.width_words != 1 or not web.all_private:
             if recorder is not None:
@@ -351,12 +427,13 @@ def _lrf_pass(
                 bank=bank, reads=len(covered),
             )
         heapq.heappush(
-            heap, (-priority(savings, begin, end), seq, web, covered, bank)
+            heap,
+            (-priority(savings, begin, end), seq, web, covered, bank, savings),
         )
 
     assigned: Dict[int, WebAssignment] = {}
     while heap:
-        _, _, web, covered, bank = heapq.heappop(heap)
+        _, _, web, covered, bank, savings = heapq.heappop(heap)
         begin, end = _web_interval(web, covered)
         if config.split_lrf:
             if not banks.is_available(bank, begin, end):
@@ -381,11 +458,6 @@ def _lrf_pass(
                     )
                 continue
         banks.allocate(entry, begin, end)
-        partial_excludes = len(covered) != len(web.coverable_reads)
-        savings = value_allocation_savings(
-            web, covered, Level.LRF, model,
-            force_mrf_write=partial_excludes,
-        )
         assignment = WebAssignment(
             web=web,
             level=Level.LRF,
@@ -444,7 +516,9 @@ def _orf_pass(
     orf = EntryFile(config.orf_entries)
 
     # Items: ("web", web) and ("read", candidate), one shared queue.
-    heap: List[Tuple[float, int, str, object, List[WebRead]]] = []
+    # Entries carry the push-time savings so the first allocation
+    # attempt does not recompute the identical value.
+    heap: List[Tuple[float, int, str, object, List[WebRead], float]] = []
     seq = 0
     for web in values.webs:
         if web.web_id in lrf_assigned:
@@ -484,7 +558,8 @@ def _orf_pass(
                 reads=len(covered), width=web.width_words,
             )
         heapq.heappush(
-            heap, (-priority(savings, begin, end), seq, "web", web, covered)
+            heap,
+            (-priority(savings, begin, end), seq, "web", web, covered, savings),
         )
         seq += 1
 
@@ -531,21 +606,22 @@ def _orf_pass(
                     "read",
                     candidate,
                     covered,
+                    savings,
                 ),
             )
             seq += 1
 
     while heap:
-        _, _, kind, item, covered = heapq.heappop(heap)
+        _, _, kind, item, covered, savings = heapq.heappop(heap)
         if kind == "web":
             _try_allocate_web(
                 kernel, item, covered, orf, config, model, result,
-                recorder, strand_id,
+                recorder, strand_id, savings=savings,
             )
         else:
             _try_allocate_read_operand(
                 kernel, item, covered, orf, config, model, result,
-                recorder, strand_id,
+                recorder, strand_id, savings=savings,
             )
 
 
@@ -559,13 +635,15 @@ def _try_allocate_web(
     result: AllocationResult,
     recorder: Optional[ProvenanceRecorder] = None,
     strand_id: int = -1,
+    savings: Optional[float] = None,
 ) -> None:
     full_covered_count = len(covered)
     while True:
-        partial = len(covered) != len(web.coverable_reads)
-        savings = value_allocation_savings(
-            web, covered, Level.ORF, model, force_mrf_write=partial
-        )
+        if savings is None:
+            partial = len(covered) != len(web.coverable_reads)
+            savings = value_allocation_savings(
+                web, covered, Level.ORF, model, force_mrf_write=partial
+            )
         if savings <= 0:
             if recorder is not None:
                 recorder.record(
@@ -625,6 +703,7 @@ def _try_allocate_web(
                 range=[begin, end],
             )
         covered = covered[:-1]
+        savings = None
 
 
 def _try_allocate_read_operand(
@@ -637,10 +716,12 @@ def _try_allocate_read_operand(
     result: AllocationResult,
     recorder: Optional[ProvenanceRecorder] = None,
     strand_id: int = -1,
+    savings: Optional[float] = None,
 ) -> None:
     full_covered_count = len(covered)
     while len(covered) >= 2:
-        savings = read_operand_savings(candidate, covered, model)
+        if savings is None:
+            savings = read_operand_savings(candidate, covered, model)
         if savings <= 0:
             if recorder is not None:
                 recorder.record(
@@ -701,6 +782,7 @@ def _try_allocate_read_operand(
                 range=[begin, end],
             )
         covered = covered[:-1]
+        savings = None
 
 
 def _web_interval(

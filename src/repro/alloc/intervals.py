@@ -62,9 +62,10 @@ class _Entry:
     def available(self, begin: int, end: int, closed: bool = False) -> bool:
         """True if the window may be added without a sharing conflict."""
         candidate = (begin, end, closed)
-        return not any(
-            windows_conflict(candidate, other) for other in self.occupied
-        )
+        for other in self.occupied:
+            if windows_conflict(candidate, other):
+                return False
+        return True
 
     def allocate(self, begin: int, end: int, closed: bool = False) -> None:
         if not self.available(begin, end, closed):
@@ -106,14 +107,15 @@ class EntryFile:
         (Section 3.2: "the compiler allocates multiple entries to store
         the value in the ORF").
         """
-        free = [
-            index
-            for index, entry in enumerate(self._entries)
-            if entry.available(begin, end, closed)
-        ]
-        if len(free) < count:
-            return None
-        return free[:count]
+        free: List[int] = []
+        if count <= 0:
+            return free
+        for index, entry in enumerate(self._entries):
+            if entry.available(begin, end, closed):
+                free.append(index)
+                if len(free) == count:
+                    return free
+        return None
 
     def allocate(
         self, entry_index: int, begin: int, end: int, closed: bool = False

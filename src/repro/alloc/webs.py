@@ -40,6 +40,7 @@ coverability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.cfg import ControlFlowGraph
@@ -97,9 +98,15 @@ class Web:
     def first_def_position(self) -> int:
         return min(d.ref.position for d in self.defs if d.ref is not None)
 
-    @property
+    @cached_property
     def coverable_reads(self) -> List[WebRead]:
-        """Reads redirectable to the ORF/LRF, by position."""
+        """Reads redirectable to the ORF/LRF, by position.
+
+        Cached: ``reads`` is final once :func:`build_strand_values`
+        returns, and a batched sweep queries this once per config per
+        web.  Callers must not mutate the returned list (the allocator
+        only rebinds slices of it).
+        """
         return sorted(
             (
                 read
@@ -109,14 +116,14 @@ class Web:
             key=lambda read: read.position,
         )
 
-    @property
+    @cached_property
     def needs_mrf_write(self) -> bool:
         """True if the value must reach the MRF even when allocated."""
         return self.live_out or any(
             read.mixed or read.divergence_unsafe for read in self.reads
         )
 
-    @property
+    @cached_property
     def all_private(self) -> bool:
         """True if every def and every coverable read uses the ALUs.
 
@@ -169,9 +176,14 @@ def build_strand_values(
     kernel: Kernel,
     partition: StrandPartition,
     reaching: ReachingDefinitions,
+    cfg: Optional[ControlFlowGraph] = None,
 ) -> List[StrandValues]:
-    """Build register instances and read-operand groups for every strand."""
-    builder = _WebBuilder(kernel, partition, reaching)
+    """Build register instances and read-operand groups for every strand.
+
+    ``cfg`` may carry the kernel's already-built control-flow graph so
+    the divergence-hazard analysis does not rebuild it.
+    """
+    builder = _WebBuilder(kernel, partition, reaching, cfg=cfg)
     return builder.build()
 
 
@@ -281,7 +293,12 @@ class _DivergenceHazards:
     upper levels are flushed.
     """
 
-    def __init__(self, kernel: Kernel, partition: StrandPartition) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        partition: StrandPartition,
+        cfg: Optional[ControlFlowGraph] = None,
+    ) -> None:
         self._strand_of = partition.strand_of_position
         first_pos: Dict[int, int] = {}
         position = 0
@@ -289,7 +306,9 @@ class _DivergenceHazards:
             first_pos[block_index] = position
             position += len(block.instructions)
         num_positions = position
-        postdom = PostDominatorTree(ControlFlowGraph(kernel))
+        if cfg is None:
+            cfg = ControlFlowGraph(kernel)
+        postdom = PostDominatorTree(cfg)
         #: (branch position, taken-region begin, reconvergence position)
         self._hammocks: List[Tuple[int, int, int]] = []
         for ref, instruction in kernel.instructions():
@@ -384,12 +403,13 @@ class _WebBuilder:
         kernel: Kernel,
         partition: StrandPartition,
         reaching: ReachingDefinitions,
+        cfg: Optional[ControlFlowGraph] = None,
     ) -> None:
         self.kernel = kernel
         self.partition = partition
         self.reaching = reaching
         self.local = _LocalReaching(kernel, partition, reaching)
-        self.hazards = _DivergenceHazards(kernel, partition)
+        self.hazards = _DivergenceHazards(kernel, partition, cfg=cfg)
         self._instructions: Dict[int, Instruction] = {
             ref.position: instruction
             for ref, instruction in kernel.instructions()

@@ -60,6 +60,12 @@ class EnergyModel:
                 f"no Table 3 row for ORF size {self.orf_entries}; "
                 f"valid sizes: {sorted(tables.ORF_ENERGY_PJ)}"
             )
+        # Per-instance memo for read_energy/write_energy: the model is
+        # frozen, so each of the six (level, datapath) combinations has
+        # one answer — and the allocator's savings loops query them
+        # millions of times across a sweep.  Not a dataclass field, so
+        # equality/hash/repr are unaffected.
+        object.__setattr__(self, "_operand_energy_memo", {})
 
     # -- access energy (storage array only) --------------------------------
 
@@ -117,15 +123,25 @@ class EnergyModel:
 
     def read_energy(self, level: Level, shared_unit: bool = False) -> float:
         """Total pJ (access + wire) for one warp operand read."""
-        return self.access_energy(level, True) + self.wire_energy(
-            level, shared_unit
-        )
+        key = (level, shared_unit, True)
+        cached = self._operand_energy_memo.get(key)
+        if cached is None:
+            cached = self.access_energy(level, True) + self.wire_energy(
+                level, shared_unit
+            )
+            self._operand_energy_memo[key] = cached
+        return cached
 
     def write_energy(self, level: Level, shared_unit: bool = False) -> float:
         """Total pJ (access + wire) for one warp operand write."""
-        return self.access_energy(level, False) + self.wire_energy(
-            level, shared_unit
-        )
+        key = (level, shared_unit, False)
+        cached = self._operand_energy_memo.get(key)
+        if cached is None:
+            cached = self.access_energy(level, False) + self.wire_energy(
+                level, shared_unit
+            )
+            self._operand_energy_memo[key] = cached
+        return cached
 
     def with_orf_entries(self, orf_entries: int) -> "EnergyModel":
         """A copy of this model with a different ORF size."""

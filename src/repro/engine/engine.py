@@ -36,6 +36,7 @@ from ..sim.runner import (
     TraceSet,
     build_traces,
     evaluate_traces,
+    evaluate_traces_batch,
 )
 from ..sim.schemes import Scheme
 from ..workloads.suites import BENCHMARK_NAMES
@@ -139,6 +140,46 @@ class ExperimentEngine:
         self._store_record(key, record_payload(evaluation))
         return evaluation
 
+    def evaluate_batch(
+        self, traces: TraceSet, schemes: Sequence[Scheme]
+    ) -> List[KernelEvaluation]:
+        """Account ``traces`` under every scheme, sharing batched work.
+
+        Record-memo misses are evaluated together through
+        :func:`~repro.sim.runner.evaluate_traces_batch`, so all
+        software schemes share one kernel analysis (and, on the
+        compiled path, hardware schemes share one trace walk).  The
+        returned records are identical to per-scheme :meth:`evaluate`
+        calls — which is how they are served, from the freshly filled
+        memo.
+        """
+        missing: List[Scheme] = []
+        seen = set()
+        for scheme in schemes:
+            key = record_key(traces, scheme)
+            if key in seen or self._lookup_record(key) is not None:
+                continue
+            seen.add(key)
+            missing.append(scheme)
+        if missing:
+            self.metrics.count("record_misses", len(missing))
+            with self.metrics.stage("evaluate"):
+                with TRACER.span(
+                    "engine.evaluate_batch",
+                    kernel=traces.kernel.name,
+                    schemes=len(missing),
+                ):
+                    evaluations = evaluate_traces_batch(
+                        traces,
+                        missing,
+                        allocation_memo=self.allocation_memo,
+                    )
+            for scheme, evaluation in zip(missing, evaluations):
+                self._store_record(
+                    record_key(traces, scheme), record_payload(evaluation)
+                )
+        return [self.evaluate(traces, scheme) for scheme in schemes]
+
     # -- study-level memoization -------------------------------------------
 
     def memo_study(
@@ -235,5 +276,11 @@ class ExperimentEngine:
                             traces, scheme = by_key[key]
                             self.evaluate(traces, scheme)
 
+        # Inline evaluations are grouped per trace set so batched
+        # misses share one kernel analysis across schemes.
+        grouped: Dict[int, Tuple[TraceSet, List[Scheme]]] = {}
         for key, traces, scheme in inline:
-            self.evaluate(traces, scheme)
+            entry = grouped.setdefault(id(traces), (traces, []))
+            entry[1].append(scheme)
+        for traces, batch in grouped.values():
+            self.evaluate_batch(traces, batch)

@@ -16,6 +16,15 @@ the measured region; each pass is repeated and the best wall time kept.
 Schema 2 adds machine-comparable normalized costs: per family, the
 nanoseconds spent per dynamic instruction per scheme
 (``*_ns_per_instr``), alongside the raw wall seconds.
+
+Schema 3 adds an ``allocation`` section (additive; every schema-2 key
+is unchanged): wall time to allocate the full software sweep per-config
+from cold (``single_s`` — fresh analysis for every config, the
+pre-batching pipeline) against the batched path (``batch_s`` — one
+:func:`~repro.alloc.analysis.analyze_kernel` per kernel via
+:func:`~repro.alloc.allocator.allocate_kernels_batch`), plus the cold
+decomposition into the shared analysis share (``analysis_s``) and the
+per-config levels-pass share (``levels_s``).
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import json
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..alloc.allocator import allocate_kernel, allocate_kernels_batch
+from ..alloc.analysis import analyze_kernel, clear_analysis_cache
 from ..sim.runner import (
     AllocationMemo,
     TraceSet,
@@ -35,7 +46,7 @@ from ..sim.schemes import Scheme, SchemeKind
 from ..workloads.shapes import WorkloadSpec
 from ..workloads.suites import all_workloads
 
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: ORF/RFC sizes swept per scheme family — the Figure 11/12 x-axis.
 ENTRY_SWEEP = (1, 2, 3, 4, 6, 8)
@@ -130,6 +141,90 @@ def _bench_family(
     }
 
 
+def _bench_allocation(
+    suite: Sequence[TraceSet],
+    schemes: Sequence[Scheme],
+    repeats: int,
+) -> Dict[str, float]:
+    """Time the software sweep's allocation phase, per-config vs. batched.
+
+    ``single_s`` reproduces the pre-batching pipeline — every config
+    pays a fresh scheme-independent analysis — by calling
+    :func:`analyze_kernel` (uncached) per config.  ``batch_s`` clears
+    the analysis cache and runs :func:`allocate_kernels_batch` cold, so
+    both numbers include exactly one pipeline's worth of work and the
+    ratio is the batching win.  ``analysis_s``/``levels_s`` decompose
+    one cold batched run: the shared analysis share and the per-config
+    levels-pass share.
+    """
+    configs = [
+        scheme.allocation_config()
+        for scheme in schemes
+        if scheme.kind.is_software
+    ]
+    kernels = [traces.kernel for traces in suite]
+    flags = sorted({config.assume_persistent_strands for config in configs})
+
+    def _single() -> float:
+        started = time.perf_counter()
+        for kernel in kernels:
+            for config in configs:
+                analysis = analyze_kernel(
+                    kernel, config.assume_persistent_strands
+                )
+                allocate_kernel(
+                    kernel.clone(), config, analysis=analysis
+                )
+        return time.perf_counter() - started
+
+    def _batch() -> float:
+        clear_analysis_cache()
+        started = time.perf_counter()
+        for kernel in kernels:
+            allocate_kernels_batch(kernel, configs)
+        return time.perf_counter() - started
+
+    single_s = min(_single() for _ in range(repeats))
+    batch_s = min(_batch() for _ in range(repeats))
+
+    def _analysis() -> float:
+        started = time.perf_counter()
+        for kernel in kernels:
+            for flag in flags:
+                analyses[(kernel.content_fingerprint(), flag)] = (
+                    analyze_kernel(kernel, flag)
+                )
+        return time.perf_counter() - started
+
+    def _levels() -> float:
+        started = time.perf_counter()
+        for kernel in kernels:
+            for config in configs:
+                analysis = analyses[
+                    (
+                        kernel.content_fingerprint(),
+                        config.assume_persistent_strands,
+                    )
+                ]
+                allocate_kernel(
+                    kernel.clone(), config, analysis=analysis
+                )
+        return time.perf_counter() - started
+
+    analyses: Dict = {}
+    analysis_s = min(_analysis() for _ in range(repeats))
+    levels_s = min(_levels() for _ in range(repeats))
+    return {
+        "configs": len(configs),
+        "kernels": len(kernels),
+        "single_s": round(single_s, 6),
+        "batch_s": round(batch_s, 6),
+        "analysis_s": round(analysis_s, 6),
+        "levels_s": round(levels_s, 6),
+        "speedup": round(single_s / batch_s, 2) if batch_s else 0.0,
+    }
+
+
 def run_bench_accounting(
     scale: float = 1.0,
     repeats: int = 3,
@@ -167,6 +262,7 @@ def run_bench_accounting(
         "baseline": _bench_family(
             [Scheme(SchemeKind.BASELINE)], scale, repeats, memo, suite
         ),
+        "allocation": _bench_allocation(suite, sw, repeats),
     }
     return payload
 
@@ -191,6 +287,17 @@ def format_bench_accounting(payload: Dict) -> str:
             f"compiled {row['compiled_s']:8.3f}s "
             f"({row['compiled_ns_per_instr']:8.1f} ns/instr)   "
             f"{row['speedup']:6.2f}x"
+        )
+    alloc = payload.get("allocation")
+    if alloc is not None:
+        lines.append(
+            f"  allocation {alloc['configs']} configs x "
+            f"{alloc['kernels']} kernels   "
+            f"per-config {alloc['single_s']:8.3f}s   "
+            f"batched {alloc['batch_s']:8.3f}s "
+            f"(analysis {alloc['analysis_s']:.3f}s + "
+            f"levels {alloc['levels_s']:.3f}s)   "
+            f"{alloc['speedup']:6.2f}x"
         )
     return "\n".join(lines)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from ..alloc.allocator import AllocationConfig, allocate_kernel
+from ..alloc.analysis import kernel_analysis
 from ..energy.model import EnergyModel
 from ..ir.instructions import Instruction
 from ..ir.kernel import Kernel
@@ -81,10 +82,21 @@ def explain_report(
     model: Optional[EnergyModel] = None,
 ) -> str:
     """Allocate a clone of ``kernel`` under ``config`` with provenance
-    recording and render the decision chain as text."""
+    recording and render the decision chain as text.
+
+    The recorder attaches to the per-config levels pass only; the
+    scheme-independent analysis comes from the shared
+    :func:`~repro.alloc.analysis.kernel_analysis` cache, which emits no
+    provenance — so explaining one scheme out of a batched sweep reuses
+    the sweep's analysis and records exactly the decisions of that
+    scheme's levels pass.
+    """
     recorder = ProvenanceRecorder()
     clone = kernel.clone()
-    result = allocate_kernel(clone, config, model, recorder=recorder)
+    analysis = kernel_analysis(kernel, config.assume_persistent_strands)
+    result = allocate_kernel(
+        clone, config, model, recorder=recorder, analysis=analysis
+    )
 
     instructions = {
         ref.position: instruction

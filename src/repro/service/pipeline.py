@@ -9,6 +9,13 @@ keep per-process memos (parsed kernels, trace sets, allocations) so a
 worker that sees several schemes for one kernel traces and allocates
 it once.
 
+Jobs are single-scheme, but the allocator's scheme-independent
+analysis phase (:mod:`repro.alloc.analysis`) is cached per process by
+kernel content fingerprint — so a worker handling N schemes of one
+kernel analyses it once and runs only the per-config levels pass N
+times, the same sharing the in-process engine gets from
+``evaluate_traces_batch``.
+
 Evaluation results embed the engine's record payload verbatim
 (:func:`repro.engine.records.record_payload`), which is what makes a
 service response byte-comparable to the direct engine path.

@@ -26,6 +26,7 @@ from ..alloc.allocator import (
     AllocationConfig,
     AllocationResult,
     allocate_kernel,
+    allocate_kernels_batch,
 )
 from ..energy.model import EnergyModel
 from ..analysis.usage import UsageHistogram, ValueUsageTracker
@@ -122,10 +123,40 @@ class KernelEvaluation:
 #: Memo for clone-based allocations, shared across scheme evaluations.
 #: Keyed on (kernel content fingerprint, allocation config, energy
 #: model); both value types are frozen dataclasses, so plain dict
-#: lookup gives exact-match semantics.
+#: lookup gives exact-match semantics.  The model component is
+#: *normalized*: ``None`` and an explicit model equal to
+#: ``config.energy_model()`` map to the same key, since they produce
+#: identical allocations.
 AllocationMemo = MutableMapping[
     Tuple[str, AllocationConfig, Optional[EnergyModel]], AllocationResult
 ]
+
+
+def _memo_model(
+    config: AllocationConfig, model: Optional[EnergyModel]
+) -> Optional[EnergyModel]:
+    """The memo key's model component, with the default folded to None.
+
+    ``allocate_kernel(model=None)`` uses ``config.energy_model()``, so
+    passing that model explicitly cannot change the result; keying both
+    spellings identically stops them from duplicating allocations.
+    """
+    if model is None or model == config.energy_model():
+        return None
+    return model
+
+
+def allocation_memo_key(
+    kernel: Kernel,
+    config: AllocationConfig,
+    model: Optional[EnergyModel] = None,
+) -> Tuple[str, AllocationConfig, Optional[EnergyModel]]:
+    """The normalized memo key for one (kernel, config, model) triple."""
+    return (
+        kernel.content_fingerprint(),
+        config,
+        _memo_model(config, model),
+    )
 
 
 def allocate_for_traces(
@@ -139,16 +170,63 @@ def allocate_for_traces(
     The traced kernel keeps whatever annotations it had; accounting
     resolves the clone's annotations by instruction position.  With a
     ``memo``, repeated evaluations of one kernel under one config reuse
-    the allocation instead of re-running the full analysis pipeline.
+    the allocation instead of re-running the levels pass.  Even on a
+    memo miss the scheme-independent analysis phase comes from the
+    shared cache (:func:`repro.alloc.analysis.kernel_analysis`), so a
+    multi-config sweep pays for it once per kernel.
     """
     if memo is None:
         return allocate_kernel(kernel.clone(), config, model=model)
-    key = (kernel.content_fingerprint(), config, model)
+    key = allocation_memo_key(kernel, config, model)
     allocation = memo.get(key)
     if allocation is None:
         allocation = allocate_kernel(kernel.clone(), config, model=model)
         memo[key] = allocation
     return allocation
+
+
+def allocate_for_traces_batch(
+    kernel: Kernel,
+    configs: Sequence[AllocationConfig],
+    model: Optional[EnergyModel] = None,
+    memo: Optional[AllocationMemo] = None,
+) -> List[AllocationResult]:
+    """Allocate one kernel under many configs, sharing the analysis.
+
+    Results match ``[allocate_for_traces(kernel, c, model, memo) for c
+    in configs]`` exactly; memo misses are funneled through
+    :func:`repro.alloc.allocator.allocate_kernels_batch` so the
+    scheme-independent phase runs once per persistence flavour instead
+    of once per config.
+    """
+    if memo is None:
+        return allocate_kernels_batch(kernel, list(configs), model=model)
+    results: List[Optional[AllocationResult]] = [None] * len(configs)
+    missing: List[int] = []
+    queued: set = set()
+    for index, config in enumerate(configs):
+        key = allocation_memo_key(kernel, config, model)
+        hit = memo.get(key)
+        if hit is not None:
+            results[index] = hit
+        elif key not in queued:
+            # Duplicate keys within one batch allocate once.
+            queued.add(key)
+            missing.append(index)
+    if missing:
+        fresh = allocate_kernels_batch(
+            kernel, [configs[i] for i in missing], model=model
+        )
+        for index, allocation in zip(missing, fresh):
+            memo[
+                allocation_memo_key(kernel, configs[index], model)
+            ] = allocation
+    for index, config in enumerate(configs):
+        if results[index] is None:
+            results[index] = memo[
+                allocation_memo_key(kernel, config, model)
+            ]
+    return results  # type: ignore[return-value]
 
 
 def _cached_baseline(traces: TraceSet) -> AccessCounters:
@@ -230,14 +308,32 @@ def evaluate_traces_batch(
     """Account one workload under many schemes, sharing work.
 
     Semantically ``[evaluate_traces(traces, s) for s in schemes]`` —
-    and exactly that when the compiled path is off — but on the
-    compiled path all hardware schemes are evaluated in a single pass
-    per unique trace (:func:`repro.sim.compiled.hardware_counters`),
-    sharing the per-event decode and deschedule resolution instead of
-    walking the trace once per scheme.
+    but all software schemes allocate through
+    :func:`allocate_for_traces_batch` (one scheme-independent kernel
+    analysis, one levels pass per config), and on the compiled path all
+    hardware schemes are evaluated in a single pass per unique trace
+    (:func:`repro.sim.compiled.hardware_counters`), sharing the
+    per-event decode and deschedule resolution instead of walking the
+    trace once per scheme.
     """
     if use_compiled is None:
         use_compiled = compiled_enabled()
+
+    # Batch software allocations up front: memo misses run the levels
+    # pass only, against one shared analysis.  A local memo keeps the
+    # batched allocations reachable for the per-scheme evaluations even
+    # when the caller did not pass one.
+    software = [s for s in schemes if s.kind.is_software]
+    if software:
+        if allocation_memo is None:
+            allocation_memo = {}
+        allocate_for_traces_batch(
+            traces.kernel,
+            [s.allocation_config() for s in software],
+            model=energy_model,
+            memo=allocation_memo,
+        )
+
     if not use_compiled:
         return [
             evaluate_traces(

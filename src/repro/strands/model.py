@@ -92,6 +92,11 @@ class StrandPartition:
     #: Block indices at whose entry the warp must wait for all pending
     #: long-latency operations (UNCERTAINTY endpoints).
     wait_blocks: Set[int] = field(default_factory=set)
+    #: Positions whose instruction carries the ``ends_strand`` bit.
+    #: Recorded here so the bits can be re-stamped onto any structurally
+    #: identical kernel (the batched allocator annotates per-config
+    #: clones from one shared partition).
+    ends_strand_positions: FrozenSet[int] = frozenset()
 
     def strand_of(self, ref: InstructionRef) -> Strand:
         return self.strands[self.strand_of_position[ref.position]]

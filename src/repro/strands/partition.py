@@ -280,7 +280,13 @@ class _Partitioner:
         return partition
 
     def _annotate_ends_strand(self, partition: StrandPartition) -> None:
-        """Set the per-instruction ``ends_strand`` bit (Section 4.1)."""
+        """Set the per-instruction ``ends_strand`` bit (Section 4.1).
+
+        The positions carrying the bit are also recorded on the
+        partition (``ends_strand_positions``) so a structurally
+        identical kernel clone can be stamped without re-partitioning.
+        """
+        ending: Set[int] = set()
         for ref, instruction in self.kernel.instructions():
             instruction.ends_strand = False
         for block_index, block in enumerate(self.kernel.blocks):
@@ -291,17 +297,22 @@ class _Partitioner:
                 if not is_last:
                     if next_position in partition.cut_before:
                         instruction.ends_strand = True
+                        ending.add(ref.position)
                     continue
                 # Last instruction of the block: strand ends if any
                 # successor block entry is a cut, or the terminator is a
                 # backward branch / exit.
                 if instruction.opcode.is_exit:
                     instruction.ends_strand = True
+                    ending.add(ref.position)
                     continue
                 if self._terminator_is_backward(block_index, block):
                     instruction.ends_strand = True
+                    ending.add(ref.position)
                     continue
                 for succ in self.cfg.successors[block_index]:
                     if succ in partition.entry_cuts:
                         instruction.ends_strand = True
+                        ending.add(ref.position)
                         break
+        partition.ends_strand_positions = frozenset(ending)

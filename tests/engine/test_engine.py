@@ -171,6 +171,30 @@ def test_engine_evaluate_memoizes(traces):
     assert first.baseline == plain.baseline
 
 
+def test_engine_evaluate_batch_matches_per_scheme(traces):
+    schemes = [
+        Scheme(SchemeKind.SW_TWO_LEVEL, 2),
+        SW,
+        HW,
+        Scheme(SchemeKind.BASELINE),
+    ]
+    batched = ExperimentEngine()
+    batch = batched.evaluate_batch(traces, schemes)
+    serial = ExperimentEngine()
+    singles = [serial.evaluate(traces, s) for s in schemes]
+    for got, want in zip(batch, singles):
+        assert got.counters == want.counters
+        assert got.baseline == want.baseline
+        assert got.dynamic_instructions == want.dynamic_instructions
+    # The batch filled the record memo; re-evaluating any scheme hits.
+    before = dict(batched.metrics.counters)
+    batched.evaluate(traces, schemes[0])
+    assert (
+        batched.metrics.counters["record_memo_hits"]
+        > before.get("record_memo_hits", 0)
+    )
+
+
 def test_engine_disk_cache_survives_restart(tmp_path, traces):
     first = ExperimentEngine(cache_dir=str(tmp_path))
     cold = first.evaluate(traces, SW)

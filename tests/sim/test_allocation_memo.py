@@ -68,11 +68,25 @@ def test_config_and_model_are_part_of_the_key():
     ).allocation_config()
     varied = allocate_for_traces(kernel, other_config, memo=memo)
     assert varied is not base
-    with_model = allocate_for_traces(
+    scaled = allocate_for_traces(
+        kernel, CONFIG, model=EnergyModel(orf_energy_scale=2.0), memo=memo
+    )
+    assert scaled is not base
+    assert len(memo) == 3
+
+
+def test_explicit_default_model_hits_the_none_entry():
+    # Passing the config's own energy model spelled out must land on
+    # the same memo entry as model=None — the key is normalized, so a
+    # sweep mixing both spellings allocates once.
+    kernel = parse_kernel(KERNEL_A)
+    memo = {}
+    base = allocate_for_traces(kernel, CONFIG, memo=memo)
+    explicit = allocate_for_traces(
         kernel, CONFIG, model=EnergyModel(orf_entries=3), memo=memo
     )
-    assert with_model is not base
-    assert len(memo) == 3
+    assert explicit is base
+    assert len(memo) == 1
 
 
 def test_no_memo_allocates_fresh_clones():
