@@ -25,9 +25,10 @@ MRF.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..energy.model import EnergyModel
 from ..ir.instructions import DestAnnotation, SourceAnnotation
@@ -100,6 +101,72 @@ class AllocationConfig:
         """The paper's most energy-efficient design (Section 6.4):
         3-entry ORF with a split LRF, all optimisations on."""
         return AllocationConfig(orf_entries=3, use_lrf=True, split_lrf=True)
+
+    # -- serialization -----------------------------------------------------
+    #
+    # The JSON image is the config's cross-process form (the tune API,
+    # tuner frontiers, explain --json); until now configs only crossed
+    # process boundaries via pickle.  ``from_dict`` validates so a
+    # hand-written document cannot silently build a config the
+    # allocator would misinterpret.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able image; ``from_dict`` round-trips it."""
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in dataclasses.fields(self)
+        }
+
+    @staticmethod
+    def from_dict(obj: Dict[str, Any]) -> "AllocationConfig":
+        """Build a validated config from its JSON image.
+
+        Raises :class:`ValueError` naming the offending field on
+        unknown keys, wrong types, ``orf_entries < 1``, ``lrf_banks``
+        outside 1..3, a non-default ``lrf_banks`` without
+        ``split_lrf`` (the field is ignored unless the LRF is split,
+        so a mismatch means the document does not describe the config
+        it would build), or ``split_lrf`` without ``use_lrf``.
+        """
+        if not isinstance(obj, dict):
+            raise ValueError("config must be an object")
+        specs = {spec.name: spec for spec in dataclasses.fields(
+            AllocationConfig
+        )}
+        unknown = set(obj) - set(specs)
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s): {', '.join(sorted(unknown))}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for name, spec in specs.items():
+            if name not in obj:
+                continue
+            value = obj[name]
+            if spec.type == "int":
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ValueError(f"{name} must be an integer")
+            elif not isinstance(value, bool):
+                raise ValueError(f"{name} must be a boolean")
+            kwargs[name] = value
+        config = AllocationConfig(**kwargs)
+        if config.orf_entries < 1:
+            raise ValueError(
+                f"orf_entries must be >= 1, got {config.orf_entries}"
+            )
+        if not 1 <= config.lrf_banks <= 3:
+            raise ValueError(
+                f"lrf_banks must be in 1..3, got {config.lrf_banks}"
+            )
+        if not config.split_lrf and config.lrf_banks != 3:
+            raise ValueError(
+                f"lrf_banks={config.lrf_banks} mismatches "
+                "split_lrf=False (banks are only meaningful with a "
+                "split LRF; omit the field or use the default 3)"
+            )
+        if config.split_lrf and not config.use_lrf:
+            raise ValueError("split_lrf requires use_lrf")
+        return config
 
 
 @dataclass

@@ -18,6 +18,15 @@ and the observability layer::
     repro trace vectoradd --trace-out trace.json    # Chrome/Perfetto trace
     repro explain fuzz:320 --orf-entries 1 --no-lrf --reg R18
     repro fig13 --trace-out t.json --profile-out p.txt
+
+and the auto-tuner::
+
+    repro tune matrixmul --strategy evolutionary --budget 64
+    repro tune fuzz:911 --objective mrf --out BENCH_tuner.json
+
+``trace``, ``explain``, and ``tune`` all accept the same kernel
+target forms: a benchmark name, ``fuzz:SEED`` for a generated
+workload, or a path to an IR text file (``-`` for stdin).
 """
 
 from __future__ import annotations
@@ -231,14 +240,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="run one benchmark through the full pipeline with span "
+        help="run one kernel through the full pipeline with span "
              "tracing on and write a Chrome trace-event JSON",
     )
     trace.add_argument(
-        "benchmark",
+        "target",
         nargs="?",
         default="vectoradd",
-        choices=sorted(BENCHMARK_NAMES),
+        help="benchmark name, 'fuzz:SEED' for a generated workload, or "
+             "a path to an IR text file ('-' for stdin); "
+             "default vectoradd",
     )
     trace.add_argument("--scale", type=float, default=1.0)
     trace.add_argument(
@@ -290,6 +301,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-read-operands", action="store_true",
         help="disable read operand allocation (Section 4.4)",
     )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (strand map, decision "
+             "trail, annotations) as JSON instead of text",
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help="search the AllocationConfig design space for one kernel "
+             "and write the best config, frontier, and search trace",
+    )
+    tune.add_argument(
+        "target",
+        help="benchmark name, 'fuzz:SEED' for a generated workload, or "
+             "a path to an IR text file ('-' for stdin)",
+    )
+    tune.add_argument(
+        "--strategy",
+        choices=("exhaustive", "hillclimb", "evolutionary"),
+        default="evolutionary",
+        help="search strategy (default evolutionary)",
+    )
+    tune.add_argument(
+        "--budget", type=int, default=64,
+        help="max distinct configs to evaluate (default 64)",
+    )
+    tune.add_argument(
+        "--seed", type=int, default=0,
+        help="search RNG seed; same seed replays byte-identically "
+             "(default 0)",
+    )
+    tune.add_argument(
+        "--objective", choices=("energy", "mrf"), default="energy",
+        help="minimise energy/instr (pJ) or MRF accesses/instr "
+             "(default energy)",
+    )
+    tune.add_argument(
+        "--time-budget-s", type=float, default=None,
+        help="stop the search after this many seconds (a stop "
+             "condition, never an objective)",
+    )
+    tune.add_argument(
+        "--include-ideal", action="store_true",
+        help="open the assume_persistent_strands axis (Section 7 "
+             "idealisation, not realisable in hardware)",
+    )
+    tune.add_argument("--scale", type=float, default=1.0)
+    tune.add_argument(
+        "--warps", type=int, default=2,
+        help="warp count for fuzz:SEED targets (default 2)",
+    )
+    tune.add_argument(
+        "--out", default="BENCH_tuner.json",
+        help="output JSON path (default BENCH_tuner.json)",
+    )
+    add_engine_flags(tune)
 
     serve = sub.add_parser(
         "serve", help="run the allocation service (HTTP/JSON)"
@@ -631,8 +698,63 @@ def _run_allocate(args) -> int:
     return 0
 
 
+class _TargetError(Exception):
+    """A CLI kernel target did not resolve; the message is the clean
+    one-line diagnostic (no traceback)."""
+
+
+def _resolve_target(target: str, scale: float = 1.0, num_warps: int = 2):
+    """Resolve the target form shared by trace/explain/tune.
+
+    Accepts a benchmark name, ``fuzz:SEED`` for a generated workload,
+    or a path to an IR text file (``-`` for stdin); returns a
+    :class:`~repro.workloads.shapes.WorkloadSpec`.  Raises
+    :class:`_TargetError` with a clean message on any bad input.
+    """
+    if target in BENCHMARK_NAMES:
+        return get_workload(target, scale)
+    if target.startswith("fuzz:"):
+        from .workloads.generators import generate_workload
+
+        try:
+            seed = int(target.split(":", 1)[1])
+        except ValueError:
+            raise _TargetError(
+                f"bad fuzz target {target!r} (expected fuzz:SEED)"
+            ) from None
+        return generate_workload(seed, num_warps=num_warps)
+    from .ir.parser import AsmSyntaxError, parse_kernels
+    from .sim.executor import WarpInput
+    from .workloads.shapes import WorkloadSpec
+
+    try:
+        if target == "-":
+            text = sys.stdin.read()
+        else:
+            with open(target, "r", encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as error:
+        raise _TargetError(str(error)) from None
+    try:
+        kernels = parse_kernels(text)
+    except AsmSyntaxError as error:
+        raise _TargetError(f"parse error: {error}") from None
+    if not kernels:
+        raise _TargetError("parse error: no kernels in input")
+    kernel = kernels[0]
+    return WorkloadSpec(
+        name=kernel.name,
+        suite="file",
+        kernel=kernel,
+        warp_inputs=[
+            WarpInput(live_in_values={}) for _ in range(num_warps)
+        ],
+        description=f"parsed from {target}",
+    )
+
+
 def _run_trace(args) -> int:
-    """``repro trace``: one benchmark through trace → allocate →
+    """``repro trace``: one kernel through trace → allocate →
     account under a spread of schemes, spans on; the generic
     observability teardown writes the Chrome trace."""
     from .engine import ExperimentEngine
@@ -642,7 +764,11 @@ def _run_trace(args) -> int:
     )
 
     engine = ExperimentEngine()
-    spec = get_workload(args.benchmark, args.scale)
+    try:
+        spec = _resolve_target(args.target, args.scale)
+    except _TargetError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
     traces = engine.build_traces(spec.kernel, spec.warp_inputs)
     schemes = [
         Scheme(SchemeKind.BASELINE),
@@ -671,48 +797,12 @@ def _run_trace(args) -> int:
 
 def _run_explain(args) -> int:
     """``repro explain``: resolve the target kernel and print the
-    allocator's provenance report."""
-    from .obs.explain import explain_report
-
-    target = args.target
-    if target in BENCHMARK_NAMES:
-        kernel = get_workload(target).kernel
-    elif target.startswith("fuzz:"):
-        from .workloads.generators import generate_workload
-
-        try:
-            seed = int(target.split(":", 1)[1])
-        except ValueError:
-            print(
-                f"repro: error: bad fuzz target {target!r} "
-                "(expected fuzz:SEED)",
-                file=sys.stderr,
-            )
-            return 2
-        kernel = generate_workload(seed, num_warps=1).kernel
-    else:
-        from .ir.parser import AsmSyntaxError, parse_kernels
-
-        try:
-            if target == "-":
-                text = sys.stdin.read()
-            else:
-                with open(target, "r", encoding="utf-8") as handle:
-                    text = handle.read()
-        except OSError as error:
-            print(f"repro: error: {error}", file=sys.stderr)
-            return 2
-        try:
-            kernels = parse_kernels(text)
-        except AsmSyntaxError as error:
-            print(f"repro: parse error: {error}", file=sys.stderr)
-            return 2
-        if not kernels:
-            print(
-                "repro: parse error: no kernels in input", file=sys.stderr
-            )
-            return 2
-        kernel = kernels[0]
+    allocator's provenance report (text, or JSON with ``--json``)."""
+    try:
+        kernel = _resolve_target(args.target, num_warps=1).kernel
+    except _TargetError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
     config = AllocationConfig(
         orf_entries=args.orf_entries,
@@ -722,7 +812,54 @@ def _run_explain(args) -> int:
         enable_read_operands=not args.no_read_operands,
         allow_forward_branches=not args.no_forward_branches,
     )
+    if args.json:
+        import json
+
+        from .obs.explain import explain_json
+
+        payload = explain_json(
+            kernel, config, reg=args.reg, position=args.pos
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    from .obs.explain import explain_report
+
     print(explain_report(kernel, config, reg=args.reg, position=args.pos))
+    return 0
+
+
+def _run_tune(args) -> int:
+    """``repro tune``: design-space search over AllocationConfig for
+    one kernel; prints the report and writes the tuner JSON."""
+    from .engine import ExperimentEngine
+    from .tuner import default_space, format_tune, run_tune, write_tune
+
+    try:
+        spec = _resolve_target(args.target, args.scale, args.warps)
+    except _TargetError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
+    if engine is None:
+        engine = ExperimentEngine()
+    traces = engine.build_traces(spec.kernel, spec.warp_inputs)
+    try:
+        payload = run_tune(
+            traces,
+            space=default_space(include_ideal=args.include_ideal),
+            strategy=args.strategy,
+            objective=args.objective,
+            budget=args.budget,
+            seed=args.seed,
+            engine=engine,
+            time_budget_s=args.time_budget_s,
+        )
+    except ValueError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    print(format_tune(payload))
+    print(write_tune(args.out, payload), file=sys.stderr)
+    _finish_engine(engine, args)
     return 0
 
 
@@ -776,6 +913,9 @@ def _dispatch(args) -> int:
 
     if args.command == "explain":
         return _run_explain(args)
+
+    if args.command == "tune":
+        return _run_tune(args)
 
     if args.command == "serve":
         from .service.server import ServiceConfig, serve_forever

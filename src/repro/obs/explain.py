@@ -18,7 +18,8 @@ traces back to the placement that produced it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
 
 from ..alloc.allocator import AllocationConfig, allocate_kernel
 from ..alloc.analysis import kernel_analysis
@@ -27,6 +28,9 @@ from ..ir.instructions import Instruction
 from ..ir.kernel import Kernel
 from ..levels import Level
 from .provenance import ProvenanceEvent, ProvenanceRecorder
+
+#: Version of the ``repro explain --json`` document.
+EXPLAIN_SCHEMA = 1
 
 
 def _instruction_mentions(instruction: Instruction, reg: str) -> bool:
@@ -74,15 +78,29 @@ def _format_event(event: ProvenanceEvent) -> str:
     return text
 
 
-def explain_report(
+@dataclass
+class _Explanation:
+    """Everything both renderers (text and JSON) need, gathered once."""
+
+    kernel: Kernel
+    clone: Kernel
+    result: Any
+    instructions: Dict[int, Instruction]
+    total_events: int
+    kept: List[ProvenanceEvent]
+    matched_positions: Set[int]
+    report_positions: List[int]
+
+
+def _gather(
     kernel: Kernel,
     config: AllocationConfig,
-    reg: Optional[str] = None,
-    position: Optional[int] = None,
-    model: Optional[EnergyModel] = None,
-) -> str:
+    reg: Optional[str],
+    position: Optional[int],
+    model: Optional[EnergyModel],
+) -> _Explanation:
     """Allocate a clone of ``kernel`` under ``config`` with provenance
-    recording and render the decision chain as text.
+    recording and filter the decision trail.
 
     The recorder attaches to the per-config levels pass only; the
     scheme-independent analysis comes from the shared
@@ -103,6 +121,74 @@ def explain_report(
         for ref, instruction in clone.instructions()
     }
 
+    matched_positions: Set[int] = set()
+    if reg is not None:
+        for pos, instruction in instructions.items():
+            if _instruction_mentions(instruction, reg):
+                matched_positions.add(pos)
+
+    def _keep(event: ProvenanceEvent) -> bool:
+        if position is not None and position not in event.positions:
+            return False
+        if reg is None:
+            return True
+        if event.reg == reg:
+            return True
+        return any(p in matched_positions for p in event.positions)
+
+    kept = [event for event in recorder.events if _keep(event)]
+
+    report_positions = sorted(
+        matched_positions
+        | {p for event in kept for p in event.positions}
+        | ({position} if position is not None else set())
+    )
+    if not report_positions and reg is None and position is None:
+        report_positions = sorted(instructions)
+    return _Explanation(
+        kernel=kernel,
+        clone=clone,
+        result=result,
+        instructions=instructions,
+        total_events=len(recorder.events),
+        kept=kept,
+        matched_positions=matched_positions,
+        report_positions=report_positions,
+    )
+
+
+def _strand_rows(result) -> List[Dict[str, Any]]:
+    partition = result.partition
+    rows: List[Dict[str, Any]] = []
+    for strand in partition.strands:
+        first = strand.first_position
+        cause = partition.cut_before.get(first)
+        if cause is None:
+            cause = partition.entry_cuts.get(first)
+        rows.append(
+            {
+                "strand": strand.strand_id,
+                "first_position": first,
+                "last_position": strand.last_position,
+                "instructions": len(strand.positions),
+                "boundary": cause.name.lower() if cause else None,
+            }
+        )
+    return rows
+
+
+def explain_report(
+    kernel: Kernel,
+    config: AllocationConfig,
+    reg: Optional[str] = None,
+    position: Optional[int] = None,
+    model: Optional[EnergyModel] = None,
+) -> str:
+    """The human-readable decision-chain report (see :func:`_gather`)."""
+    data = _gather(kernel, config, reg, position, model)
+    result = data.result
+    instructions = data.instructions
+
     lines: List[str] = []
     lines.append(f"kernel {kernel.name}: allocation provenance")
     lines.append(
@@ -121,38 +207,17 @@ def explain_report(
     # Strand map: where ORF/LRF contents are invalidated, and why.
     lines.append("")
     lines.append("strands (ORF/LRF contents do not survive boundaries):")
-    partition = result.partition
-    for strand in partition.strands:
-        first = strand.first_position
-        last = strand.last_position
-        cause = partition.cut_before.get(first)
-        if cause is None:
-            cause = partition.entry_cuts.get(first)
+    for row in _strand_rows(result):
         cause_text = (
-            f" boundary={cause.name.lower()}" if cause is not None else ""
+            f" boundary={row['boundary']}" if row["boundary"] else ""
         )
         lines.append(
-            f"  strand {strand.strand_id}: @{first}..@{last}"
-            f" ({len(strand.positions)} instr){cause_text}"
+            f"  strand {row['strand']}:"
+            f" @{row['first_position']}..@{row['last_position']}"
+            f" ({row['instructions']} instr){cause_text}"
         )
 
     # Decision trail, filtered.
-    matched_positions: Set[int] = set()
-    if reg is not None:
-        for pos, instruction in instructions.items():
-            if _instruction_mentions(instruction, reg):
-                matched_positions.add(pos)
-
-    def _keep(event: ProvenanceEvent) -> bool:
-        if position is not None and position not in event.positions:
-            return False
-        if reg is None:
-            return True
-        if event.reg == reg:
-            return True
-        return any(p in matched_positions for p in event.positions)
-
-    kept = [event for event in recorder.events if _keep(event)]
     lines.append("")
     filter_text = []
     if reg is not None:
@@ -161,24 +226,17 @@ def explain_report(
         filter_text.append(f"pos={position}")
     suffix = f" ({' '.join(filter_text)})" if filter_text else ""
     lines.append(
-        f"decision trail{suffix}: {len(kept)} of "
-        f"{len(recorder.events)} events"
+        f"decision trail{suffix}: {len(data.kept)} of "
+        f"{data.total_events} events"
     )
-    for event in kept:
+    for event in data.kept:
         lines.append("  " + _format_event(event))
 
     # Final annotations at the positions the filter touched.
-    report_positions = sorted(
-        matched_positions
-        | {p for event in kept for p in event.positions}
-        | ({position} if position is not None else set())
-    )
-    if not report_positions and reg is None and position is None:
-        report_positions = sorted(instructions)
-    if report_positions:
+    if data.report_positions:
         lines.append("")
         lines.append("final operand annotations:")
-        for pos in report_positions:
+        for pos in data.report_positions:
             instruction = instructions.get(pos)
             if instruction is None:
                 continue
@@ -196,3 +254,76 @@ def explain_report(
                         f"{_format_source_annotation(ann)}"
                     )
     return "\n".join(lines) + "\n"
+
+
+def explain_json(
+    kernel: Kernel,
+    config: AllocationConfig,
+    reg: Optional[str] = None,
+    position: Optional[int] = None,
+    model: Optional[EnergyModel] = None,
+) -> Dict[str, Any]:
+    """The machine-readable form of :func:`explain_report`.
+
+    Same gather, same filtering: the strand map, the filtered decision
+    trail (events verbatim, detail included), and the final operand
+    annotations at every position the filter touched — plus the full
+    annotation document of :mod:`repro.alloc.serialize` so consumers
+    can cross-reference unfiltered positions.
+    """
+    from ..alloc.serialize import annotations_to_dict
+
+    data = _gather(kernel, config, reg, position, model)
+    summary = data.result.summary()
+    events = [
+        {
+            "strand": event.strand,
+            "kind": event.kind,
+            "target": event.target,
+            "reg": event.reg,
+            "level": event.level,
+            "positions": list(event.positions),
+            "detail": dict(sorted(event.detail.items())),
+        }
+        for event in data.kept
+    ]
+    annotated: List[Dict[str, Any]] = []
+    for pos in data.report_positions:
+        instruction = data.instructions.get(pos)
+        if instruction is None:
+            continue
+        entry: Dict[str, Any] = {
+            "position": pos,
+            "text": str(instruction),
+        }
+        if instruction.dst is not None and instruction.dst_ann:
+            entry["dst"] = {
+                "reg": str(instruction.dst),
+                "placement": _format_dest_annotation(instruction.dst_ann),
+            }
+        if instruction.src_anns:
+            entry["srcs"] = [
+                {
+                    "reg": str(src),
+                    "placement": _format_source_annotation(
+                        instruction.src_anns[slot]
+                    ),
+                }
+                for slot, src in enumerate(instruction.srcs)
+            ]
+        annotated.append(entry)
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "kernel": kernel.name,
+        "config": config.to_dict(),
+        "summary": {key: summary[key] for key in sorted(summary)},
+        "filter": {"reg": reg, "position": position},
+        "strands": _strand_rows(data.result),
+        "decision_trail": {
+            "total_events": data.total_events,
+            "kept_events": len(data.kept),
+            "events": events,
+        },
+        "annotated_positions": annotated,
+        "annotations": annotations_to_dict(data.clone),
+    }

@@ -236,6 +236,34 @@ class ServiceClient:
             ),
         )
 
+    def tune(
+        self,
+        *,
+        kernel: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        scale: Optional[float] = None,
+        warps: Optional[list] = None,
+        strategy: Optional[str] = None,
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        objective: Optional[str] = None,
+        space: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        body = _request_body(
+            kernel=kernel, benchmark=benchmark, scale=scale,
+            warps=warps, scheme=None,
+        )
+        for name, value in (
+            ("strategy", strategy),
+            ("budget", budget),
+            ("seed", seed),
+            ("objective", objective),
+            ("space", space),
+        ):
+            if value is not None:
+                body[name] = value
+        return self._call("POST", "/v1/tune", body)
+
 
 def wait_until_healthy(
     host: str, port: int, timeout: float = 15.0, interval: float = 0.1

@@ -335,7 +335,7 @@ class ClusterCoordinator:
                         content_type=PROMETHEUS_CONTENT_TYPE,
                     )
                 return json_response(200, self.metrics.to_dict())
-            if path in ("/v1/allocate", "/v1/evaluate"):
+            if path in ("/v1/allocate", "/v1/evaluate", "/v1/tune"):
                 if request.method != "POST":
                     return self._error_response(
                         405, "method_not_allowed", f"{path} requires POST"

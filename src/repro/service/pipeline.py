@@ -19,6 +19,11 @@ times, the same sharing the in-process engine gets from
 Evaluation results embed the engine's record payload verbatim
 (:func:`repro.engine.records.record_payload`), which is what makes a
 service response byte-comparable to the direct engine path.
+
+Tune jobs run the whole design-space search in the worker
+(:func:`repro.tuner.runner.run_tune`) against a per-process
+:class:`~repro.engine.ExperimentEngine`, whose record memo carries
+candidate evaluations across tune requests landing on the same worker.
 """
 
 from __future__ import annotations
@@ -50,6 +55,20 @@ _KERNELS: Dict[str, Kernel] = {}
 _TRACES: Dict[Tuple[str, str], TraceSet] = {}
 _BENCH_TRACES: Dict[Tuple[str, float], TraceSet] = {}
 _ALLOCATIONS: AllocationMemo = {}
+
+#: Per-process engine for tune jobs: the search evaluates dozens of
+#: schemes per request, and the engine's record memo carries candidate
+#: evaluations across tune requests hitting the same worker.
+_TUNE_ENGINE = None
+
+
+def _tune_engine():
+    global _TUNE_ENGINE
+    if _TUNE_ENGINE is None:
+        from ..engine import ExperimentEngine
+
+        _TUNE_ENGINE = ExperimentEngine()
+    return _TUNE_ENGINE
 
 
 def _probe() -> str:
@@ -96,6 +115,27 @@ def run_service_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Compute one normalised service job.  Pure: the result depends
     only on the payload, never on worker state or call order."""
     op = payload["op"]
+    if op == "tune":
+        from ..tuner import run_tune
+        from ..tuner.space import space_from_dict
+
+        tune = payload["tune"]
+        traces = _job_traces(payload)
+        result = run_tune(
+            traces,
+            space=space_from_dict(tune["space"]),
+            strategy=tune["strategy"],
+            objective=tune["objective"],
+            budget=tune["budget"],
+            seed=tune["seed"],
+            engine=_tune_engine(),
+        )
+        return {
+            "schema": RESULT_SCHEMA,
+            "op": op,
+            "kernel": result["kernel"],
+            "tuner": result,
+        }
     scheme = scheme_from_json(payload["scheme"])
     if op == "evaluate":
         traces = _job_traces(payload)

@@ -1,6 +1,6 @@
 """Wire protocol of the allocation service.
 
-Two POST endpoints share one request shape::
+Three POST endpoints share one request shape::
 
     {
       "kernel": ".kernel saxpy\\n...",      # IR text, or
@@ -16,7 +16,11 @@ evaluation record (see :mod:`repro.engine.records`) verbatim under
 ``"record"`` — byte-identical to what the direct engine path computes.
 ``/v1/allocate`` requires a software scheme and returns the allocation
 summary, the per-strand report, and the annotation document of
-:mod:`repro.alloc.serialize`.
+:mod:`repro.alloc.serialize`.  ``/v1/tune`` replaces the fixed
+``"scheme"`` with search parameters (``strategy``, ``budget``,
+``seed``, ``objective``, and an optional ``space`` restriction) and
+returns the tuner payload of :func:`repro.tuner.runner.run_tune` —
+best config, explored frontier, and search trace.
 
 Every request normalises to a :class:`ServiceJob`: a canonical,
 picklable job payload plus a content fingerprint.  The fingerprint
@@ -47,6 +51,11 @@ MAX_KERNEL_TEXT = 256 * 1024
 MAX_WARPS = 64
 MAX_WARP_INSTRUCTIONS = 1_000_000
 MAX_SCALE = 64.0
+#: Distinct-evaluation ceiling for one ``/v1/tune`` request: the
+#: search is CPU-bound per candidate, so the cap bounds worst-case
+#: worker occupancy the way MAX_WARP_INSTRUCTIONS bounds a trace walk.
+MAX_TUNE_BUDGET = 256
+MAX_TUNE_SEED = 2**32 - 1
 
 _SCHEME_KINDS = {kind.value: kind for kind in SchemeKind}
 _SCHEME_BOOL_FIELDS = (
@@ -55,6 +64,7 @@ _SCHEME_BOOL_FIELDS = (
     "enable_read_operands",
     "allow_forward_branches",
     "flush_on_backward_branch",
+    "assume_persistent_strands",
 )
 
 
@@ -114,17 +124,21 @@ def scheme_to_json(scheme: Scheme) -> Dict[str, Any]:
         "kind": scheme.kind.value,
         "entries_per_thread": scheme.entries_per_thread,
         "split_lrf": scheme.split_lrf,
+        "lrf_banks": scheme.lrf_banks,
         "enable_partial_ranges": scheme.enable_partial_ranges,
         "enable_read_operands": scheme.enable_read_operands,
         "allow_forward_branches": scheme.allow_forward_branches,
         "flush_on_backward_branch": scheme.flush_on_backward_branch,
+        "assume_persistent_strands": scheme.assume_persistent_strands,
     }
 
 
 def scheme_from_json(obj: Any) -> Scheme:
     if not isinstance(obj, dict):
         raise BadRequest("'scheme' must be an object")
-    unknown = set(obj) - {"kind", "entries_per_thread", *_SCHEME_BOOL_FIELDS}
+    unknown = set(obj) - {
+        "kind", "entries_per_thread", "lrf_banks", *_SCHEME_BOOL_FIELDS
+    }
     if unknown:
         raise BadRequest(
             f"unknown scheme field(s): {', '.join(sorted(unknown))}"
@@ -140,6 +154,15 @@ def scheme_from_json(obj: Any) -> Scheme:
     if not isinstance(entries, int) or isinstance(entries, bool):
         raise BadRequest("'entries_per_thread' must be an integer")
     kwargs: Dict[str, Any] = {}
+    if "lrf_banks" in obj:
+        banks = obj["lrf_banks"]
+        if (
+            not isinstance(banks, int)
+            or isinstance(banks, bool)
+            or not 1 <= banks <= 3
+        ):
+            raise BadRequest("'lrf_banks' must be an integer in 1..3")
+        kwargs["lrf_banks"] = banks
     for name in _SCHEME_BOOL_FIELDS:
         if name in obj:
             if not isinstance(obj[name], bool):
@@ -227,6 +250,68 @@ def canonical_warps(obj: Any) -> List[Dict[str, Any]]:
     return canonical
 
 
+# -- tune codec ------------------------------------------------------------
+
+_TUNE_FIELDS = ("strategy", "budget", "seed", "objective", "space")
+
+
+def canonical_tune(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate the tune-specific request fields and canonicalise them.
+
+    The returned block is what workers replay
+    (:func:`repro.tuner.runner.run_tune` arguments) *and* what the
+    fingerprint hashes; the search space is resolved to its explicit
+    per-axis value lists, so two spellings of one subspace — or an
+    omitted axis vs. its full default list — deduplicate.
+    """
+    from ..tuner.objective import OBJECTIVES
+    from ..tuner.space import space_from_dict
+    from ..tuner.strategies import STRATEGY_NAMES
+
+    strategy = body.get("strategy", "evolutionary")
+    if strategy not in STRATEGY_NAMES:
+        raise BadRequest(
+            f"unknown strategy {strategy!r}; "
+            f"known: {', '.join(sorted(STRATEGY_NAMES))}"
+        )
+    objective = body.get("objective", "energy")
+    if objective not in OBJECTIVES:
+        raise BadRequest(
+            f"unknown objective {objective!r}; "
+            f"known: {', '.join(sorted(OBJECTIVES))}"
+        )
+    budget = body.get("budget", 64)
+    if (
+        not isinstance(budget, int)
+        or isinstance(budget, bool)
+        or not 1 <= budget <= MAX_TUNE_BUDGET
+    ):
+        raise BadRequest(
+            f"'budget' must be an integer in 1..{MAX_TUNE_BUDGET}"
+        )
+    seed = body.get("seed", 0)
+    if (
+        not isinstance(seed, int)
+        or isinstance(seed, bool)
+        or not 0 <= seed <= MAX_TUNE_SEED
+    ):
+        raise BadRequest(f"'seed' must be an integer in 0..{MAX_TUNE_SEED}")
+    space_json = body.get("space")
+    try:
+        space = space_from_dict(
+            space_json if space_json is not None else {}
+        )
+    except ValueError as error:
+        raise BadRequest(f"'space': {error}") from None
+    return {
+        "strategy": strategy,
+        "budget": budget,
+        "seed": seed,
+        "objective": objective,
+        "space": {"parameters": space.to_dict()["parameters"]},
+    }
+
+
 # -- request normalisation -------------------------------------------------
 
 
@@ -250,24 +335,40 @@ def normalize_request(op: str, body: Any) -> ServiceJob:
     Raises :class:`BadRequest` (or :class:`ParseError`) with a clean,
     client-facing message on any invalid input.
     """
-    if op not in ("allocate", "evaluate"):
+    if op not in ("allocate", "evaluate", "tune"):
         raise BadRequest(f"unknown operation {op!r}")
     if not isinstance(body, dict):
         raise BadRequest("request body must be a JSON object")
-    unknown = set(body) - {"kernel", "benchmark", "scale", "warps", "scheme"}
+    allowed = {"kernel", "benchmark", "scale", "warps", "scheme"}
+    if op == "tune":
+        # The search replaces the fixed scheme: tune requests carry the
+        # search parameters instead.
+        if "scheme" in body:
+            raise BadRequest(
+                "'scheme' does not apply to tune; the search space "
+                "replaces it"
+            )
+        allowed = {"kernel", "benchmark", "scale", "warps", *_TUNE_FIELDS}
+    unknown = set(body) - allowed
     if unknown:
         raise BadRequest(
             f"unknown request field(s): {', '.join(sorted(unknown))}"
         )
 
-    scheme = scheme_from_json(body.get("scheme", {"kind": "sw_lrf"}))
-    if op == "allocate" and not scheme.kind.is_software:
-        raise BadRequest(
-            "allocate requires a software scheme "
-            "(kind 'sw' or 'sw_lrf')"
-        )
-    scheme_json = scheme_to_json(scheme)
-    scheme_fp = dataclass_fingerprint(scheme)
+    tune_block: Optional[Dict[str, Any]] = None
+    scheme_json: Optional[Dict[str, Any]] = None
+    if op == "tune":
+        tune_block = canonical_tune(body)
+        work_fp = json_fingerprint(tune_block)
+    else:
+        scheme = scheme_from_json(body.get("scheme", {"kind": "sw_lrf"}))
+        if op == "allocate" and not scheme.kind.is_software:
+            raise BadRequest(
+                "allocate requires a software scheme "
+                "(kind 'sw' or 'sw_lrf')"
+            )
+        scheme_json = scheme_to_json(scheme)
+        work_fp = dataclass_fingerprint(scheme)
 
     kernel_text = body.get("kernel")
     benchmark = body.get("benchmark")
@@ -297,11 +398,14 @@ def normalize_request(op: str, body: Any) -> ServiceJob:
             "op": op,
             "benchmark": benchmark.lower(),
             "scale": float(scale),
-            "scheme": scheme_json,
         }
+        if tune_block is not None:
+            payload["tune"] = tune_block
+        else:
+            payload["scheme"] = scheme_json
         fingerprint = digest(
             "service", op, "benchmark", benchmark.lower(),
-            repr(float(scale)), scheme_fp,
+            repr(float(scale)), work_fp,
         )
         return ServiceJob(op, fingerprint, payload)
 
@@ -321,10 +425,13 @@ def normalize_request(op: str, body: Any) -> ServiceJob:
     payload = {
         "op": op,
         "kernel": kernel_text,
-        "scheme": scheme_json,
     }
-    parts = ["service", op, "kernel", kernel_fp, scheme_fp]
-    if op == "evaluate":
+    if tune_block is not None:
+        payload["tune"] = tune_block
+    else:
+        payload["scheme"] = scheme_json
+    parts = ["service", op, "kernel", kernel_fp, work_fp]
+    if op in ("evaluate", "tune"):
         payload["warps"] = warps
         parts.append(json_fingerprint(warps))
     return ServiceJob(op, digest(*parts), payload)

@@ -4,6 +4,7 @@ Endpoints::
 
     POST /v1/allocate   IR text/benchmark + software scheme -> annotations
     POST /v1/evaluate   IR text/benchmark + any scheme      -> engine record
+    POST /v1/tune       IR text/benchmark + search params   -> tuner payload
     GET  /healthz       liveness + drain state + version/uptime/schema
     GET  /metrics       RunMetrics JSON (schema 3: stages/counters/
                         gauges/histograms); Prometheus text on
@@ -253,7 +254,7 @@ class ServiceServer:
                         content_type=PROMETHEUS_CONTENT_TYPE,
                     )
                 return json_response(200, self._metrics_payload())
-            if route[1] in ("/v1/allocate", "/v1/evaluate"):
+            if route[1] in ("/v1/allocate", "/v1/evaluate", "/v1/tune"):
                 if request.method != "POST":
                     return self._error_response(
                         405, "method_not_allowed",

@@ -51,6 +51,8 @@ class Scheme:
     entries_per_thread: int = 3
     #: Split LRF (one bank per operand slot) for SW three-level.
     split_lrf: bool = False
+    #: LRF banks when split (operand slots A/B/C; ignored otherwise).
+    lrf_banks: int = 3
     #: Section 4.3/4.4 optimisations (software schemes).
     enable_partial_ranges: bool = True
     enable_read_operands: bool = True
@@ -59,6 +61,12 @@ class Scheme:
     #: Hardware variant that flushes the RFC at backward branches
     #: (compared against in the Section 7 limit study).
     flush_on_backward_branch: bool = False
+    #: Section 7 idealisation (software schemes): ORF/LRF contents
+    #: survive descheduling, so strands end only at backward branches.
+    #: Purely an allocation-side flag — accounting is unchanged — which
+    #: is what lets the limit study's persistence variant (and the
+    #: tuner's ideal space) flow through the ordinary evaluation path.
+    assume_persistent_strands: bool = False
 
     def __post_init__(self) -> None:
         if self.kind is not SchemeKind.BASELINE and not (
@@ -71,6 +79,10 @@ class Scheme:
         if self.kind is SchemeKind.BASELINE:
             return "baseline"
         suffix = f"{self.entries_per_thread}"
+        if self.split_lrf and self.lrf_banks != 3:
+            suffix += f"b{self.lrf_banks}"
+        if self.assume_persistent_strands:
+            suffix += "_persist"
         if self.kind is SchemeKind.SW_THREE_LEVEL and self.split_lrf:
             return f"sw_lrf_split_{suffix}"
         return f"{self.kind.value}_{suffix}"
@@ -83,9 +95,11 @@ class Scheme:
             orf_entries=self.entries_per_thread,
             use_lrf=self.kind is SchemeKind.SW_THREE_LEVEL,
             split_lrf=self.split_lrf,
+            lrf_banks=self.lrf_banks,
             enable_partial_ranges=self.enable_partial_ranges,
             enable_read_operands=self.enable_read_operands,
             allow_forward_branches=self.allow_forward_branches,
+            assume_persistent_strands=self.assume_persistent_strands,
         )
 
     def energy_model(self) -> EnergyModel:
@@ -98,6 +112,32 @@ class Scheme:
 
     def with_entries(self, entries_per_thread: int) -> "Scheme":
         return replace(self, entries_per_thread=entries_per_thread)
+
+
+def scheme_for_config(config: AllocationConfig) -> Scheme:
+    """The software scheme that evaluates ``config``.
+
+    Inverse of :meth:`Scheme.allocation_config` over the software
+    design space: ``scheme_for_config(c).allocation_config() == c``.
+    This is how the tuner feeds :class:`AllocationConfig` candidates
+    through the scheme-keyed evaluation pipeline (and its record
+    memo/disk cache) unchanged.
+    """
+    kind = (
+        SchemeKind.SW_THREE_LEVEL
+        if config.use_lrf
+        else SchemeKind.SW_TWO_LEVEL
+    )
+    return Scheme(
+        kind,
+        entries_per_thread=config.orf_entries,
+        split_lrf=config.split_lrf,
+        lrf_banks=config.lrf_banks,
+        enable_partial_ranges=config.enable_partial_ranges,
+        enable_read_operands=config.enable_read_operands,
+        allow_forward_branches=config.allow_forward_branches,
+        assume_persistent_strands=config.assume_persistent_strands,
+    )
 
 
 #: The paper's most energy-efficient configuration (Section 6.4):

@@ -1,0 +1,70 @@
+"""AllocationConfig.to_dict / from_dict: round trip and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.alloc.allocator import AllocationConfig
+
+
+def test_round_trip_default():
+    config = AllocationConfig()
+    assert AllocationConfig.from_dict(config.to_dict()) == config
+
+
+def test_round_trip_every_field_nondefault():
+    config = AllocationConfig(
+        orf_entries=5,
+        use_lrf=True,
+        split_lrf=True,
+        lrf_banks=2,
+        enable_partial_ranges=False,
+        enable_read_operands=False,
+        allow_forward_branches=False,
+        assume_persistent_strands=True,
+    )
+    d = config.to_dict()
+    assert set(d) == {
+        f.name for f in dataclasses.fields(AllocationConfig)
+    }
+    assert AllocationConfig.from_dict(d) == config
+
+
+def test_partial_dict_fills_defaults():
+    config = AllocationConfig.from_dict({"orf_entries": 7})
+    assert config.orf_entries == 7
+    assert config == AllocationConfig(orf_entries=7)
+
+
+def test_rejects_non_dict_and_unknown_keys():
+    with pytest.raises(ValueError, match="must be an object"):
+        AllocationConfig.from_dict([1, 2])
+    with pytest.raises(ValueError, match="unknown config field.*bogus"):
+        AllocationConfig.from_dict({"bogus": 1})
+
+
+def test_rejects_wrong_types_naming_the_field():
+    with pytest.raises(ValueError, match="orf_entries"):
+        AllocationConfig.from_dict({"orf_entries": "three"})
+    with pytest.raises(ValueError, match="orf_entries"):
+        AllocationConfig.from_dict({"orf_entries": True})
+    with pytest.raises(ValueError, match="use_lrf"):
+        AllocationConfig.from_dict({"use_lrf": 1})
+
+
+def test_rejects_out_of_range_values():
+    with pytest.raises(ValueError, match="orf_entries"):
+        AllocationConfig.from_dict({"orf_entries": 0})
+    with pytest.raises(ValueError, match="lrf_banks"):
+        AllocationConfig.from_dict(
+            {"use_lrf": True, "split_lrf": True, "lrf_banks": 4}
+        )
+
+
+def test_rejects_inconsistent_lrf_combinations():
+    with pytest.raises(ValueError, match="lrf_banks"):
+        AllocationConfig.from_dict(
+            {"use_lrf": True, "split_lrf": False, "lrf_banks": 2}
+        )
+    with pytest.raises(ValueError, match="split_lrf requires use_lrf"):
+        AllocationConfig.from_dict({"use_lrf": False, "split_lrf": True})

@@ -1,0 +1,64 @@
+"""explain_json: schema, parity with the text report, filtering."""
+
+import json
+
+from repro.alloc.allocator import AllocationConfig
+from repro.obs.explain import EXPLAIN_SCHEMA, explain_json, explain_report
+from repro.workloads.suites import get_workload
+
+
+def _kernel():
+    return get_workload("vectoradd").kernel
+
+
+def test_document_shape_and_serialisability():
+    payload = explain_json(_kernel(), AllocationConfig())
+    # Must be pure-JSON (the CLI dumps it verbatim).
+    json.dumps(payload)
+    assert payload["schema"] == EXPLAIN_SCHEMA
+    assert payload["kernel"] == "vectoradd"
+    assert payload["config"] == AllocationConfig().to_dict()
+    assert payload["filter"] == {"reg": None, "position": None}
+    assert payload["strands"], "strand map must not be empty"
+    for row in payload["strands"]:
+        assert set(row) == {
+            "strand",
+            "first_position",
+            "last_position",
+            "instructions",
+            "boundary",
+        }
+    trail = payload["decision_trail"]
+    assert trail["kept_events"] == len(trail["events"])
+    assert trail["kept_events"] == trail["total_events"]
+    assert payload["annotations"]["kernel"] == "vectoradd"
+
+
+def test_json_matches_text_report_counts():
+    kernel = _kernel()
+    config = AllocationConfig(use_lrf=True, split_lrf=True)
+    payload = explain_json(kernel, config, reg="R2")
+    text = explain_report(kernel, config, reg="R2")
+    trail = payload["decision_trail"]
+    assert (
+        f"decision trail (reg=R2): {trail['kept_events']} of "
+        f"{trail['total_events']} events"
+    ) in text
+    # Same strand count in both renderings.
+    assert f"strands={len(payload['strands'])}" in text
+
+
+def test_filters_restrict_events_and_positions():
+    kernel = _kernel()
+    config = AllocationConfig()
+    everything = explain_json(kernel, config)
+    filtered = explain_json(kernel, config, reg="R2", position=1)
+    assert filtered["filter"] == {"reg": "R2", "position": 1}
+    assert (
+        filtered["decision_trail"]["kept_events"]
+        <= everything["decision_trail"]["kept_events"]
+    )
+    for event in filtered["decision_trail"]["events"]:
+        assert 1 in event["positions"]
+    for entry in filtered["annotated_positions"]:
+        assert "text" in entry

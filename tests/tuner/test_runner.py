@@ -1,0 +1,191 @@
+"""run_tune end-to-end: determinism, memo reuse, payload invariants."""
+
+import json
+
+import pytest
+
+from repro.alloc.allocator import AllocationConfig
+from repro.engine import ExperimentEngine
+from repro.sim.runner import build_traces
+from repro.sim.schemes import scheme_for_config
+from repro.tuner import run_tune
+from repro.tuner.objective import candidate_metrics, dominates
+from repro.tuner.space import default_space, space_from_dict
+from repro.workloads.generators import generate_workload
+
+#: A branchy (divergent) fuzz kernel: hammocks and loops, so scheme
+#: choices actually move the objective.
+FUZZ_SEED = 911
+
+
+def _traces(engine):
+    spec = generate_workload(FUZZ_SEED)
+    return engine.build_traces(spec.kernel, spec.warp_inputs)
+
+
+def _stable(payload):
+    """The deterministic portion of the payload: everything except
+    wall time and the fresh-vs-cached attribution (a warm engine
+    legitimately serves the identical search from its memo)."""
+    payload = dict(payload)
+    payload.pop("wall_time_s")
+    payload["evaluations"] = {
+        key: value
+        for key, value in payload["evaluations"].items()
+        if key not in ("fresh", "cache_hits")
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_same_seed_is_byte_identical():
+    results = []
+    for _ in range(2):
+        engine = ExperimentEngine()
+        results.append(
+            _stable(
+                run_tune(
+                    _traces(engine),
+                    strategy="evolutionary",
+                    budget=40,
+                    seed=7,
+                    engine=engine,
+                )
+            )
+        )
+    assert results[0] == results[1]
+
+
+def test_second_tune_reuses_every_evaluation():
+    engine = ExperimentEngine()
+    traces = _traces(engine)
+    first = run_tune(traces, budget=30, seed=1, engine=engine)
+    assert first["evaluations"]["fresh"] == first["evaluations"]["distinct"]
+    assert first["evaluations"]["cache_hits"] == 0
+
+    second = run_tune(traces, budget=30, seed=1, engine=engine)
+    assert second["evaluations"]["fresh"] == 0
+    assert (
+        second["evaluations"]["cache_hits"]
+        == second["evaluations"]["distinct"]
+    )
+    assert _stable(first) == _stable(second)
+
+
+def test_best_never_regresses_below_baseline():
+    engine = ExperimentEngine()
+    traces = _traces(engine)
+    for strategy in ("exhaustive", "hillclimb", "evolutionary"):
+        payload = run_tune(
+            traces, strategy=strategy, budget=25, seed=3, engine=engine
+        )
+        assert (
+            payload["best"]["objective"]
+            <= payload["baseline"]["objective"]
+        )
+        assert payload["baseline"]["in_space"] is True
+        assert payload["improvement_over_baseline"] >= 0.0
+
+
+def test_payload_schema_and_frontier_invariants():
+    engine = ExperimentEngine()
+    payload = run_tune(
+        _traces(engine),
+        strategy="evolutionary",
+        budget=40,
+        seed=7,
+        engine=engine,
+    )
+    for key in (
+        "schema",
+        "kernel",
+        "strategy",
+        "objective",
+        "seed",
+        "budget",
+        "space",
+        "evaluations",
+        "baseline",
+        "best",
+        "frontier",
+        "improvements",
+        "trace",
+        "wall_time_s",
+    ):
+        assert key in payload
+    assert payload["kernel"] == f"fuzz_{FUZZ_SEED}"
+    assert payload["evaluations"]["distinct"] == 40
+
+    frontier = payload["frontier"]
+    assert frontier, "frontier must not be empty"
+    # Non-domination, pairwise.
+    for a in frontier:
+        for b in frontier:
+            if a is not b:
+                assert not dominates(a["metrics"], b["metrics"])
+    # The best config is on the frontier.
+    assert any(
+        point["config"] == payload["best"]["config"] for point in frontier
+    )
+    # The improvement chain ends at the best objective.
+    assert payload["improvements"][-1]["objective"] == pytest.approx(
+        payload["best"]["objective"]
+    )
+    # Best matches an independent re-evaluation of its config.
+    config = AllocationConfig.from_dict(payload["best"]["config"])
+    evaluation = engine.evaluate(_traces(engine), scheme_for_config(config))
+    metrics = candidate_metrics(evaluation, config)
+    assert payload["best"]["metrics"]["energy_per_instruction_pj"] == (
+        pytest.approx(metrics["energy_per_instruction_pj"])
+    )
+
+
+def test_mrf_objective_and_restricted_space():
+    engine = ExperimentEngine()
+    space = space_from_dict(
+        {"parameters": {"orf_entries": [1, 3], "use_lrf": [True]}}
+    )
+    payload = run_tune(
+        _traces(engine),
+        space=space,
+        strategy="exhaustive",
+        objective="mrf",
+        budget=200,
+        seed=0,
+        engine=engine,
+    )
+    # Exhaustive within budget: everything valid was explored.
+    assert payload["evaluations"]["distinct"] == space.valid_size()
+    # Default config has use_lrf False: out of this restricted space,
+    # but still reported as the reference point.
+    assert payload["baseline"]["in_space"] is False
+    for point in payload["frontier"]:
+        assert point["config"]["use_lrf"] is True
+
+
+def test_run_tune_rejects_bad_inputs():
+    engine = ExperimentEngine()
+    traces = _traces(engine)
+    with pytest.raises(ValueError, match="unknown strategy"):
+        run_tune(traces, strategy="annealing", engine=engine)
+    with pytest.raises(ValueError, match="unknown objective"):
+        run_tune(traces, objective="latency", engine=engine)
+    with pytest.raises(ValueError, match="budget"):
+        run_tune(traces, budget=0, engine=engine)
+
+
+def test_tuner_observability_hooks():
+    from repro.obs.tracer import TRACER
+
+    engine = ExperimentEngine()
+    TRACER.configure(enabled=True, jsonl_path=None)
+    try:
+        run_tune(_traces(engine), budget=10, seed=2, engine=engine)
+        names = [span.name for span in TRACER.drain()]
+    finally:
+        TRACER.enabled = False
+    assert "tuner.search" in names
+    assert "tuner.candidate" in names
+    histograms = engine.metrics.to_dict()["histograms"]
+    assert any(
+        name.startswith("tuner_batch_candidates") for name in histograms
+    )

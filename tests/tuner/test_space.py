@@ -1,0 +1,165 @@
+"""ParameterSpace: membership, enumeration, sampling, wire form."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.allocator import AllocationConfig
+from repro.tuner.space import (
+    DEFAULT_CONSTRAINTS,
+    Parameter,
+    ParameterSpace,
+    default_space,
+    space_from_dict,
+)
+
+
+def test_default_space_shape():
+    space = default_space()
+    assert space.names == (
+        "orf_entries",
+        "use_lrf",
+        "split_lrf",
+        "lrf_banks",
+        "enable_partial_ranges",
+        "enable_read_operands",
+        "allow_forward_branches",
+        "assume_persistent_strands",
+    )
+    # The ideal axis is pinned off unless opened explicitly.
+    assert space._by_name["assume_persistent_strands"].values == (False,)
+    assert default_space(include_ideal=True)._by_name[
+        "assume_persistent_strands"
+    ].values == (False, True)
+
+
+def test_default_space_constraints_prune_meaningless_combos():
+    space = default_space()
+    for assignment in space.assignments():
+        if assignment["split_lrf"]:
+            assert assignment["use_lrf"]
+        else:
+            assert assignment["lrf_banks"] == 3
+    assert space.valid_size() < space.size
+
+
+def test_default_baseline_config_is_in_space():
+    space = default_space()
+    assert space.is_valid(AllocationConfig().to_dict())
+
+
+def test_violated_constraint_names_the_problem():
+    space = default_space()
+    base = AllocationConfig().to_dict()
+    assert space.violated_constraint(base) is None
+
+    bad = dict(base, split_lrf=True, use_lrf=False)
+    assert space.violated_constraint(bad) == "split_lrf requires use_lrf"
+
+    missing = dict(base)
+    del missing["orf_entries"]
+    assert "missing orf_entries" in space.violated_constraint(missing)
+
+    extra = dict(base, bogus=1)
+    assert "unknown bogus" in space.violated_constraint(extra)
+
+    out_of_range = dict(base, orf_entries=99)
+    assert "orf_entries=99" in space.violated_constraint(out_of_range)
+
+    with pytest.raises(ValueError, match="invalid assignment"):
+        space.validate(bad)
+
+
+def test_parameter_rejects_empty_and_duplicates():
+    with pytest.raises(ValueError, match="no values"):
+        Parameter("orf_entries", ())
+    with pytest.raises(ValueError, match="duplicate"):
+        Parameter("orf_entries", (1, 1))
+    with pytest.raises(ValueError, match="not AllocationConfig fields"):
+        ParameterSpace((Parameter("bogus", (1,)),))
+
+
+def test_config_materialisation_round_trips():
+    space = default_space()
+    for assignment in list(space.assignments())[:25]:
+        config = space.config(assignment)
+        assert config.to_dict() == assignment
+
+
+def test_sampling_helpers_stay_in_space():
+    space = default_space(include_ideal=True)
+    rng = random.Random(11)
+    for _ in range(50):
+        a = space.random_assignment(rng)
+        assert space.is_valid(a)
+        m = space.mutate(a, rng)
+        assert space.is_valid(m)
+        assert m != a
+        b = space.random_assignment(rng)
+        child = space.crossover(a, b, rng)
+        assert space.is_valid(child)
+        for neighbor in space.neighbors(a):
+            assert space.is_valid(neighbor)
+            assert neighbor != a
+
+
+def test_space_from_dict_restricts_only():
+    space = space_from_dict(
+        {"parameters": {"orf_entries": [1, 2], "use_lrf": [True]}}
+    )
+    assert space._by_name["orf_entries"].values == (1, 2)
+    assert space._by_name["use_lrf"].values == (True,)
+    # Untouched axes keep full defaults; ideal axis stays pinned off.
+    assert space._by_name["enable_read_operands"].values == (False, True)
+    assert space._by_name["assume_persistent_strands"].values == (False,)
+
+    opened = space_from_dict(
+        {"parameters": {"assume_persistent_strands": [False, True]}}
+    )
+    assert opened._by_name["assume_persistent_strands"].values == (
+        False,
+        True,
+    )
+
+    with pytest.raises(ValueError, match="unknown space parameter"):
+        space_from_dict({"parameters": {"bogus": [1]}})
+    with pytest.raises(ValueError, match="outside the supported axis"):
+        space_from_dict({"parameters": {"orf_entries": [0]}})
+    with pytest.raises(ValueError, match="non-empty list"):
+        space_from_dict({"parameters": {"orf_entries": []}})
+    with pytest.raises(ValueError, match="no valid assignments"):
+        space_from_dict(
+            {
+                "parameters": {
+                    "split_lrf": [True],
+                    "use_lrf": [False],
+                }
+            }
+        )
+    with pytest.raises(ValueError, match="unknown space field"):
+        space_from_dict({"parameters": {}, "bogus": 1})
+
+
+def test_space_wire_form_round_trips():
+    space = space_from_dict({"parameters": {"orf_entries": [2, 4]}})
+    again = space_from_dict(
+        {"parameters": space.to_dict()["parameters"]}
+    )
+    assert again.to_dict() == space.to_dict()
+    assert [c.name for c in space.constraints] == [
+        c.name for c in DEFAULT_CONSTRAINTS
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_sampled_assignments_always_materialise(seed):
+    """Any sampled assignment materialises to a valid AllocationConfig."""
+    space = default_space(include_ideal=True)
+    rng = random.Random(seed)
+    a = space.random_assignment(rng)
+    config = space.config(a)
+    assert isinstance(config, AllocationConfig)
+    child = space.crossover(a, space.mutate(a, rng), rng)
+    assert space.config(child).to_dict() == child
