@@ -1,14 +1,15 @@
 """Scalar vs. compiled accounting speed (the `bench-accounting` pair).
 
 Tracks the compiled trace layer's advantage on a single workload and
-on the full-suite software sweep, and regenerates
-``BENCH_accounting.json`` under ``benchmarks/results/``.
+on the full-suite software sweep, and regenerates the canonical
+``BENCH_accounting.json`` at the repository root.
 """
 
-import json
+import pathlib
 
 import pytest
 
+from repro.bench import write_report
 from repro.experiments import (
     format_bench_accounting,
     run_bench_accounting,
@@ -49,14 +50,16 @@ def test_bench_accounting_suite(results_dir):
 
     The acceptance bar for the compiled layer: software-scheme
     accounting at least 3x faster than the scalar oracle on the
-    standard suite (cold caches, single process).
+    standard suite (cold caches, single process).  The JSON report is
+    written once, to the canonical root path (the formatted text still
+    lands under ``benchmarks/results/``).
     """
     payload = run_bench_accounting(scale=bench_scale(), repeats=3)
     write_result(
         results_dir, "bench_accounting", format_bench_accounting(payload)
     )
-    out = results_dir / "BENCH_accounting.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    root = pathlib.Path(__file__).resolve().parent.parent
+    write_report(root / "BENCH_accounting.json", payload)
     assert payload["software"]["speedup"] >= 3.0
     # Schema 3: batched allocation must beat per-config allocation
     # across the 18-config software sweep (2x floor at reduced scale;

@@ -1,0 +1,194 @@
+"""``repro bench diff`` — statistical comparison of two BENCH files.
+
+For every metric present in both reports the differ computes the
+median delta (as a percentage of the old median, normalized
+per-dynamic-instruction for timing metrics because the producers
+already emit ``*_ns_per_instr`` series) and a significance verdict
+from confidence-interval overlap: a delta only *counts* when the two
+intervals are disjoint.  A **regression** is a significant,
+direction-aware worsening beyond the gate percentage on a metric both
+sides mark ``comparable`` (machine-portable ratios; absolute timings
+never fail the gate, they are reported as info rows).
+
+Exit codes: 0 — no significant regression; 1 — at least one metric
+regressed beyond the gate; 2 — a report could not be read.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .report import metric_entry
+
+_TINY = 1e-12
+
+#: Legacy key suffixes that read as ratio metrics (higher is better,
+#: machine-portable, safe to gate on).
+_LEGACY_RATIO_SUFFIXES = ("speedup", "improvement_over_baseline", "rate")
+
+#: Legacy key suffixes that read as absolute timings (lower is better,
+#: machine-dependent, report-only).
+_LEGACY_TIME_SUFFIXES = ("_s", "_ms", "ns_per_instr")
+
+
+def _flatten(payload: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
+    flat: Dict[str, float] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[name] = float(value)
+    return flat
+
+
+def _legacy_metrics(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Read a pre-bench-schema BENCH file as point estimates."""
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for name, value in _flatten(payload).items():
+        if name.endswith(_LEGACY_RATIO_SUFFIXES):
+            direction, comparable = "higher", True
+        elif name.endswith(_LEGACY_TIME_SUFFIXES):
+            direction, comparable = "lower", False
+        else:
+            continue  # counts, seeds, schema numbers: not perf metrics
+        entry = metric_entry(value)
+        entry["direction"] = direction
+        entry["comparable"] = comparable
+        metrics[name] = entry
+    return metrics
+
+
+def load_metrics(path: Any) -> Dict[str, Dict[str, Any]]:
+    """Load a BENCH file and normalize its metrics.
+
+    Prefers the shared ``"bench"`` section; files predating it fall
+    back to the legacy point-estimate reading.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: BENCH payload must be a JSON object")
+    bench = payload.get("bench")
+    if isinstance(bench, dict) and isinstance(bench.get("metrics"), dict):
+        return {
+            name: metric_entry(value)
+            for name, value in bench["metrics"].items()
+        }
+    return _legacy_metrics(payload)
+
+
+def diff_reports(
+    old_metrics: Dict[str, Dict[str, Any]],
+    new_metrics: Dict[str, Dict[str, Any]],
+    *,
+    gate_pct: float = 5.0,
+) -> List[Dict[str, Any]]:
+    """Compare metric maps; one row per shared metric name."""
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        old, new = old_metrics[name], new_metrics[name]
+        direction = new.get("direction") or old.get("direction", "higher")
+        delta_pct = (
+            (new["median"] - old["median"])
+            / max(abs(old["median"]), _TINY)
+            * 100.0
+        )
+        worse = delta_pct < 0.0 if direction == "higher" else delta_pct > 0.0
+        disjoint = (
+            new["ci"][0] > old["ci"][1] or new["ci"][1] < old["ci"][0]
+        )
+        comparable = bool(old.get("comparable")) and bool(
+            new.get("comparable")
+        )
+        regression = (
+            comparable
+            and worse
+            and disjoint
+            and abs(delta_pct) > gate_pct
+        )
+        rows.append({
+            "metric": name,
+            "old_median": old["median"],
+            "new_median": new["median"],
+            "old_ci": list(old["ci"]),
+            "new_ci": list(new["ci"]),
+            "delta_pct": delta_pct,
+            "direction": direction,
+            "comparable": comparable,
+            "significant": disjoint,
+            "regression": regression,
+        })
+    return rows
+
+
+def _verdict(row: Dict[str, Any]) -> str:
+    if row["regression"]:
+        return "REGRESSION"
+    if not row["comparable"]:
+        return "info"
+    if not row["significant"]:
+        return "noise"
+    worse = (
+        row["delta_pct"] < 0.0
+        if row["direction"] == "higher"
+        else row["delta_pct"] > 0.0
+    )
+    return "worse" if worse else "improved"
+
+
+def format_diff(
+    rows: List[Dict[str, Any]], *, gate_pct: float = 5.0
+) -> str:
+    """Render the human table."""
+    header = (
+        f"{'metric':<42} {'old':>12} {'new':>12} "
+        f"{'delta%':>8}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['metric']:<42} "
+            f"{row['old_median']:>12.4f} "
+            f"{row['new_median']:>12.4f} "
+            f"{row['delta_pct']:>+8.2f}  "
+            f"{_verdict(row)}"
+        )
+    regressions = [r["metric"] for r in rows if r["regression"]]
+    if regressions:
+        lines.append("")
+        lines.append(
+            f"FAIL: {len(regressions)} significant regression(s) beyond "
+            f"{gate_pct:.1f}% gate: {', '.join(regressions)}"
+        )
+    else:
+        lines.append("")
+        lines.append(
+            f"OK: no significant regression beyond {gate_pct:.1f}% gate "
+            f"({len(rows)} metric(s) compared)"
+        )
+    return "\n".join(lines)
+
+
+def run_diff(
+    old_path: Any,
+    new_path: Any,
+    *,
+    gate_pct: float = 5.0,
+) -> Tuple[int, str, List[Dict[str, Any]]]:
+    """Full diff pipeline: returns (exit_code, rendered table, rows)."""
+    try:
+        old_metrics = load_metrics(old_path)
+        new_metrics = load_metrics(new_path)
+    except (OSError, ValueError) as exc:
+        return 2, f"bench diff: cannot load report: {exc}", []
+    rows = diff_reports(old_metrics, new_metrics, gate_pct=gate_pct)
+    if not rows:
+        return 2, (
+            "bench diff: no shared metrics between "
+            f"{old_path} and {new_path}"
+        ), []
+    text = format_diff(rows, gate_pct=gate_pct)
+    code = 1 if any(r["regression"] for r in rows) else 0
+    return code, text, rows

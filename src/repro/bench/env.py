@@ -1,0 +1,38 @@
+"""Environment fingerprint stamped into every BENCH report.
+
+Perf numbers are only interpretable next to the machine that produced
+them.  The fingerprint is intentionally small and cheap: interpreter
+version/implementation, platform triple, CPU count, and the cpufreq
+governor when the kernel exposes one (a ``performance`` vs
+``powersave``/``schedutil`` governor is the single most common cause
+of noisy medians on Linux runners).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict, Optional
+
+_GOVERNOR_PATH = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+
+
+def _governor_hint(path: str = _GOVERNOR_PATH) -> Optional[str]:
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            value = handle.read().strip()
+        return value or None
+    except OSError:
+        return None
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """Describe the machine well enough to judge BENCH comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine() or "unknown",
+        "cpu_count": os.cpu_count() or 1,
+        "governor": _governor_hint(),
+    }

@@ -145,6 +145,33 @@ def _build_parser() -> argparse.ArgumentParser:
                  "to this path",
         )
 
+    def add_repeater_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--rule", choices=("ci", "hdi", "ks"), default=None,
+            help="adaptive stopping rule for repeated measurements: "
+                 "bootstrap CI half-width (ci), highest-density "
+                 "interval width (hdi), or KS first/second-half "
+                 "stability (ks); default: the tool's built-in rule",
+        )
+        cmd.add_argument(
+            "--min-repeats", type=int, default=None,
+            help="repeats before the stopping rule may fire",
+        )
+        cmd.add_argument(
+            "--max-repeats", type=int, default=None,
+            help="hard repeat cap regardless of the rule",
+        )
+        cmd.add_argument(
+            "--target", dest="bench_target", type=float, default=None,
+            help="rule threshold: relative CI/HDI width, or KS "
+                 "statistic bound (ks wants ~0.25 at small repeat "
+                 "counts)",
+        )
+        cmd.add_argument(
+            "--bench-seed", type=int, default=None,
+            help="bootstrap RNG seed for the stopping rule (default 0)",
+        )
+
     for name in list(_FIGURES) + ["all"]:
         cmd = sub.add_parser(name, help=f"run the {name} experiment")
         cmd.add_argument(
@@ -228,6 +255,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default="BENCH_accounting.json",
         help="output JSON path (default BENCH_accounting.json)",
+    )
+    add_repeater_flags(bench)
+
+    bench_tools = sub.add_parser(
+        "bench",
+        help="benchmark-report tooling (compare BENCH files)",
+    )
+    bench_sub = bench_tools.add_subparsers(
+        dest="bench_command", required=True
+    )
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH reports; exit 1 on significant "
+             "regression beyond the gate",
+    )
+    bench_diff.add_argument("old", help="baseline BENCH JSON")
+    bench_diff.add_argument("new", help="candidate BENCH JSON")
+    bench_diff.add_argument(
+        "--gate", type=float, default=5.0,
+        help="regression gate in percent: a comparable metric moving "
+             "worse than this with non-overlapping CIs fails "
+             "(default 5.0)",
     )
 
     allocate = sub.add_parser(
@@ -356,6 +405,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_tuner.json",
         help="output JSON path (default BENCH_tuner.json)",
     )
+    add_repeater_flags(tune)
     add_engine_flags(tune)
 
     serve = sub.add_parser(
@@ -460,6 +510,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wait this long for spawned shards to become healthy",
     )
     cluster.add_argument("--metrics-out", default=None)
+    cluster.add_argument(
+        "--trace-out", default=None,
+        help="enable cluster-wide span tracing: spawned shards stream "
+             "spans to per-shard JSONL sinks and everything merges "
+             "into one Chrome trace here on shutdown",
+    )
+    cluster.add_argument(
+        "--trace-jsonl", default=None,
+        help="also stream the coordinator's own spans to this JSONL "
+             "file",
+    )
 
     loadgen = sub.add_parser(
         "loadgen", help="benchmark a running allocation service"
@@ -501,6 +562,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="executor workers for the sharded-mode baseline server "
              "(default 2)",
     )
+    loadgen.add_argument(
+        "--retries", type=int, default=0,
+        help="client retries per request on 429/503 (default 0)",
+    )
+    add_repeater_flags(loadgen)
 
     sub.add_parser("list", help="list the synthesised benchmarks")
     return parser
@@ -531,6 +597,35 @@ def _make_engine(args):
             cache_dir=cache_dir,
             cache_max_bytes=getattr(args, "cache_max_bytes", None),
         )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
+def _make_stopping_rule(args):
+    """A StoppingRule when any repeater flag was used, else None (each
+    tool then applies its own built-in default rule)."""
+    knobs = (
+        getattr(args, "rule", None),
+        getattr(args, "min_repeats", None),
+        getattr(args, "max_repeats", None),
+        getattr(args, "bench_target", None),
+        getattr(args, "bench_seed", None),
+    )
+    if all(value is None for value in knobs):
+        return None
+    from .bench import make_rule
+
+    kwargs = {}
+    if args.min_repeats is not None:
+        kwargs["min_repeats"] = args.min_repeats
+    if args.max_repeats is not None:
+        kwargs["max_repeats"] = args.max_repeats
+    if args.bench_target is not None:
+        kwargs["target"] = args.bench_target
+    if args.bench_seed is not None:
+        kwargs["seed"] = args.bench_seed
+    try:
+        return make_rule(args.rule or "ci", **kwargs)
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}")
 
@@ -843,6 +938,14 @@ def _run_tune(args) -> int:
     if engine is None:
         engine = ExperimentEngine()
     traces = engine.build_traces(spec.kernel, spec.warp_inputs)
+    # The CLI always benches wall time (warm re-searches are cheap:
+    # every candidate is a record-memo hit); the service endpoint
+    # stays single-shot by passing rule=None to run_tune directly.
+    rule = _make_stopping_rule(args)
+    if rule is None:
+        from .bench import make_rule
+
+        rule = make_rule("ci", min_repeats=2, max_repeats=5, target=0.2)
     try:
         payload = run_tune(
             traces,
@@ -853,6 +956,7 @@ def _run_tune(args) -> int:
             seed=args.seed,
             engine=engine,
             time_budget_s=args.time_budget_s,
+            rule=rule,
         )
     except ValueError as error:
         print(f"repro: error: {error}", file=sys.stderr)
@@ -980,6 +1084,8 @@ def _dispatch(args) -> int:
             shard_port_base=args.shard_port_base,
             wait_secs=args.wait_secs,
             metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            trace_jsonl=args.trace_jsonl,
         )
 
     if args.command == "loadgen":
@@ -1007,6 +1113,8 @@ def _dispatch(args) -> int:
             trace_out=args.trace_out,
             shards=args.shards,
             baseline_jobs=args.baseline_jobs,
+            rule=_make_stopping_rule(args),
+            retries=args.retries,
         )
         print(format_loadgen(payload))
         print(write_loadgen(args.out, payload))
@@ -1043,11 +1151,20 @@ def _dispatch(args) -> int:
 
     if args.command == "bench-accounting":
         payload = experiments.run_bench_accounting(
-            scale=args.scale, repeats=args.repeats
+            scale=args.scale,
+            repeats=args.repeats,
+            rule=_make_stopping_rule(args),
         )
         print(experiments.format_bench_accounting(payload))
         print(experiments.write_bench_accounting(args.out, payload))
         return 0
+
+    if args.command == "bench":
+        from .bench import run_diff
+
+        code, text, _ = run_diff(args.old, args.new, gate_pct=args.gate)
+        print(text)
+        return code
 
     if args.command == "unroll":
         result = experiments.run_unroll_study(

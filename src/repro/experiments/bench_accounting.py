@@ -25,13 +25,23 @@ pre-batching pipeline) against the batched path (``batch_s`` — one
 :func:`~repro.alloc.allocator.allocate_kernels_batch`), plus the cold
 decomposition into the shared analysis share (``analysis_s``) and the
 per-config levels-pass share (``levels_s``).
+
+Schema 4 replaces fixed ``repeats`` + best-of with adaptive repetition
+under a statistical stopping rule (:mod:`repro.bench`): every wall time
+is now the **median** of adaptively collected samples, and a top-level
+``"bench"`` section carries the full per-metric evidence — samples,
+median, CI bounds, repeats used, stop reason — plus the environment
+fingerprint.  Speedups are marked ``comparable`` (machine-portable,
+gated by ``repro bench diff``); absolute seconds and per-instruction
+nanoseconds are report-only.  The legacy section keys are unchanged in
+shape, so schema-3 consumers keep working.
 """
 
 from __future__ import annotations
 
-import json
+import statistics
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alloc.allocator import allocate_kernel, allocate_kernels_batch
 from ..alloc.analysis import analyze_kernel, clear_analysis_cache
@@ -45,8 +55,16 @@ from ..sim.runner import (
 from ..sim.schemes import Scheme, SchemeKind
 from ..workloads.shapes import WorkloadSpec
 from ..workloads.suites import all_workloads
+from ..bench import (
+    StoppingRule,
+    bench_section,
+    make_rule,
+    measure,
+    metric_from_samples,
+    write_report,
+)
 
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 
 #: ORF/RFC sizes swept per scheme family — the Figure 11/12 x-axis.
 ENTRY_SWEEP = (1, 2, 3, 4, 6, 8)
@@ -109,29 +127,89 @@ def _time_pass(
     return time.perf_counter() - started
 
 
+def _ratio_metric(
+    name: str,
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    rule: StoppingRule,
+) -> Dict:
+    """Pairwise ratio samples (e.g. speedups) from two sample sets."""
+    n = min(len(numerator), len(denominator))
+    ratios = [
+        numerator[i] / denominator[i] if denominator[i] else 0.0
+        for i in range(n)
+    ]
+    return metric_from_samples(
+        name,
+        ratios,
+        unit="x",
+        direction="higher",
+        comparable=True,
+        rule=rule,
+        stop_reason="derived",
+    )
+
+
 def _bench_family(
+    label: str,
     schemes: Sequence[Scheme],
     scale: float,
-    repeats: int,
+    rule: StoppingRule,
     memo: AllocationMemo,
     scalar_suite: Sequence[TraceSet],
-) -> Dict[str, float]:
-    scalar_s = min(
-        _time_pass(scalar_suite, schemes, memo, use_compiled=False)
-        for _ in range(repeats)
+) -> Tuple[Dict[str, float], Dict[str, Dict]]:
+    scalar_samples, scalar_metric = measure(
+        lambda i: _time_pass(
+            scalar_suite, schemes, memo, use_compiled=False
+        ),
+        rule,
+        name=f"{label}_scalar_s",
+        unit="s",
+        direction="lower",
     )
     # Fresh trace sets per repeat: trace compilation and the baseline /
     # analysis caches start cold, so their cost is part of the number.
-    compiled_s = min(
-        _time_pass(_build_suite(scale), schemes, memo, use_compiled=True)
-        for _ in range(repeats)
+    compiled_samples, compiled_metric = measure(
+        lambda i: _time_pass(
+            _build_suite(scale), schemes, memo, use_compiled=True
+        ),
+        rule,
+        name=f"{label}_compiled_s",
+        unit="s",
+        direction="lower",
     )
+    scalar_s = float(statistics.median(scalar_samples))
+    compiled_s = float(statistics.median(compiled_samples))
     # Normalized cost (schema 2): nanoseconds per dynamic instruction
     # per scheme — comparable across machines and suite scales.
     accounted = sum(
         traces.dynamic_instructions for traces in scalar_suite
     ) * len(schemes)
-    return {
+
+    def _per_instr(entry: Dict, samples: Sequence[float]) -> Dict:
+        scaled = dict(entry)
+        scaled["samples"] = [
+            round(v / accounted * 1e9, 2) for v in samples
+        ]
+        scaled["median"] = round(entry["median"] / accounted * 1e9, 2)
+        scaled["ci"] = [
+            round(v / accounted * 1e9, 2) for v in entry["ci"]
+        ]
+        scaled["unit"] = "ns/instr"
+        return scaled
+
+    metrics = {
+        f"{label}_scalar_ns_per_instr": _per_instr(
+            scalar_metric, scalar_samples
+        ),
+        f"{label}_compiled_ns_per_instr": _per_instr(
+            compiled_metric, compiled_samples
+        ),
+        f"{label}_speedup": _ratio_metric(
+            f"{label}_speedup", scalar_samples, compiled_samples, rule
+        ),
+    }
+    row = {
         "schemes": len(schemes),
         "scalar_s": round(scalar_s, 6),
         "compiled_s": round(compiled_s, 6),
@@ -139,13 +217,14 @@ def _bench_family(
         "compiled_ns_per_instr": round(compiled_s / accounted * 1e9, 2),
         "speedup": round(scalar_s / compiled_s, 2) if compiled_s else 0.0,
     }
+    return row, metrics
 
 
 def _bench_allocation(
     suite: Sequence[TraceSet],
     schemes: Sequence[Scheme],
-    repeats: int,
-) -> Dict[str, float]:
+    rule: StoppingRule,
+) -> Tuple[Dict[str, float], Dict[str, Dict]]:
     """Time the software sweep's allocation phase, per-config vs. batched.
 
     ``single_s`` reproduces the pre-batching pipeline — every config
@@ -184,8 +263,22 @@ def _bench_allocation(
             allocate_kernels_batch(kernel, configs)
         return time.perf_counter() - started
 
-    single_s = min(_single() for _ in range(repeats))
-    batch_s = min(_batch() for _ in range(repeats))
+    single_samples, single_metric = measure(
+        lambda i: _single(),
+        rule,
+        name="allocation_single_s",
+        unit="s",
+        direction="lower",
+    )
+    batch_samples, batch_metric = measure(
+        lambda i: _batch(),
+        rule,
+        name="allocation_batch_s",
+        unit="s",
+        direction="lower",
+    )
+    single_s = float(statistics.median(single_samples))
+    batch_s = float(statistics.median(batch_samples))
 
     def _analysis() -> float:
         started = time.perf_counter()
@@ -212,9 +305,23 @@ def _bench_allocation(
         return time.perf_counter() - started
 
     analyses: Dict = {}
-    analysis_s = min(_analysis() for _ in range(repeats))
-    levels_s = min(_levels() for _ in range(repeats))
-    return {
+    analysis_samples, _ = measure(
+        lambda i: _analysis(),
+        rule,
+        name="allocation_analysis_s",
+        unit="s",
+        direction="lower",
+    )
+    levels_samples, _ = measure(
+        lambda i: _levels(),
+        rule,
+        name="allocation_levels_s",
+        unit="s",
+        direction="lower",
+    )
+    analysis_s = float(statistics.median(analysis_samples))
+    levels_s = float(statistics.median(levels_samples))
+    row = {
         "configs": len(configs),
         "kernels": len(kernels),
         "single_s": round(single_s, 6),
@@ -223,14 +330,37 @@ def _bench_allocation(
         "levels_s": round(levels_s, 6),
         "speedup": round(single_s / batch_s, 2) if batch_s else 0.0,
     }
+    metrics = {
+        "allocation_single_s": single_metric,
+        "allocation_batch_s": batch_metric,
+        "allocation_speedup": _ratio_metric(
+            "allocation_speedup", single_samples, batch_samples, rule
+        ),
+    }
+    return row, metrics
 
 
 def run_bench_accounting(
     scale: float = 1.0,
     repeats: int = 3,
     workloads: Optional[Sequence[WorkloadSpec]] = None,
+    *,
+    rule: Optional[StoppingRule] = None,
 ) -> Dict:
-    """Measure scalar vs. compiled accounting; return the JSON payload."""
+    """Measure scalar vs. compiled accounting; return the JSON payload.
+
+    ``repeats`` sets the stopping rule's ``min_repeats`` when no
+    explicit ``rule`` is given (the default rule is a bootstrap-CI
+    repeater capped at ``max(repeats, 10)`` repeats).
+    """
+    if rule is None:
+        rule = make_rule(
+            "ci",
+            min_repeats=repeats,
+            max_repeats=max(repeats, 10),
+            target=0.05,
+            seed=0,
+        )
     specs = list(workloads) if workloads is not None else all_workloads(scale)
     suite = [
         build_traces(spec.kernel, spec.warp_inputs) for spec in specs
@@ -238,6 +368,24 @@ def run_bench_accounting(
     sw = software_schemes()
     hw = hardware_schemes()
     memo = _prewarm_allocations(suite, sw)
+    software_row, software_metrics = _bench_family(
+        "software", sw, scale, rule, memo, suite
+    )
+    hardware_row, hardware_metrics = _bench_family(
+        "hardware", hw, scale, rule, memo, suite
+    )
+    baseline_row, baseline_metrics = _bench_family(
+        "baseline", [Scheme(SchemeKind.BASELINE)], scale, rule, memo, suite
+    )
+    allocation_row, allocation_metrics = _bench_allocation(suite, sw, rule)
+    metrics: Dict[str, Dict] = {}
+    for group in (
+        software_metrics,
+        hardware_metrics,
+        baseline_metrics,
+        allocation_metrics,
+    ):
+        metrics.update(group)
     payload = {
         "schema": BENCH_SCHEMA,
         "scale": scale,
@@ -257,12 +405,11 @@ def run_bench_accounting(
                 traces.kernel.num_instructions for traces in suite
             ),
         },
-        "software": _bench_family(sw, scale, repeats, memo, suite),
-        "hardware": _bench_family(hw, scale, repeats, memo, suite),
-        "baseline": _bench_family(
-            [Scheme(SchemeKind.BASELINE)], scale, repeats, memo, suite
-        ),
-        "allocation": _bench_allocation(suite, sw, repeats),
+        "software": software_row,
+        "hardware": hardware_row,
+        "baseline": baseline_row,
+        "allocation": allocation_row,
+        "bench": bench_section("bench-accounting", metrics, rule=rule),
     }
     return payload
 
@@ -299,11 +446,27 @@ def format_bench_accounting(payload: Dict) -> str:
             f"levels {alloc['levels_s']:.3f}s)   "
             f"{alloc['speedup']:6.2f}x"
         )
+    bench = payload.get("bench")
+    if bench is not None:
+        rule = bench.get("rule", {})
+        env = bench.get("env", {})
+        stops = sorted({
+            metric.get("stop_reason", "?")
+            for metric in bench.get("metrics", {}).values()
+        })
+        lines.append(
+            f"  stopping rule: {rule.get('rule', 'fixed')} "
+            f"(target {rule.get('target', '-')}, "
+            f"{rule.get('min_repeats', '-')}..{rule.get('max_repeats', '-')}"
+            f" repeats), stop reasons: {', '.join(stops)}"
+        )
+        lines.append(
+            f"  env: python {env.get('python')} on {env.get('machine')} "
+            f"({env.get('cpu_count')} cpus, "
+            f"governor {env.get('governor') or 'n/a'})"
+        )
     return "\n".join(lines)
 
 
 def write_bench_accounting(path: str, payload: Dict) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return str(write_report(path, payload))

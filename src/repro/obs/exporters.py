@@ -49,6 +49,27 @@ def write_chrome_trace(path: str, spans: Iterable[Span]) -> None:
         handle.write("\n")
 
 
+def read_jsonl(path: str) -> List[Span]:
+    """Load spans from a JSONL sink (e.g. a shard's ``--trace-jsonl``
+    file) so multi-process traces can merge into one document.
+    Malformed lines are skipped — a shard killed mid-write must not
+    sink the whole merge."""
+    spans: List[Span] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spans.append(Span.from_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue
+    except OSError:
+        return []
+    return spans
+
+
 def write_jsonl(path: str, spans: Iterable[Span]) -> None:
     directory = os.path.dirname(path)
     if directory:

@@ -199,6 +199,24 @@ def _split_labels(name: str) -> Tuple[str, str]:
     return name, ""
 
 
+def merge_labels(name: str, **labels: object) -> str:
+    """Add labels to a metric name that may already carry some.
+
+    The cluster metrics rollup stamps every per-shard series with a
+    ``shard`` label; a name like ``cluster_shard_requests{shard="0"}``
+    must gain further labels *inside* the existing block, not grow a
+    second one.
+    """
+    base, existing = _split_labels(name)
+    inner = existing[1:-1] if existing else ""
+    extra = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    combined = ",".join(part for part in (inner, extra) if part)
+    return f"{base}{{{combined}}}" if combined else base
+
+
 def _escape_help(value: str) -> str:
     return value.replace("\\", "\\\\").replace("\n", "\\n")
 
@@ -264,21 +282,34 @@ def render_prometheus(
                 f"{_format_value(stages[name])}"
             )
 
+    seen_histogram_bases = set()
     for name in sorted(snapshot.get("histograms", {})):
         data = snapshot["histograms"][name]
-        metric = f"{ns}_{_sanitize_name(name)}"
-        lines.append(f"# HELP {metric} {_escape_help(name)} histogram")
-        lines.append(f"# TYPE {metric} histogram")
+        base, labels = _split_labels(name)
+        metric = f"{ns}_{_sanitize_name(base)}"
+        if base not in seen_histogram_bases:
+            seen_histogram_bases.add(base)
+            lines.append(f"# HELP {metric} {_escape_help(base)} histogram")
+            lines.append(f"# TYPE {metric} histogram")
+        # Fold ``le`` into any existing label block so shard-labeled
+        # bucket series stay one well-formed label set.
+        inner = labels[1:-1] if labels else ""
+
+        def _bucket_labels(le_text: str) -> str:
+            parts = ([inner] if inner else []) + [f'le="{le_text}"']
+            return "{" + ",".join(parts) + "}"
+
         bounds = data["bounds"]
         running = 0
         for bound, bucket in zip(bounds, data["bucket_counts"]):
             running += bucket
             lines.append(
-                f'{metric}_bucket{{le="{_format_value(bound)}"}} {running}'
+                f"{metric}_bucket"
+                f"{_bucket_labels(_format_value(bound))} {running}"
             )
         running += data["bucket_counts"][len(bounds)]
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {running}')
-        lines.append(f"{metric}_sum {_format_value(data['sum'])}")
-        lines.append(f"{metric}_count {data['count']}")
+        lines.append(f'{metric}_bucket{_bucket_labels("+Inf")} {running}')
+        lines.append(f"{metric}_sum{labels} {_format_value(data['sum'])}")
+        lines.append(f"{metric}_count{labels} {data['count']}")
 
     return "\n".join(lines) + "\n" if lines else ""

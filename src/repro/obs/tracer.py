@@ -296,6 +296,34 @@ class Tracer:
 #: The process-wide tracer every instrumented module shares.
 TRACER = Tracer()
 
+#: HTTP header carrying the span context across service hops
+#: (coordinator → shard).  Lower-case to match the servers' parsed
+#: header dicts.
+TRACE_HEADER = "x-repro-trace"
+
+
+def carrier_to_header(carrier: Dict[str, Any]) -> str:
+    """Serialise a :meth:`Tracer.current_carrier` dict for HTTP."""
+    return json.dumps(carrier, sort_keys=True, separators=(",", ":"))
+
+
+def carrier_from_header(value: Optional[str]) -> Optional[Dict[str, Any]]:
+    """Parse an ``X-Repro-Trace`` header; ``None`` on anything
+    malformed (a bad trace header must never fail a request)."""
+    if not value:
+        return None
+    try:
+        carrier = json.loads(value)
+    except ValueError:
+        return None
+    if (
+        not isinstance(carrier, dict)
+        or not isinstance(carrier.get("trace_id"), str)
+        or not isinstance(carrier.get("span_id"), str)
+    ):
+        return None
+    return carrier
+
 
 def traced_call(
     carrier: Optional[Dict[str, Any]], fn, *args: Any

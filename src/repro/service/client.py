@@ -386,6 +386,47 @@ class AsyncServiceClient:
             decoded = {"raw": body.decode("utf-8", "replace")}
         return status, decoded
 
+    async def request_with_retries(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any, int]:
+        """Like :meth:`request_raw` with the retry loop applied.
+
+        Returns ``(status, payload, retries)`` without raising on HTTP
+        errors — the final status is returned even when it is a 4xx/5xx
+        — so callers (the load generator) can record how many times the
+        429/503 shed-load path was hit for one logical request.
+        Connection errors still raise once retries are exhausted.
+        """
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                status, payload = await self.request_raw(
+                    method, path, body
+                )
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+            else:
+                if (
+                    status not in RETRYABLE_STATUSES
+                    or attempt >= self.retries
+                ):
+                    return status, payload, attempt
+                retry_after = _error_from_payload(
+                    status, payload
+                ).retry_after
+            await asyncio.sleep(
+                backoff_delay(
+                    attempt,
+                    retry_after,
+                    base_s=self.backoff_base_s,
+                    cap_s=self.backoff_cap_s,
+                    rng=self._rng,
+                )
+            )
+            attempt += 1
+
     async def call(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Any:

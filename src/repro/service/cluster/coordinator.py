@@ -49,7 +49,19 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ... import __version__
 from ...engine.metrics import SCHEMA_VERSION, RunMetrics
-from ...obs.registry import PROMETHEUS_CONTENT_TYPE, labeled_name
+from ...obs.registry import (
+    PROMETHEUS_CONTENT_TYPE,
+    Histogram,
+    labeled_name,
+    merge_labels,
+    render_prometheus,
+)
+from ...obs.tracer import (
+    TRACE_HEADER,
+    TRACER,
+    carrier_from_header,
+    carrier_to_header,
+)
 from ..httpd import AsyncHttpServer, HttpRequest, HttpResponse, json_response
 from ..protocol import (
     Draining,
@@ -312,7 +324,14 @@ class ClusterCoordinator:
     async def handle(self, request: HttpRequest) -> HttpResponse:
         started = time.perf_counter()
         path = request.target.split("?", 1)[0]
-        response = await self._route_request(request, path)
+        carrier = carrier_from_header(request.headers.get(TRACE_HEADER))
+        with TRACER.attach(carrier):
+            with TRACER.span(
+                "cluster.request", method=request.method, path=path
+            ) as span:
+                response = await self._route_request(request, path)
+                if span is not None:
+                    span.attributes["status"] = response.status
         self.metrics.observe(
             "cluster_request_seconds", time.perf_counter() - started
         )
@@ -327,6 +346,15 @@ class ClusterCoordinator:
                 return json_response(200, self._health_payload())
             if (request.method, path) == ("GET", "/v1/cluster/healthz"):
                 return json_response(200, await self._cluster_health())
+            if (request.method, path) == ("GET", "/v1/cluster/metrics"):
+                if self._wants_prometheus(request):
+                    text = await self._cluster_metrics_prometheus()
+                    return HttpResponse(
+                        200,
+                        text.encode("utf-8"),
+                        content_type=PROMETHEUS_CONTENT_TYPE,
+                    )
+                return json_response(200, await self._cluster_metrics())
             if (request.method, path) == ("GET", "/metrics"):
                 if self._wants_prometheus(request):
                     return HttpResponse(
@@ -422,9 +450,25 @@ class ClusterCoordinator:
             self._pending += 1
             shard.inflight += 1
             try:
-                status, headers, payload = await shard.pool.request(
-                    "POST", path, body, timeout=remaining
-                )
+                with TRACER.span(
+                    "cluster.forward", shard=shard.index, path=path
+                ) as forward_span:
+                    trace_headers: Optional[Dict[str, str]] = None
+                    if TRACER.enabled:
+                        carrier = TRACER.current_carrier()
+                        if carrier is not None:
+                            trace_headers = {
+                                "X-Repro-Trace": carrier_to_header(carrier)
+                            }
+                    status, headers, payload = await shard.pool.request(
+                        "POST",
+                        path,
+                        body,
+                        timeout=remaining,
+                        headers=trace_headers,
+                    )
+                    if forward_span is not None:
+                        forward_span.attributes["status"] = status
             except asyncio.TimeoutError:
                 self.metrics.count("cluster_request_timeouts")
                 raise RequestTimeout(
@@ -683,6 +727,141 @@ class ClusterCoordinator:
                 },
             },
         }
+
+    async def _shard_metric_snapshots(
+        self,
+    ) -> List[Tuple[ShardState, Optional[Dict[str, Any]]]]:
+        """Fetch each shard's ``/metrics`` JSON snapshot concurrently;
+        an unreachable shard yields ``None`` (and is marked failing)."""
+
+        async def one(
+            shard: ShardState,
+        ) -> Tuple[ShardState, Optional[Dict[str, Any]]]:
+            try:
+                status, _, body = await shard.pool.request(
+                    "GET", "/metrics", timeout=2.0
+                )
+                if status == 200:
+                    return shard, json.loads(body.decode("utf-8"))
+                self._mark_failure(shard, f"metrics HTTP {status}")
+            except (asyncio.TimeoutError, ValueError, *_RETRYABLE) as error:
+                self._mark_failure(
+                    shard, f"{type(error).__name__}: {error}"
+                )
+            return shard, None
+
+        return list(
+            await asyncio.gather(
+                *(one(shard) for shard in self.shards.values())
+            )
+        )
+
+    @staticmethod
+    def _aggregate_metrics(
+        snapshots: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Sum counters/stages and exact-merge histograms across shard
+        snapshots.  Histograms merge bucket-by-bucket (identical bounds
+        guaranteed by the shared registry defaults); a shard reporting
+        different bounds is skipped and listed, never interpolated."""
+        counters: Dict[str, int] = {}
+        stages: Dict[str, float] = {}
+        histograms: Dict[str, Histogram] = {}
+        skipped: List[str] = []
+        for snapshot in snapshots:
+            for name, value in snapshot.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+            for name, value in snapshot.get("stages", {}).items():
+                stages[name] = round(
+                    stages.get(name, 0.0) + float(value), 9
+                )
+            for name, data in snapshot.get("histograms", {}).items():
+                try:
+                    incoming = Histogram.from_dict(data)
+                except (KeyError, ValueError, TypeError):
+                    skipped.append(name)
+                    continue
+                existing = histograms.get(name)
+                if existing is None:
+                    histograms[name] = incoming
+                    continue
+                try:
+                    existing.merge(incoming)
+                except ValueError:
+                    skipped.append(name)
+        out: Dict[str, Any] = {
+            "counters": dict(sorted(counters.items())),
+            "stages": dict(sorted(stages.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(histograms.items())
+            },
+        }
+        if skipped:
+            out["skipped_histograms"] = sorted(set(skipped))
+        return out
+
+    async def _cluster_metrics(self) -> Dict[str, Any]:
+        """``GET /v1/cluster/metrics`` (JSON): coordinator snapshot,
+        live per-shard snapshots, and the exact aggregate."""
+        gathered = await self._shard_metric_snapshots()
+        shards: Dict[str, Any] = {}
+        shard_snapshots: List[Dict[str, Any]] = []
+        for shard, snapshot in gathered:
+            shards[str(shard.index)] = {
+                "label": shard.display,
+                "address": shard.address,
+                "healthy": shard.healthy,
+                "metrics": snapshot,
+            }
+            if snapshot is not None:
+                shard_snapshots.append(snapshot)
+        return {
+            "schema": SCHEMA_VERSION,
+            "role": "coordinator",
+            "shards": shards,
+            "coordinator": self.metrics.to_dict(),
+            "aggregate": self._aggregate_metrics(shard_snapshots),
+        }
+
+    async def _cluster_metrics_prometheus(self) -> str:
+        """``GET /v1/cluster/metrics`` (Prometheus): one exposition
+        with every series labelled by origin — ``shard="K"`` for shard
+        K, ``shard="coordinator"`` for the front tier, and the exact
+        cross-shard histogram merge as ``shard="cluster"``.  Stage
+        timings sum unlabelled (they already carry a ``stage`` label)."""
+        gathered = await self._shard_metric_snapshots()
+        combined: Dict[str, Dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "stages": {},
+            "histograms": {},
+        }
+
+        def fold(snapshot: Dict[str, Any], shard_label: str) -> None:
+            for kind in ("counters", "gauges", "histograms"):
+                for name, value in snapshot.get(kind, {}).items():
+                    combined[kind][
+                        merge_labels(name, shard=shard_label)
+                    ] = value
+            for name, value in snapshot.get("stages", {}).items():
+                combined["stages"][name] = round(
+                    combined["stages"].get(name, 0.0) + float(value), 9
+                )
+
+        fold(self.metrics.to_dict(), "coordinator")
+        shard_snapshots = []
+        for shard, snapshot in gathered:
+            if snapshot is None:
+                continue
+            fold(snapshot, str(shard.index))
+            shard_snapshots.append(snapshot)
+        merged = self._aggregate_metrics(shard_snapshots)
+        for name, data in merged["histograms"].items():
+            combined["histograms"][
+                merge_labels(name, shard="cluster")
+            ] = data
+        return render_prometheus(combined)
 
     def _fault_response(self, fault: ServiceFault) -> HttpResponse:
         self.metrics.count(f"http_{fault.status}")

@@ -23,6 +23,8 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
+from ...obs.exporters import read_jsonl, write_chrome_trace
+from ...obs.tracer import TRACER
 from ..client import wait_until_healthy
 from .coordinator import ClusterConfig, coordinate_forever
 
@@ -58,6 +60,7 @@ def shard_command(
     jobs: int,
     executor: str,
     cache_dir: Optional[str],
+    trace_jsonl: Optional[str] = None,
 ) -> List[str]:
     command = [
         sys.executable, "-m", "repro", "serve",
@@ -69,7 +72,29 @@ def shard_command(
     ]
     if cache_dir:
         command += ["--cache-dir", str(Path(cache_dir) / f"shard-{index}")]
+    if trace_jsonl:
+        command += ["--trace-jsonl", trace_jsonl]
     return command
+
+
+def shard_trace_paths(trace_out: str, count: int) -> List[str]:
+    """Per-shard JSONL sink paths derived from the merged trace path
+    (``trace.json`` → ``trace.json.shard-K.jsonl``)."""
+    return [f"{trace_out}.shard-{index}.jsonl" for index in range(count)]
+
+
+def write_merged_trace(
+    trace_out: str, shard_traces: Sequence[str]
+) -> int:
+    """Drain the coordinator's spans, fold in each shard's streamed
+    JSONL sink, and write one Chrome trace — shard ``service.request``
+    spans nest under the coordinator's ``cluster.forward`` spans via
+    the propagated ``X-Repro-Trace`` carrier.  Returns the span count."""
+    spans = TRACER.drain()
+    for path in shard_traces:
+        spans.extend(read_jsonl(path))
+    write_chrome_trace(trace_out, spans)
+    return len(spans)
 
 
 def spawn_shards(
@@ -81,6 +106,7 @@ def spawn_shards(
     cache_dir: Optional[str],
     port_base: int = 0,
     wait_secs: float = 60.0,
+    trace_jsonl_paths: Optional[Sequence[str]] = None,
 ) -> Tuple[List[subprocess.Popen], List[str]]:
     """Start ``count`` shard processes and wait until all are healthy.
 
@@ -100,6 +126,11 @@ def spawn_shards(
                     shard_command(
                         index, count, host, port,
                         jobs=jobs, executor=executor, cache_dir=cache_dir,
+                        trace_jsonl=(
+                            trace_jsonl_paths[index]
+                            if trace_jsonl_paths
+                            else None
+                        ),
                     ),
                     env=env,
                 )
@@ -146,15 +177,28 @@ def launch_cluster(
     shard_port_base: int = 0,
     wait_secs: float = 60.0,
     metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    trace_jsonl: Optional[str] = None,
 ) -> int:
     """Blocking CLI entry behind ``repro cluster``.
 
     With ``spawn`` > 0, shard subprocesses are started first and the
     config's shard list is replaced with their addresses; with
     pre-set ``config.shards`` the coordinator simply attaches.
+
+    With ``trace_out``, the coordinator traces its own spans, every
+    spawned shard streams spans to a per-shard JSONL sink, and on
+    shutdown everything merges into one Chrome trace at ``trace_out``
+    (shards launched elsewhere still nest via the propagated header if
+    they were started with ``--trace-jsonl`` — merge those manually).
     """
+    shard_traces: List[str] = []
+    if trace_out or trace_jsonl:
+        TRACER.configure(enabled=True, jsonl_path=trace_jsonl)
     processes: List[subprocess.Popen] = []
     if spawn > 0:
+        if trace_out:
+            shard_traces = shard_trace_paths(trace_out, spawn)
         processes, addresses = spawn_shards(
             spawn,
             config.host,
@@ -163,6 +207,7 @@ def launch_cluster(
             cache_dir=cache_dir,
             port_base=shard_port_base,
             wait_secs=wait_secs,
+            trace_jsonl_paths=shard_traces or None,
         )
         config.shards = tuple(addresses)
     if not config.shards:
@@ -174,3 +219,10 @@ def launch_cluster(
         return coordinate_forever(config, metrics_out=metrics_out)
     finally:
         terminate_shards(processes)
+        if trace_out:
+            count = write_merged_trace(trace_out, shard_traces)
+            TRACER.enabled = False
+            print(
+                f"wrote {count} spans to {trace_out}",
+                file=sys.stderr,
+            )

@@ -67,16 +67,29 @@ class ShardConnection:
         self._reader = self._writer = None
 
     async def request(
-        self, method: str, path: str, body: bytes = b""
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
     ) -> ShardResponse:
         """One exchange; raises ``ConnectionError``/``OSError`` family
-        on transport failure (the pool maps those to retries)."""
+        on transport failure (the pool maps those to retries).
+
+        ``headers`` adds extra request headers (e.g. the trace-context
+        carrier); names/values must be latin-1-encodable.
+        """
         assert self._reader is not None and self._writer is not None
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         self._writer.write(head + body)
@@ -91,7 +104,7 @@ class ShardConnection:
             raise ConnectionError(
                 f"malformed status line {status_line!r}"
             ) from None
-        headers: Dict[str, str] = {}
+        response_headers: Dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n"):
@@ -99,12 +112,12 @@ class ShardConnection:
             if not line:
                 raise ConnectionError("shard closed mid-headers")
             name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0"))
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
         payload = await self._reader.readexactly(length) if length else b""
-        if headers.get("connection", "").lower() == "close":
+        if response_headers.get("connection", "").lower() == "close":
             self.close()
-        return status, headers, payload
+        return status, response_headers, payload
 
 
 class ShardPool:
@@ -150,13 +163,15 @@ class ShardPool:
         path: str,
         body: bytes = b"",
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> ShardResponse:
         """One exchange on a pooled connection.
 
         ``timeout`` bounds the whole exchange (the connection is torn
         down on expiry so a half-read response never poisons the
         pool).  Transport errors on a reused connection retry once on
-        a fresh one; fresh-connection errors propagate.
+        a fresh one; fresh-connection errors propagate.  ``headers``
+        pass through to :meth:`ShardConnection.request`.
         """
         async with self._capacity:
             connection = self._checkout_idle()
@@ -165,7 +180,8 @@ class ShardPool:
                 connection = await self._fresh()
             try:
                 response = await asyncio.wait_for(
-                    connection.request(method, path, body), timeout
+                    connection.request(method, path, body, headers),
+                    timeout,
                 )
             except asyncio.TimeoutError:
                 connection.close()
@@ -178,7 +194,8 @@ class ShardPool:
                 connection = await self._fresh()
                 try:
                     response = await asyncio.wait_for(
-                        connection.request(method, path, body), timeout
+                        connection.request(method, path, body, headers),
+                        timeout,
                     )
                 except BaseException:
                     connection.close()

@@ -23,10 +23,21 @@ gains per-shard phase percentiles, per-shard dedup counters (from the
 ``/v1/cluster/healthz`` rollup), and a ``comparison`` section with the
 warm-throughput ratio and the dedup-rate delta vs the baseline.
 
-Schema history: schema 2 added ``p95_ms``; **schema 3** adds the
+Schema history: schema 2 added ``p95_ms``; schema 3 adds the
 optional ``cluster`` / ``baseline`` / ``comparison`` sections and the
-``shards`` field.  All additions are new keys — schema-2 consumers
-that ignore unknown keys keep working unchanged.
+``shards`` field; **schema 4** makes the warm phase adaptive — the
+plan re-fires against the warm server until a statistical stopping
+rule (:mod:`repro.bench`) says the throughput samples are stable — and
+adds the shared ``"bench"`` section (per-metric samples, median, CI
+bounds, repeats, stop reason, environment fingerprint) plus a
+``phases.warm_runs`` list of per-run stats.  The legacy
+``phases.warm`` entry is the merge over all warm runs.  All additions
+are new keys — older consumers keep working unchanged.
+
+Each request runs under **one** ``loadgen.request`` span carrying
+``status`` and ``retries`` attributes: the client-side 429/503 retry
+loop happens inside the span, so a retried request is one span with
+``retries >= 1``, never two spans.
 """
 
 from __future__ import annotations
@@ -38,13 +49,20 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..bench import (
+    StoppingRule,
+    bench_section,
+    make_rule,
+    metric_from_samples,
+    write_report,
+)
 from ..obs.exporters import write_chrome_trace
 from ..obs.tracer import TRACER
 from .client import AsyncServiceClient, ServiceClient, wait_until_healthy
 from .pipeline import run_service_job
 from .protocol import normalize_request
 
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 
 DEFAULT_BENCHMARKS = ("vectoradd", "reduction", "matrixmul", "histogram")
 
@@ -174,26 +192,36 @@ async def _run_phase(
                 return
             spec = plan[index]
             started = time.perf_counter()
+            # One span per logical request: the retry loop runs inside
+            # it, so a retried request is a single span with its final
+            # status and a ``retries`` count, never multiple spans.
             with TRACER.span(
                 "loadgen.request", op=spec["op"], index=index
             ) as span:
                 try:
-                    status, payload = await client.request_raw(
-                        "POST", f"/v1/{spec['op']}", spec["body"]
+                    status, payload, retries = (
+                        await client.request_with_retries(
+                            "POST", f"/v1/{spec['op']}", spec["body"]
+                        )
                     )
                     results[index] = {
                         "status": status,
                         "latency_s": time.perf_counter() - started,
                         "payload": payload,
+                        "retries": retries,
                     }
                     if span is not None:
                         span.attributes["status"] = status
+                        span.attributes["retries"] = retries
                 except Exception as error:  # noqa: BLE001 - recorded
                     results[index] = {
                         "status": None,
                         "latency_s": time.perf_counter() - started,
                         "error": f"{type(error).__name__}: {error}",
                     }
+                    if span is not None:
+                        span.attributes["status"] = None
+                        span.attributes["error"] = type(error).__name__
 
     started = time.perf_counter()
     await asyncio.gather(
@@ -217,13 +245,27 @@ async def _run_phases(
     plan: List[Dict[str, Any]],
     concurrency: int,
     timeout: float,
-    phases: int = 2,
-) -> List[Tuple[List[Dict[str, Any]], float]]:
-    """Run the plan ``phases`` times over one set of keep-alive
-    connections, opened before the first phase's clock starts."""
+    rule: Optional[StoppingRule] = None,
+    retries: int = 0,
+) -> Tuple[
+    Tuple[List[Dict[str, Any]], float],
+    List[Tuple[List[Dict[str, Any]], float]],
+    str,
+]:
+    """Run the plan cold once, then warm adaptively.
+
+    All phases share one set of keep-alive connections, opened before
+    the first phase's clock starts.  The warm phase re-fires the whole
+    plan until ``rule`` declares the per-run throughput samples stable
+    (exactly one warm run when ``rule`` is ``None``).  Returns
+    ``(cold, warm_runs, warm_stop_reason)``.
+    """
     clients = [
-        AsyncServiceClient(host, port, timeout=timeout)
-        for _ in range(concurrency)
+        AsyncServiceClient(
+            host, port, timeout=timeout,
+            retries=retries, backoff_seed=index,
+        )
+        for index in range(concurrency)
     ]
     try:
         for client in clients:
@@ -231,12 +273,35 @@ async def _run_phases(
                 await client.connect()
             except OSError:
                 pass  # workers reconnect lazily; failures get recorded
-        return [
-            await _run_phase(clients, plan) for _ in range(phases)
-        ]
+        cold = await _run_phase(clients, plan)
+        warm_runs = [await _run_phase(clients, plan)]
+        stop_reason = "fixed_repeats"
+        if rule is not None:
+            samples = [
+                len(plan) / max(wall, 1e-9) for _, wall in warm_runs
+            ]
+            reason = rule.check(samples)
+            while reason is None:
+                warm_runs.append(await _run_phase(clients, plan))
+                samples.append(
+                    len(plan) / max(warm_runs[-1][1], 1e-9)
+                )
+                reason = rule.check(samples)
+            stop_reason = reason
+        return cold, warm_runs, stop_reason
     finally:
         for client in clients:
             await client.close()
+
+
+def _merge_warm(
+    warm_runs: List[Tuple[List[Dict[str, Any]], float]]
+) -> Tuple[List[Dict[str, Any]], float]:
+    """All warm runs as one result list plus the summed wall time."""
+    merged = [
+        result for results, _ in warm_runs for result in results
+    ]
+    return merged, sum(wall for _, wall in warm_runs)
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
@@ -362,15 +427,18 @@ def _verify_results(
 
 def _tally(
     plan: List[Dict[str, Any]],
-    cold_results: List[Dict[str, Any]],
-    warm_results: List[Dict[str, Any]],
+    phase_results: List[List[Dict[str, Any]]],
 ) -> Tuple[int, int, Dict[str, int], int]:
-    """(dropped, unexpected, status_counts, ok_responses)."""
-    all_results = cold_results + warm_results
+    """(dropped, unexpected, status_counts, ok_responses).
+
+    ``phase_results`` is one plan-aligned result list per executed
+    phase (cold plus every warm run).
+    """
+    all_results = [r for results in phase_results for r in results]
     dropped = sum(1 for r in all_results if r["status"] is None)
     unexpected = 0
     status_counts: Dict[str, int] = {}
-    for results in (cold_results, warm_results):
+    for results in phase_results:
         for index, result in enumerate(results):
             status = result["status"]
             status_counts[str(status)] = (
@@ -456,22 +524,27 @@ def _run_baseline(
     concurrency: int,
     timeout: float,
     jobs: int,
+    rule: Optional[StoppingRule] = None,
 ) -> Dict[str, Any]:
-    """Drive the plan (cold + warm) against a fresh single server."""
+    """Drive the plan (cold + adaptive warm) against a fresh single
+    server — the same stopping rule as the cluster run, so the
+    comparison stays apples-to-apples."""
     server = _BaselineServer(jobs)
     try:
         control = ServiceClient("127.0.0.1", server.port, timeout=timeout)
         before = control.metrics()
-        (cold_results, cold_wall), (warm_results, warm_wall) = asyncio.run(
+        (cold_results, cold_wall), warm_runs, _ = asyncio.run(
             _run_phases(
-                "127.0.0.1", server.port, plan, concurrency, timeout
+                "127.0.0.1", server.port, plan, concurrency, timeout,
+                rule=rule,
             )
         )
         after = control.metrics()
     finally:
         server.stop()
+    warm_results, warm_wall = _merge_warm(warm_runs)
     dropped, unexpected, status_counts, ok_responses = _tally(
-        plan, cold_results, warm_results
+        plan, [cold_results] + [results for results, _ in warm_runs]
     )
     return {
         "kind": server.kind,
@@ -479,6 +552,10 @@ def _run_baseline(
         "phases": {
             "cold": _phase_stats(cold_results, cold_wall),
             "warm": _phase_stats(warm_results, warm_wall),
+            "warm_runs": [
+                _phase_stats(results, wall)
+                for results, wall in warm_runs
+            ],
         },
         "status_counts": dict(sorted(status_counts.items())),
         "dropped": dropped,
@@ -562,13 +639,23 @@ def run_loadgen(
     trace_out: Optional[str] = None,
     shards: Optional[int] = None,
     baseline_jobs: int = 2,
+    rule: Optional[StoppingRule] = None,
+    retries: int = 0,
 ) -> Dict[str, Any]:
     """Drive a running service and return the benchmark payload.
 
     With ``shards``, the target must be a cluster coordinator with
     that many shards; a single-server baseline runs first in the same
     invocation so the payload carries an apples-to-apples comparison.
+
+    ``rule`` (default: a bootstrap-CI repeater, 2..6 runs, 5% target)
+    governs how many times the warm phase re-fires the plan; pass an
+    explicit rule to tighten or loosen the stability bar.
     """
+    if rule is None:
+        rule = make_rule(
+            "ci", min_repeats=2, max_repeats=6, target=0.05, seed=0
+        )
     if trace_out:
         TRACER.configure(enabled=True)
     plan = build_plan(requests, concurrency, benchmarks)
@@ -584,17 +671,23 @@ def run_loadgen(
                 f"repro loadgen: error: coordinator at {host}:{port} "
                 f"reports {found} shard(s), expected {shards}"
             )
-        baseline = _run_baseline(plan, concurrency, timeout, baseline_jobs)
+        baseline = _run_baseline(
+            plan, concurrency, timeout, baseline_jobs, rule=rule
+        )
         metrics_before = None
     else:
         metrics_before = control.metrics()
 
-    (cold_results, cold_wall), (warm_results, warm_wall) = asyncio.run(
-        _run_phases(host, port, plan, concurrency, timeout)
+    (cold_results, cold_wall), warm_runs, warm_stop = asyncio.run(
+        _run_phases(
+            host, port, plan, concurrency, timeout,
+            rule=rule, retries=retries,
+        )
     )
+    warm_results, warm_wall = _merge_warm(warm_runs)
 
     dropped, unexpected, status_counts, ok_responses = _tally(
-        plan, cold_results, warm_results
+        plan, [cold_results] + [results for results, _ in warm_runs]
     )
 
     per_shard_dedup: Dict[str, Dict[str, int]] = {}
@@ -617,6 +710,9 @@ def run_loadgen(
                 first_ok[index] = result["payload"]
         verification = _verify_results(plan, first_ok)
 
+    warm_run_stats = [
+        _phase_stats(results, wall) for results, wall in warm_runs
+    ]
     payload = {
         "schema": BENCH_SCHEMA,
         "requests": requests,
@@ -625,12 +721,54 @@ def run_loadgen(
         "phases": {
             "cold": _phase_stats(cold_results, cold_wall),
             "warm": _phase_stats(warm_results, warm_wall),
+            "warm_runs": warm_run_stats,
         },
         "status_counts": dict(sorted(status_counts.items())),
         "dropped": dropped,
         "unexpected_statuses": unexpected,
         "dedup": dedup,
         "verify": verification,
+    }
+    metrics = {
+        "cold_requests_per_s": metric_from_samples(
+            "cold_requests_per_s",
+            [payload["phases"]["cold"]["requests_per_s"]],
+            unit="req/s",
+            direction="higher",
+            stop_reason="single_run",
+        ),
+        "warm_requests_per_s": metric_from_samples(
+            "warm_requests_per_s",
+            [stats["requests_per_s"] for stats in warm_run_stats],
+            unit="req/s",
+            direction="higher",
+            rule=rule,
+            stop_reason=warm_stop,
+        ),
+        "warm_p50_ms": metric_from_samples(
+            "warm_p50_ms",
+            [stats["p50_ms"] for stats in warm_run_stats],
+            unit="ms",
+            direction="lower",
+            rule=rule,
+            stop_reason=warm_stop,
+        ),
+        "warm_p99_ms": metric_from_samples(
+            "warm_p99_ms",
+            [stats["p99_ms"] for stats in warm_run_stats],
+            unit="ms",
+            direction="lower",
+            rule=rule,
+            stop_reason=warm_stop,
+        ),
+        "dedup_rate": metric_from_samples(
+            "dedup_rate",
+            [dedup["rate"]],
+            unit="frac",
+            direction="higher",
+            comparable=True,
+            stop_reason="derived",
+        ),
     }
     ok = (
         dropped == 0
@@ -661,12 +799,40 @@ def run_loadgen(
             "warm_throughput_ratio": ratio,
             "dedup_rate_delta": rate_delta,
         }
+        # The ratio is machine-portable (both sides ran on this host
+        # moments apart), so it is the one gated loadgen metric.
+        baseline_samples = [
+            stats["requests_per_s"]
+            for stats in baseline["phases"]["warm_runs"]
+        ]
+        ratio_samples = [
+            stats["requests_per_s"] / baseline_warm
+            for stats in warm_run_stats
+        ] if baseline_warm else [0.0]
+        metrics["warm_throughput_ratio"] = metric_from_samples(
+            "warm_throughput_ratio",
+            ratio_samples,
+            unit="x",
+            direction="higher",
+            comparable=True,
+            rule=rule,
+            stop_reason="derived",
+        )
+        metrics["baseline_warm_requests_per_s"] = metric_from_samples(
+            "baseline_warm_requests_per_s",
+            baseline_samples,
+            unit="req/s",
+            direction="higher",
+            rule=rule,
+            stop_reason="derived",
+        )
         ok = (
             ok
             and baseline["dropped"] == 0
             and ratio >= 1.5
             and abs(rate_delta) <= 0.02
         )
+    payload["bench"] = bench_section("loadgen", metrics, rule=rule)
     payload["ok"] = ok
     if trace_out:
         write_chrome_trace(trace_out, TRACER.drain())
@@ -674,10 +840,7 @@ def run_loadgen(
 
 
 def write_loadgen(path: str, payload: Dict[str, Any]) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return str(write_report(path, payload))
 
 
 def _format_phase_rows(
@@ -757,5 +920,15 @@ def format_loadgen(payload: Dict[str, Any]) -> str:
         f"verify: {verify['compared']} compared, "
         f"{verify['mismatches']} mismatches"
     )
+    bench = payload.get("bench")
+    if bench is not None:
+        warm = bench["metrics"].get("warm_requests_per_s")
+        if warm is not None:
+            lines.append(
+                f"warm throughput: median {warm['median']:.1f} req/s "
+                f"over {warm['repeats']} run(s) "
+                f"(ci [{warm['ci'][0]:.1f}, {warm['ci'][1]:.1f}], "
+                f"stop: {warm['stop_reason']})"
+            )
     lines.append("RESULT: " + ("ok" if payload["ok"] else "FAILED"))
     return "\n".join(lines)

@@ -46,7 +46,12 @@ from ..engine.cache import DiskCache
 from ..engine.metrics import SCHEMA_VERSION, RunMetrics
 from ..obs.exporters import write_chrome_trace
 from ..obs.registry import PROMETHEUS_CONTENT_TYPE
-from ..obs.tracer import TRACER, traced_call
+from ..obs.tracer import (
+    TRACE_HEADER,
+    TRACER,
+    carrier_from_header,
+    traced_call,
+)
 from .batcher import JobBatcher
 from .httpd import AsyncHttpServer, HttpRequest, HttpResponse, json_response
 from .pipeline import RESULT_SCHEMA, _probe, run_service_job
@@ -227,12 +232,18 @@ class ServiceServer:
     async def handle(self, request: HttpRequest) -> HttpResponse:
         started = time.perf_counter()
         path = request.target.split("?", 1)[0]
-        with TRACER.span(
-            "service.request", method=request.method, path=path
-        ) as span:
-            response = await self._route(request, path)
-            if span is not None:
-                span.attributes["status"] = response.status
+        # A coordinator forward carries its span context in
+        # X-Repro-Trace; attaching it parents this shard's request
+        # span under the coordinator's forward span so the merged
+        # cluster trace nests end to end.
+        carrier = carrier_from_header(request.headers.get(TRACE_HEADER))
+        with TRACER.attach(carrier):
+            with TRACER.span(
+                "service.request", method=request.method, path=path
+            ) as span:
+                response = await self._route(request, path)
+                if span is not None:
+                    span.attributes["status"] = response.status
         self.metrics.observe(
             "http_request_seconds", time.perf_counter() - started
         )

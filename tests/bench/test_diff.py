@@ -1,0 +1,164 @@
+"""``repro bench diff``: gating behaviour on synthetic reports built
+to sit on both sides of the significance boundary."""
+
+import json
+
+from repro.bench import diff_reports, load_metrics, run_diff
+from repro.bench.report import metric_from_samples
+
+
+def _report(path, metrics):
+    path.write_text(json.dumps({
+        "schema": 4,
+        "bench": {
+            "bench_schema": 1,
+            "tool": "test",
+            "env": {},
+            "metrics": metrics,
+        },
+    }) + "\n")
+    return path
+
+
+def _ratio(samples):
+    return metric_from_samples(
+        "m", samples, unit="x", direction="higher", comparable=True
+    )
+
+
+def test_significant_regression_fails_gate(tmp_path):
+    old = _report(tmp_path / "old.json",
+                  {"speedup": _ratio([4.0, 4.1, 4.2])})
+    new = _report(tmp_path / "new.json",
+                  {"speedup": _ratio([2.0, 2.1, 2.2])})
+    code, text, rows = run_diff(old, new, gate_pct=5.0)
+    assert code == 1
+    assert rows[0]["regression"] is True
+    assert "FAIL" in text and "speedup" in text
+
+
+def test_improvement_and_selfdiff_pass(tmp_path):
+    old = _report(tmp_path / "old.json",
+                  {"speedup": _ratio([2.0, 2.1, 2.2])})
+    new = _report(tmp_path / "new.json",
+                  {"speedup": _ratio([4.0, 4.1, 4.2])})
+    code, text, rows = run_diff(old, new, gate_pct=5.0)
+    assert code == 0
+    assert "improved" in text
+
+    code, text, _ = run_diff(old, old, gate_pct=5.0)
+    assert code == 0
+    assert "OK" in text
+
+
+def test_overlapping_cis_are_noise_not_regression(tmp_path):
+    # 10% worse but the CIs overlap: insignificant, must pass.
+    old = _report(tmp_path / "old.json",
+                  {"speedup": _ratio([3.5, 4.0, 4.5])})
+    new = _report(tmp_path / "new.json",
+                  {"speedup": _ratio([3.2, 3.6, 4.1])})
+    code, text, rows = run_diff(old, new, gate_pct=5.0)
+    assert code == 0
+    assert rows[0]["significant"] is False
+    assert "noise" in text
+
+
+def test_within_gate_significant_drop_passes(tmp_path):
+    # Disjoint CIs but only ~3% worse: inside a 5% gate.
+    old = _report(tmp_path / "old.json",
+                  {"speedup": _ratio([4.00, 4.01, 4.02])})
+    new = _report(tmp_path / "new.json",
+                  {"speedup": _ratio([3.88, 3.89, 3.90])})
+    code, _, rows = run_diff(old, new, gate_pct=5.0)
+    assert code == 0
+    assert rows[0]["significant"] is True
+    assert rows[0]["regression"] is False
+    # The same delta fails a tighter gate.
+    code, _, _ = run_diff(old, new, gate_pct=1.0)
+    assert code == 1
+
+
+def test_noncomparable_timing_never_gates(tmp_path):
+    timing = metric_from_samples(
+        "t", [1.0, 1.1], unit="s", direction="lower", comparable=False
+    )
+    worse = metric_from_samples(
+        "t", [9.0, 9.1], unit="s", direction="lower", comparable=False
+    )
+    old = _report(tmp_path / "old.json", {"wall_s": timing})
+    new = _report(tmp_path / "new.json", {"wall_s": worse})
+    code, text, rows = run_diff(old, new, gate_pct=5.0)
+    assert code == 0
+    assert rows[0]["regression"] is False
+    assert "info" in text
+
+
+def test_lower_is_better_direction(tmp_path):
+    def low(samples):
+        return metric_from_samples(
+            "m", samples, unit="x", direction="lower", comparable=True
+        )
+
+    old = _report(tmp_path / "old.json", {"miss_rate": low([1.0, 1.1])})
+    new = _report(tmp_path / "new.json", {"miss_rate": low([2.0, 2.1])})
+    code, _, rows = run_diff(old, new, gate_pct=5.0)
+    assert code == 1
+    assert rows[0]["regression"] is True
+
+
+def test_degenerate_point_estimates_compare_exactly():
+    old = {"r": {"samples": [2.0], "median": 2.0, "ci": [2.0, 2.0],
+                 "repeats": 1, "stop_reason": "legacy", "unit": "x",
+                 "direction": "higher", "comparable": True}}
+    new = {"r": {"samples": [1.0], "median": 1.0, "ci": [1.0, 1.0],
+                 "repeats": 1, "stop_reason": "legacy", "unit": "x",
+                 "direction": "higher", "comparable": True}}
+    rows = diff_reports(old, new, gate_pct=5.0)
+    assert rows[0]["regression"] is True
+    assert diff_reports(old, old)[0]["significant"] is False
+
+
+def test_legacy_file_flattens_by_suffix(tmp_path):
+    legacy = tmp_path / "legacy.json"
+    legacy.write_text(json.dumps({
+        "schema": 3,
+        "software": {"speedup": 4.0, "scalar_s": 1.2, "configs": 18},
+        "allocation": {"batch_s": 0.5, "dedup_rate": 0.9},
+    }))
+    metrics = load_metrics(legacy)
+    assert metrics["software.speedup"]["comparable"] is True
+    assert metrics["software.speedup"]["direction"] == "higher"
+    assert metrics["software.scalar_s"]["comparable"] is False
+    assert metrics["software.scalar_s"]["direction"] == "lower"
+    assert metrics["allocation.dedup_rate"]["comparable"] is True
+    assert "software.configs" not in metrics  # counts are not metrics
+    code, _, _ = run_diff(legacy, legacy)
+    assert code == 0
+
+
+def test_cli_bench_diff_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    old = _report(tmp_path / "old.json",
+                  {"speedup": _ratio([4.0, 4.1, 4.2])})
+    new = _report(tmp_path / "new.json",
+                  {"speedup": _ratio([2.0, 2.1, 2.2])})
+    assert main(["bench", "diff", str(old), str(new)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+    assert main(["bench", "diff", str(old), str(old), "--gate", "1"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_unreadable_or_disjoint_reports_exit_2(tmp_path):
+    missing = tmp_path / "nope.json"
+    good = _report(tmp_path / "good.json", {"speedup": _ratio([1.0])})
+    assert run_diff(missing, good)[0] == 2
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2]")
+    assert run_diff(bad, good)[0] == 2
+
+    other = _report(tmp_path / "other.json", {"latency": _ratio([1.0])})
+    code, text, _ = run_diff(good, other)
+    assert code == 2
+    assert "no shared metrics" in text

@@ -1,0 +1,98 @@
+"""The shared BenchReport schema: metric entries, the bench section,
+the environment fingerprint, and the canonical writer."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SECTION_SCHEMA,
+    CiHalfWidthRule,
+    bench_section,
+    environment_fingerprint,
+    measure,
+    metric_entry,
+    metric_from_samples,
+    write_report,
+)
+
+
+def test_environment_fingerprint_keys():
+    env = environment_fingerprint()
+    for key in ("python", "implementation", "platform", "machine",
+                "cpu_count"):
+        assert key in env, key
+    assert "governor" in env  # may be None off Linux
+    json.dumps(env)  # must be JSON-serialisable
+
+
+def test_metric_from_samples_fields():
+    entry = metric_from_samples(
+        "speedup", [3.0, 4.0, 5.0], unit="x",
+        direction="higher", comparable=True,
+    )
+    assert entry["median"] == 4.0
+    assert entry["samples"] == [3.0, 4.0, 5.0]
+    assert entry["ci"] == [3.0, 5.0]  # min/max envelope without a rule
+    assert entry["repeats"] == 3
+    assert entry["stop_reason"] == "fixed_repeats"
+    assert entry["comparable"] is True
+    assert entry["direction"] == "higher"
+
+
+def test_metric_from_samples_validates():
+    with pytest.raises(ValueError):
+        metric_from_samples("x", [1.0], unit="s", direction="sideways")
+    with pytest.raises(ValueError):
+        metric_from_samples("x", [], unit="s")
+
+
+def test_measure_runs_rule_and_builds_entry():
+    rule = CiHalfWidthRule(min_repeats=3, max_repeats=10, target=0.05)
+    samples, entry = measure(
+        lambda i: 2.0, rule, name="t", unit="s", direction="lower"
+    )
+    assert samples == [2.0, 2.0, 2.0]
+    assert entry["stop_reason"] == "ci_half_width"
+    assert entry["repeats"] == 3
+    assert entry["ci"][0] <= entry["median"] <= entry["ci"][1]
+
+
+def test_metric_entry_legacy_bare_number():
+    entry = metric_entry(4.2)
+    assert entry["samples"] == [4.2]
+    assert entry["median"] == 4.2
+    assert entry["ci"] == [4.2, 4.2]
+    assert entry["stop_reason"] == "legacy"
+    assert entry["comparable"] is False
+
+
+def test_metric_entry_legacy_dict_missing_samples():
+    entry = metric_entry({"median": 3.0, "unit": "x"})
+    assert entry["samples"] == [3.0]
+    assert entry["ci"] == [3.0, 3.0]
+    assert entry["stop_reason"] == "legacy"
+
+
+def test_metric_entry_passthrough_keeps_modern_fields():
+    modern = metric_from_samples(
+        "m", [1.0, 2.0], unit="s", direction="lower"
+    )
+    assert metric_entry(modern) == modern
+
+
+def test_bench_section_layout(tmp_path):
+    rule = CiHalfWidthRule()
+    metrics = {"m": metric_from_samples("m", [1.0], unit="s")}
+    section = bench_section("loadgen", metrics, rule=rule)
+    assert section["bench_schema"] == BENCH_SECTION_SCHEMA
+    assert section["tool"] == "loadgen"
+    assert section["rule"]["rule"] == "ci"
+    assert section["metrics"] is metrics
+    assert "python" in section["env"]
+
+    path = write_report(tmp_path / "sub" / "BENCH_x.json",
+                        {"schema": 1, "bench": section})
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text)["bench"]["tool"] == "loadgen"

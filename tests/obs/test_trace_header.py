@@ -1,0 +1,51 @@
+"""X-Repro-Trace header carrier: round-trip and malformed input."""
+
+import pytest
+
+from repro.obs.tracer import (
+    TRACE_HEADER,
+    TRACER,
+    carrier_from_header,
+    carrier_to_header,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.reset()
+    yield
+    TRACER.reset()
+
+
+def test_header_name_is_lowercase_for_parsed_header_dicts():
+    assert TRACE_HEADER == "x-repro-trace"
+
+
+def test_carrier_round_trips_through_header():
+    TRACER.configure(enabled=True)
+    with TRACER.span("root"):
+        carrier = TRACER.current_carrier()
+        header = carrier_to_header(carrier)
+        assert carrier_from_header(header) == carrier
+
+
+def test_malformed_headers_never_raise():
+    assert carrier_from_header(None) is None
+    assert carrier_from_header("") is None
+    assert carrier_from_header("not json") is None
+    assert carrier_from_header("[1, 2]") is None
+    assert carrier_from_header('{"trace_id": 5, "span_id": "x"}') is None
+    assert carrier_from_header('{"trace_id": "t"}') is None
+
+
+def test_attach_parents_spans_under_header_carrier():
+    TRACER.configure(enabled=True)
+    header = carrier_to_header(
+        {"trace_id": "t1", "span_id": "s1", "pid": 1}
+    )
+    with TRACER.attach(carrier_from_header(header)):
+        with TRACER.span("child"):
+            pass
+    span = TRACER.drain()[0]
+    assert span.trace_id == "t1"
+    assert span.parent_id == "s1"
